@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Bytes Char Hashtbl Measure Printf Random Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/fig1.ml: Array Bench_util Bytes Client Cluster Config Engine Fab Fiber Gwgr List Net Printf Stats Table

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Bench_util Block_ops List Printf Resilience Rs_code Table

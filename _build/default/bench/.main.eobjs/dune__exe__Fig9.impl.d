@@ -1,0 +1,1 @@
+bench/fig9.ml: Bench_util Cluster Config Float Generator List Printf Runner Table

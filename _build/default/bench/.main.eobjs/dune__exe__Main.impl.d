@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig1 Fig10 Fig8 Fig9 List Misc_bench Printf Sys

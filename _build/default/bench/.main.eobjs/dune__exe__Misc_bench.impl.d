@@ -1,0 +1,1 @@
+bench/misc_bench.ml: Array Bench_util Bytes Client Cluster Config Directory Fiber Filename Float Generator List Net Printf Random Runner Scrub Stats Storage_node Sys Table Volume

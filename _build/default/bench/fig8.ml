@@ -1,0 +1,114 @@
+(* Fig 8: erasure-code choice and performance.
+
+   (a) table of codes for 4-7 storage nodes: failure resiliency and the
+       measured computation times for Delta, Add, full encode and full
+       decode of 1KB blocks (real wall-clock via Bechamel — we run the
+       same table-driven kernels the protocol uses);
+   (b) computation time vs k for larger codes: full encode grows with k
+       while Delta/Add stay flat;
+   (c) tolerated (client, storage) crash pairs as a function of n-k. *)
+
+let block_size = 1024
+
+let delta_ns code ~j ~i =
+  let v = Bench_util.random_block ~seed:1 block_size in
+  let w = Bench_util.random_block ~seed:2 block_size in
+  Bench_util.time_ns ~name:"delta" (fun () ->
+      ignore (Rs_code.update_delta code ~j ~i ~v ~w))
+
+let add_ns () =
+  let dst = Bench_util.random_block ~seed:3 block_size in
+  let src = Bench_util.random_block ~seed:4 block_size in
+  Bench_util.time_ns ~name:"add" (fun () -> Block_ops.xor_into ~dst ~src)
+
+let encode_ns code =
+  let k = Rs_code.k code in
+  let data =
+    Array.init k (fun i -> Bench_util.random_block ~seed:(10 + i) block_size)
+  in
+  Bench_util.time_ns ~name:"encode" (fun () -> ignore (Rs_code.encode code data))
+
+let decode_ns code =
+  let k = Rs_code.k code and n = Rs_code.n code in
+  let data =
+    Array.init k (fun i -> Bench_util.random_block ~seed:(20 + i) block_size)
+  in
+  let stripe = Rs_code.stripe code data in
+  (* Worst case: all data blocks lost, decode from the tail. *)
+  let avail = List.init k (fun r -> (n - 1 - r, stripe.(n - 1 - r))) in
+  Bench_util.time_ns ~name:"decode" (fun () -> ignore (Rs_code.decode code avail))
+
+let fig8a () =
+  Bench_util.section
+    "Fig 8(a): codes for 4-7 storage nodes - resiliency and compute times \
+     (1KB blocks)";
+  let codes = [ (2, 4); (3, 5); (3, 6); (4, 6); (4, 7); (5, 7) ] in
+  let add = add_ns () in
+  let rows =
+    List.map
+      (fun (k, n) ->
+        let code = Rs_code.create ~k ~n () in
+        let p = n - k in
+        [
+          Printf.sprintf "%d-of-%d" k n;
+          Resilience.pairs_to_string (Resilience.tolerated_pairs `Serial ~p);
+          Resilience.pairs_to_string (Resilience.tolerated_pairs `Parallel ~p);
+          Bench_util.fmt_us (delta_ns code ~j:k ~i:0);
+          Bench_util.fmt_us add;
+          Bench_util.fmt_us (encode_ns code);
+          Bench_util.fmt_us (decode_ns code);
+        ])
+      codes
+  in
+  Table.print
+    ~title:"code | resiliency (serial; parallel) | Delta | Add | encode | decode"
+    ~header:
+      [ "code"; "serial resil."; "parallel resil."; "Delta"; "Add"; "encode";
+        "decode" ]
+    rows
+
+let fig8b () =
+  Bench_util.section
+    "Fig 8(b): compute time vs k (n = k+2, 1KB blocks) - encode grows, \
+     Delta+Add stays flat";
+  let ks = [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let add = add_ns () in
+  let encode_series =
+    List.map
+      (fun k ->
+        let code = Rs_code.create ~k ~n:(k + 2) () in
+        (float_of_int k, encode_ns code /. 1000.))
+      ks
+  in
+  let delta_series =
+    List.map
+      (fun k ->
+        let code = Rs_code.create ~k ~n:(k + 2) () in
+        (float_of_int k, (delta_ns code ~j:k ~i:0 +. add) /. 1000.))
+      ks
+  in
+  Table.print_series ~title:"microseconds per 1KB block operation" ~x_label:"k"
+    ~series:
+      [ ("full encode (us)", encode_series); ("Delta+Add (us)", delta_series) ]
+
+let fig8c () =
+  Bench_util.section
+    "Fig 8(c): tolerated client/storage crashes vs n-k (depends only on n-k)";
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p;
+          Resilience.pairs_to_string (Resilience.tolerated_pairs `Serial ~p);
+          Resilience.pairs_to_string (Resilience.tolerated_pairs `Parallel ~p);
+        ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Table.print ~title:"maximal (t_p clients, t_d storage) pairs"
+    ~header:[ "n-k"; "serial updates"; "parallel updates" ]
+    rows
+
+let run () =
+  fig8a ();
+  fig8b ();
+  fig8c ()

@@ -1,0 +1,1 @@
+examples/concurrent_writers.ml: Array Bytes Client Cluster Config Directory Fiber Layout Printf Rs_code Stats Storage_node

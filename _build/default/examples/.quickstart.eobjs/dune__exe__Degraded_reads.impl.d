@@ -1,0 +1,1 @@
+examples/degraded_reads.ml: Bytes Char Client Cluster Config Format List Printf Scrub Volume

@@ -1,0 +1,1 @@
+examples/degraded_reads.mli:

@@ -1,0 +1,1 @@
+examples/disk_array.ml: Bytes Char Cluster Config Engine Fiber Printf Stats Volume

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Cluster Config Generator List Printf Runner

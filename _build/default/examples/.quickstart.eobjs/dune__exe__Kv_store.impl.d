@@ -1,0 +1,1 @@
+examples/kv_store.ml: Bytes Cluster Config Hashtbl List Printf Stats String Volume

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Cluster Config Fiber Printf Stats Volume

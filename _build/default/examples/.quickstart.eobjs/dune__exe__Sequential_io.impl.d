@@ -1,0 +1,1 @@
+examples/sequential_io.ml: Cluster Config Directory Float Generator List Net Printf Runner String

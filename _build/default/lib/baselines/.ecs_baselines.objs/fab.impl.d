@@ -1,0 +1,1 @@
+lib/baselines/fab.ml: Array Bytes Engine Fiber Fun Hashtbl List Net Printf Rs_code

@@ -1,0 +1,1 @@
+lib/baselines/fab.mli: Engine Net

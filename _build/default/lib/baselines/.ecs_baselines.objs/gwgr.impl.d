@@ -1,0 +1,1 @@
+lib/baselines/gwgr.ml: Array Bytes Fiber Hashtbl List Net Option Printf Rs_code

@@ -1,0 +1,1 @@
+lib/baselines/gwgr.mli: Engine Net

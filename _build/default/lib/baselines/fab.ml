@@ -1,0 +1,213 @@
+(* Per-slot node state: current (ts, block), a promise watermark for the
+   two-phase order, and a bounded version log. *)
+
+type slot = {
+  mutable ts : int;
+  mutable promised : int;
+  mutable block : bytes;
+  mutable log : (int * bytes) list; (* newest first, bounded *)
+}
+
+type node = {
+  net_node : Net.node;
+  slots : (int, slot) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  k : int;
+  n : int;
+  block_size : int;
+  log_depth : int;
+  code : Rs_code.t;
+  nodes : node array;
+  mutable ts_counter : int;
+}
+
+type client = { cluster : t; id : int; net_node : Net.node }
+
+let create engine net ~k ~n ~block_size ~log_depth =
+  if k < 1 || n <= k then invalid_arg "Fab.create: need 1 <= k < n";
+  {
+    engine;
+    net;
+    k;
+    n;
+    block_size;
+    log_depth;
+    code = Rs_code.create ~k ~n ();
+    nodes =
+      Array.init n (fun i ->
+          {
+            net_node = Net.add_node net ~name:(Printf.sprintf "fab%d" i);
+            slots = Hashtbl.create 32;
+          });
+    ts_counter = 0;
+  }
+
+let make_client t ~id =
+  {
+    cluster = t;
+    id;
+    net_node = Net.add_node t.net ~name:(Printf.sprintf "fabc%d" id);
+  }
+
+let slot_of node ~slot ~block_size =
+  match Hashtbl.find_opt node.slots slot with
+  | Some s -> s
+  | None ->
+    let s =
+      { ts = 0; promised = 0; block = Bytes.make block_size '\000'; log = [] }
+    in
+    Hashtbl.add node.slots slot s;
+    s
+
+let crash_node t i = Net.crash t.nodes.(i).net_node
+
+let log_bytes t =
+  Array.fold_left
+    (fun acc node ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          List.fold_left (fun acc (_, b) -> acc + 8 + Bytes.length b) acc s.log)
+        node.slots acc)
+    0 t.nodes
+
+(* --- RPC plumbing -------------------------------------------------- *)
+
+let fresh_ts c =
+  c.cluster.ts_counter <- c.cluster.ts_counter + 1;
+  (* Disambiguate concurrent proposers by client id in the low bits. *)
+  (c.cluster.ts_counter * 1024) + c.id
+
+(* Phase 1: order + read.  The node promises the timestamp and returns
+   its current block (the stripe read of the read-modify-write). *)
+let rpc_order c (node : node) ~slot ~ts =
+  Net.rpc c.cluster.net ~src:c.net_node ~dst:node.net_node ~tag:"fab.order"
+    ~req_bytes:16
+    ~serve:(fun () ->
+      let s = slot_of node ~slot ~block_size:c.cluster.block_size in
+      if ts <= s.promised then ((`Conflict, Bytes.empty), 8)
+      else begin
+        s.promised <- ts;
+        ((`Ok, Bytes.copy s.block), 8 + Bytes.length s.block)
+      end)
+
+(* Phase 2: commit a new block under the promised timestamp. *)
+let rpc_commit c (node : node) ~slot ~ts ~blk =
+  Net.rpc c.cluster.net ~src:c.net_node ~dst:node.net_node ~tag:"fab.commit"
+    ~req_bytes:(16 + Bytes.length blk)
+    ~serve:(fun () ->
+      let s = slot_of node ~slot ~block_size:c.cluster.block_size in
+      if ts < s.promised then (`Conflict, 8)
+      else begin
+        s.log <- (s.ts, s.block) :: s.log;
+        (if List.length s.log > c.cluster.log_depth then
+           s.log <-
+             List.filteri (fun i _ -> i < c.cluster.log_depth) s.log);
+        s.ts <- ts;
+        s.block <- Bytes.copy blk;
+        (`Ok, 8)
+      end)
+
+let rpc_read c (node : node) ~slot ~want_block =
+  Net.rpc c.cluster.net ~src:c.net_node ~dst:node.net_node ~tag:"fab.read"
+    ~req_bytes:8
+    ~serve:(fun () ->
+      let s = slot_of node ~slot ~block_size:c.cluster.block_size in
+      if want_block then ((s.ts, Some (Bytes.copy s.block)), 8 + Bytes.length s.block)
+      else ((s.ts, None), 8))
+
+(* --- Operations ----------------------------------------------------- *)
+
+exception Unavailable
+
+let pfor_results fs = Fiber.fork_all fs
+
+let write c ~slot ~i v =
+  let t = c.cluster in
+  if i < 0 || i >= t.k then invalid_arg "Fab.write: bad data index";
+  let code = t.code in
+  let rec attempt tries =
+    if tries > 50 then raise Unavailable;
+    let ts = fresh_ts c in
+    (* Phase 1: order at all n nodes, collecting the current stripe. *)
+    let replies =
+      pfor_results
+        (List.init t.n (fun j () -> (j, rpc_order c t.nodes.(j) ~slot ~ts)))
+    in
+    let got =
+      List.filter_map
+        (fun (j, r) ->
+          match r with Ok (`Ok, blk) -> Some (j, blk) | _ -> None)
+        replies
+    in
+    let conflict =
+      List.exists
+        (fun (_, r) -> match r with Ok (`Conflict, _) -> true | _ -> false)
+        replies
+    in
+    if conflict || List.length got < t.k then begin
+      Fiber.sleep 500e-6;
+      attempt (tries + 1)
+    end
+    else begin
+      (* Decode current data, substitute block i, re-encode the stripe. *)
+      let data = Rs_code.decode code got in
+      data.(i) <- v;
+      let stripe = Rs_code.stripe code data in
+      let commits =
+        pfor_results
+          (List.init t.n (fun j () ->
+               rpc_commit c t.nodes.(j) ~slot ~ts ~blk:stripe.(j)))
+      in
+      let oks =
+        List.length
+          (List.filter (fun r -> match r with Ok `Ok -> true | _ -> false) commits)
+      in
+      if oks < t.k then begin
+        Fiber.sleep 500e-6;
+        attempt (tries + 1)
+      end
+    end
+  in
+  attempt 0
+
+let read c ~slot ~i =
+  let t = c.cluster in
+  if i < 0 || i >= t.k then invalid_arg "Fab.read: bad data index";
+  (* Contact k nodes: the data node (which returns the block) plus k-1
+     witnesses returning timestamps. *)
+  let witnesses =
+    List.filteri (fun idx _ -> idx < t.k)
+      (i :: List.filter (fun j -> j <> i) (List.init t.n Fun.id))
+  in
+  let rec attempt tries =
+    if tries > 50 then raise Unavailable;
+    let replies =
+      pfor_results
+        (List.map
+           (fun j () -> (j, rpc_read c t.nodes.(j) ~slot ~want_block:(j = i)))
+           witnesses)
+    in
+    let tss =
+      List.filter_map
+        (fun (_, r) -> match r with Ok (ts, _) -> Some ts | Error _ -> None)
+        replies
+    in
+    let blk =
+      List.find_map
+        (fun (j, r) ->
+          match r with Ok (_, Some b) when j = i -> Some b | _ -> None)
+        replies
+    in
+    match (blk, tss) with
+    | Some b, ts0 :: rest when List.for_all (fun ts -> ts = ts0) rest -> b
+    | _ ->
+      (* Torn or unavailable: back off and retry (FAB would run its
+         recovery voting here). *)
+      Fiber.sleep 500e-6;
+      attempt (tries + 1)
+  in
+  attempt 0

@@ -1,0 +1,37 @@
+(** FAB-style baseline (Frolund et al., DSN 2004): erasure-coded
+    distributed storage where {e every} write contacts {e all} [n] nodes
+    of the stripe with a two-phase, timestamp-ordered protocol, and
+    storage nodes keep a log of old versions.
+
+    This is a simplified crash-tolerant model reproducing FAB's message
+    pattern for the Fig 1 comparison (write: 2 round trips, ~4n
+    messages, ~(2n+1)B bandwidth as a stripe read-modify-write; read:
+    ~2k messages, B bandwidth) — not a reimplementation of FAB's quorum
+    internals.  Concurrent writes to the same stripe abort-and-retry on
+    timestamp conflict, mirroring FAB's "concurrent writes to one stripe
+    return an exception". *)
+
+type t
+(** A FAB-style cluster: [n] storage nodes for a [k]-of-[n] code. *)
+
+type client
+
+val create :
+  Engine.t -> Net.t -> k:int -> n:int -> block_size:int -> log_depth:int -> t
+(** [log_depth] bounds the per-slot version log (FAB GCs it
+    periodically). *)
+
+val make_client : t -> id:int -> client
+
+val write : client -> slot:int -> i:int -> bytes -> unit
+(** Update data block [i] of stripe [slot]: reads the stripe, re-encodes,
+    two-phase-commits all [n] blocks.  Retries on timestamp conflict. *)
+
+val read : client -> slot:int -> i:int -> bytes
+(** One round trip to [k] nodes; the data node returns the block. *)
+
+val crash_node : t -> int -> unit
+
+val log_bytes : t -> int
+(** Total bytes held in version logs across nodes (the space-overhead
+    cost FAB pays that AJX does not, Sec 1 related work). *)

@@ -1,0 +1,166 @@
+(* Per-slot node state: a version log of (version, block); reads return
+   the log so clients can pick the latest version present on >= k nodes
+   (a crash-only simplification of GWGR's cross-checksum validation). *)
+
+type slot = { mutable versions : (int * bytes) list (* newest first *) }
+
+type node = {
+  g_net_node : Net.node;
+  g_slots : (int, slot) Hashtbl.t;
+}
+
+type t = {
+  net : Net.t;
+  k : int;
+  n : int;
+  block_size : int;
+  log_depth : int;
+  code : Rs_code.t;
+  nodes : node array;
+  mutable version_counter : int;
+}
+
+type client = { cluster : t; c_net_node : Net.node; id : int }
+
+let create _engine net ~k ~n ~block_size ~log_depth =
+  if k < 1 || n <= k then invalid_arg "Gwgr.create: need 1 <= k < n";
+  {
+    net;
+    k;
+    n;
+    block_size;
+    log_depth;
+    code = Rs_code.create ~k ~n ();
+    nodes =
+      Array.init n (fun i ->
+          {
+            g_net_node = Net.add_node net ~name:(Printf.sprintf "gwgr%d" i);
+            g_slots = Hashtbl.create 32;
+          });
+    version_counter = 0;
+  }
+
+let make_client t ~id =
+  {
+    cluster = t;
+    id;
+    c_net_node = Net.add_node t.net ~name:(Printf.sprintf "gwgrc%d" id);
+  }
+
+let slot_of node ~slot =
+  match Hashtbl.find_opt node.g_slots slot with
+  | Some s -> s
+  | None ->
+    let s = { versions = [] } in
+    Hashtbl.add node.g_slots slot s;
+    s
+
+let crash_node t i = Net.crash t.nodes.(i).g_net_node
+
+let log_bytes t =
+  Array.fold_left
+    (fun acc node ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          List.fold_left
+            (fun acc (_, b) -> acc + 8 + Bytes.length b)
+            acc s.versions)
+        node.g_slots acc)
+    0 t.nodes
+
+exception Unavailable
+
+let fresh_version c =
+  c.cluster.version_counter <- c.cluster.version_counter + 1;
+  (c.cluster.version_counter * 1024) + c.id
+
+let rpc_put c (node : node) ~slot ~version ~blk =
+  Net.rpc c.cluster.net ~src:c.c_net_node ~dst:node.g_net_node ~tag:"gwgr.put"
+    ~req_bytes:(16 + Bytes.length blk)
+    ~serve:(fun () ->
+      let s = slot_of node ~slot in
+      s.versions <- (version, Bytes.copy blk) :: s.versions;
+      s.versions <-
+        List.sort (fun (a, _) (b, _) -> compare b a) s.versions
+        |> List.filteri (fun i _ -> i < c.cluster.log_depth);
+      (`Ok, 8))
+
+let rpc_get c (node : node) ~slot =
+  Net.rpc c.cluster.net ~src:c.c_net_node ~dst:node.g_net_node ~tag:"gwgr.get"
+    ~req_bytes:8
+    ~serve:(fun () ->
+      let s = slot_of node ~slot in
+      (* Return the whole (bounded) version list; size dominated by the
+         newest block plus headers. *)
+      let size =
+        List.fold_left (fun acc (_, b) -> acc + 8 + Bytes.length b) 8 s.versions
+      in
+      (s.versions, size))
+
+let write_stripe c ~slot data =
+  let t = c.cluster in
+  if Array.length data <> t.k then invalid_arg "Gwgr.write_stripe: need k blocks";
+  let version = fresh_version c in
+  let stripe = Rs_code.stripe t.code data in
+  let results =
+    Fiber.fork_all
+      (List.init t.n (fun j () ->
+           rpc_put c t.nodes.(j) ~slot ~version ~blk:stripe.(j)))
+  in
+  let oks =
+    List.length
+      (List.filter (fun r -> match r with Ok `Ok -> true | _ -> false) results)
+  in
+  if oks < t.k then raise Unavailable
+
+let read_stripe c ~slot =
+  let t = c.cluster in
+  let rec attempt tries =
+    if tries > 50 then raise Unavailable;
+    let replies =
+      Fiber.fork_all
+        (List.init t.n (fun j () -> (j, rpc_get c t.nodes.(j) ~slot)))
+    in
+    let per_node =
+      List.filter_map
+        (fun (j, r) -> match r with Ok vs -> Some (j, vs) | Error _ -> None)
+        replies
+    in
+    (* Latest version present on at least k nodes. *)
+    let candidates =
+      List.concat_map (fun (_, vs) -> List.map fst vs) per_node
+      |> List.sort_uniq compare |> List.rev
+    in
+    let complete v =
+      let avail =
+        List.filter_map
+          (fun (j, vs) ->
+            Option.map (fun b -> (j, b)) (List.assoc_opt v vs))
+          per_node
+      in
+      if List.length avail >= t.k then Some avail else None
+    in
+    match List.find_map complete candidates with
+    | Some avail -> Rs_code.decode t.code avail
+    | None ->
+      if candidates = [] then
+        (* Never written: all-zero stripe. *)
+        Array.init t.k (fun _ -> Bytes.make t.block_size '\000')
+      else begin
+        Fiber.sleep 500e-6;
+        attempt (tries + 1)
+      end
+  in
+  attempt 0
+
+let write_block c ~slot ~i v =
+  let t = c.cluster in
+  if i < 0 || i >= t.k then invalid_arg "Gwgr.write_block: bad index";
+  let data = read_stripe c ~slot in
+  data.(i) <- v;
+  write_stripe c ~slot data
+
+let read_block c ~slot ~i =
+  let t = c.cluster in
+  if i < 0 || i >= t.k then invalid_arg "Gwgr.read_block: bad index";
+  (read_stripe c ~slot).(i)

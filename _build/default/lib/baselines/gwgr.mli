@@ -1,0 +1,38 @@
+(** GWGR-style baseline (Goodson, Wylie, Ganger, Reiter, DSN 2004):
+    versioned erasure-coded storage where writes replace an {e entire}
+    stripe and reads fetch from {e all} [n] nodes and validate
+    cross-consistency.
+
+    Simplified crash-tolerant model reproducing the Fig 1 pattern:
+    minimum write granularity is [k] blocks; a write sends [n] encoded
+    blocks (2n messages, nB bandwidth); a read queries all [n] nodes
+    (2n messages, nB bandwidth).  Updating a single block requires a
+    read-modify-write of the stripe, with no protection against
+    concurrent stripe updates — exactly the limitation the paper's
+    Sec 1 describes. *)
+
+type t
+type client
+
+val create :
+  Engine.t -> Net.t -> k:int -> n:int -> block_size:int -> log_depth:int -> t
+
+val make_client : t -> id:int -> client
+
+val write_stripe : client -> slot:int -> bytes array -> unit
+(** Write all [k] data blocks of a stripe (the native granularity). *)
+
+val read_stripe : client -> slot:int -> bytes array
+(** Read and decode the whole stripe from the latest complete version. *)
+
+val write_block : client -> slot:int -> i:int -> bytes -> unit
+(** Single-block update via read-modify-write of the stripe.  {b Not}
+    safe against concurrent writers to the same stripe (lost updates are
+    possible) — modelling GWGR's documented granularity limitation. *)
+
+val read_block : client -> slot:int -> i:int -> bytes
+
+val crash_node : t -> int -> unit
+
+val log_bytes : t -> int
+(** Bytes held in version logs across nodes. *)

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Block_ops Bytes Config Fun Hashtbl List Option Printf Proto Rs_code Set

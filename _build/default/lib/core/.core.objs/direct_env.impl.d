@@ -1,0 +1,1 @@
+lib/core/direct_env.ml: Array Client Config Float Hashtbl Layout List Rs_code Storage_node Volume

@@ -1,0 +1,1 @@
+lib/core/direct_env.mli: Client Config Storage_node Volume

@@ -1,0 +1,1 @@
+lib/core/layout.ml: List Rs_code

@@ -1,0 +1,1 @@
+lib/core/scrub.ml: Client Format List Volume

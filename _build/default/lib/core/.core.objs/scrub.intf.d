@@ -1,0 +1,1 @@
+lib/core/scrub.mli: Client Format Volume

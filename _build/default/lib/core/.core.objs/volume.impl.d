@@ -1,0 +1,1 @@
+lib/core/volume.ml: Array Bytes Client Config Hashtbl Layout List

@@ -1,0 +1,115 @@
+(** The AJX client protocol (the paper's primary contribution): READ,
+    WRITE with lock-free redundant-block updates, online recovery,
+    two-phase garbage collection, and the monitoring probe.
+
+    All storage interaction goes through an {!env}, so the same protocol
+    code runs over the discrete-event simulator (see [Ecs_workload]) or
+    immediately in-process for unit tests.  Within one stripe, blocks are
+    addressed by {e stripe position}: data positions [0 .. k-1],
+    redundant positions [k .. n-1]; the environment translates positions
+    to physical nodes (rotation, directory remap).
+
+    Common-case cost (paper Fig 1): a READ is one round trip carrying one
+    block; a WRITE is one [swap] round trip plus one [add] round trip per
+    redundant node (batched according to the configured strategy), with
+    no locks taken. *)
+
+type call_result = (Proto.response, [ `Node_down ]) result
+
+type env = {
+  client_id : int;
+      (** Identifies this client for tids and lock ownership. *)
+  call : slot:int -> pos:int -> Proto.request -> call_result;
+      (** Blocking RPC to the node serving stripe position [pos] of
+          stripe [slot]. *)
+  call_node : node:int -> Proto.request -> call_result;
+      (** Node-addressed RPC (monitoring probes). *)
+  broadcast :
+    (slot:int -> poss:int list -> Proto.request -> (int * call_result) list)
+    option;
+      (** One-send/many-receive (Sec 3.11); [None] if unavailable. *)
+  pfor : (unit -> unit) list -> unit;
+      (** Parallel-for: run thunks concurrently and wait for all (the
+          paper's [pfor]).  A sequential fallback is valid. *)
+  sleep : float -> unit;
+  now : unit -> float;
+  compute : float -> unit;
+      (** Charge local computation time (erasure-code arithmetic). *)
+  note : string -> unit;
+      (** Event hook for instrumentation ("recovery.start", ...). *)
+}
+
+type t
+
+exception Data_loss of string
+(** Recovery could not assemble [k] consistent blocks: the failure
+    bounds of Sec 4 were exceeded. *)
+
+exception Stuck of string
+(** A retry limit was exhausted — the system is outside its configured
+    operating envelope (e.g. a dead node that is never remapped). *)
+
+val create : Config.t -> Rs_code.t -> env -> t
+(** The code must satisfy [Rs_code.k code = cfg.k] and
+    [Rs_code.n code = cfg.n].  @raise Invalid_argument otherwise. *)
+
+val config : t -> Config.t
+val env : t -> env
+
+val read : t -> slot:int -> i:int -> bytes
+(** READ data block [i] of stripe [slot] (Fig 4).  One round trip in the
+    failure-free case; triggers recovery on an INIT node. *)
+
+val write : t -> slot:int -> i:int -> bytes -> unit
+(** WRITE (Fig 5): swap the new value into the data node, then update
+    every redundant node with a commutative add.  Safe under concurrent
+    writers to the same stripe, including to the same block. *)
+
+val recover_slot : t -> slot:int -> unit
+(** Run the recovery procedure (Fig 6) on a stripe.  Idempotent; safe
+    (and useful) to call while reads, writes or other clients' recoveries
+    are in flight.  No-op back-off if another client holds the recovery
+    locks. *)
+
+val collect_garbage : t -> unit
+(** One round of the two-phase GC (Fig 7) over this client's completed
+    writes: previously moved tids are discarded, newly completed ones
+    move from [recentlist] to [oldlist]. *)
+
+val monitor_once : t -> slots:int list -> unit
+(** One pass of the Sec 3.10 monitor: probe every storage node for stale
+    unfinished writes and INIT slots, and run recovery on any flagged
+    stripe.  [slots] is the universe of in-use stripes, used only to
+    bound probe interpretation. *)
+
+(** Health of one stripe as seen by {!verify_slot}. *)
+type slot_health = {
+  sh_live : int;        (** nodes that answered and are not INIT *)
+  sh_consistent : int;  (** size of the maximal consistent set *)
+  sh_init : int;        (** INIT (or unreachable) nodes *)
+  sh_healthy : bool;    (** all [n] nodes answered, none INIT, and every
+                            block is in the consistent set *)
+}
+
+val verify_slot : t -> slot:int -> slot_health
+(** Lock-free health check of a stripe: snapshot every node's state and
+    run [find_consistent] over it.  An unhealthy-but-recoverable stripe
+    (torn by a crashed writer, or holding INIT replacements) is repaired
+    by {!recover_slot}; this is the primitive behind {!Scrub}. *)
+
+val read_degraded : t -> slot:int -> i:int -> bytes option
+(** Extension beyond the paper: read data block [i] by decoding from any
+    [k] mutually-consistent blocks, without locks and without waiting
+    for recovery — useful while the data node is crashed or being
+    reconstructed.  The consistency test is the same recentlist check
+    recovery uses, so a torn stripe is never decoded; returns [None]
+    when no [k]-block consistent set is available (caller falls back to
+    {!read} or triggers {!recover_slot}).  Costs [n] [get_state] round
+    trips, so it is a fallback path, not a fast path. *)
+
+val pending_gc : t -> int
+(** Completed writes not yet fully garbage-collected (diagnostic). *)
+
+val writes_completed : t -> int
+val reads_completed : t -> int
+val recoveries_run : t -> int

@@ -1,0 +1,80 @@
+type strategy = Serial | Parallel | Hybrid of int | Bcast
+
+type cost_model = {
+  delta_per_byte : float;
+  add_per_byte : float;
+  encode_per_byte : float;
+  decode_per_byte : float;
+}
+
+(* Seconds per byte; roughly what the table-driven kernels of lib/gf
+   achieve on current hardware (a few GB/s), same order as the paper's
+   optimized C (Fig 8a: "all times are very small"). *)
+let default_costs =
+  {
+    delta_per_byte = 1.0e-9;
+    add_per_byte = 0.3e-9;
+    encode_per_byte = 2.0e-9;
+    decode_per_byte = 2.5e-9;
+  }
+
+type t = {
+  k : int;
+  n : int;
+  block_size : int;
+  strategy : strategy;
+  t_p : int;
+  t_d : int;
+  costs : cost_model;
+  retry_delay : float;
+  order_retry_limit : int;
+  recovery_poll_delay : float;
+  recovery_retry_limit : int;
+  monitor_interval : float;
+  stale_write_age : float;
+}
+
+let t_d_for strategy ~t_p ~p =
+  let d =
+    match strategy with
+    | Serial | Bcast -> Resilience.d_serial ~t_p ~p
+    | Parallel -> Resilience.d_parallel ~t_p ~p
+    | Hybrid group -> Resilience.d_hybrid ~t_p ~p ~group
+  in
+  max 0 d
+
+let strategy_to_string = function
+  | Serial -> "serial"
+  | Parallel -> "parallel"
+  | Hybrid g -> Printf.sprintf "hybrid(%d)" g
+  | Bcast -> "bcast"
+
+let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
+    ?(costs = default_costs) ?(retry_delay = 200e-6) ?(order_retry_limit = 8)
+    ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
+    ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ~k ~n () =
+  if k < 2 then invalid_arg "Config.make: need k >= 2 (Sec 4)";
+  if n <= k then invalid_arg "Config.make: need n > k";
+  if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
+  if t_p < 0 then invalid_arg "Config.make: negative t_p";
+  if block_size <= 0 then invalid_arg "Config.make: block_size";
+  (match strategy with
+  | Hybrid g when g <= 0 -> invalid_arg "Config.make: hybrid group size"
+  | _ -> ());
+  {
+    k;
+    n;
+    block_size;
+    strategy;
+    t_p;
+    t_d = t_d_for strategy ~t_p ~p:(n - k);
+    costs;
+    retry_delay;
+    order_retry_limit;
+    recovery_poll_delay;
+    recovery_retry_limit;
+    monitor_interval;
+    stale_write_age;
+  }
+
+let p t = t.n - t.k

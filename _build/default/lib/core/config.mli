@@ -1,0 +1,72 @@
+(** Static configuration of an erasure-coded storage service: the code,
+    the update strategy, the client-failure threshold, and the protocol's
+    tuning knobs (retry/backoff/monitor periods). *)
+
+(** How a write updates the redundant blocks (Sec 4, Sec 3.11):
+    - [Serial]: adds one after another — best resiliency, latency [p+1];
+    - [Parallel]: all adds at once — latency 2, reduced resiliency;
+    - [Hybrid g]: groups of [g] parallel adds, groups in series;
+    - [Bcast]: one broadcast carrying the unscaled delta, storage nodes
+      multiply by their own coefficient — latency 2, client sends the
+      payload once. *)
+type strategy = Serial | Parallel | Hybrid of int | Bcast
+
+(** Client-side compute costs charged to the simulated CPU, seconds per
+    byte processed.  Defaults come from this repo's own Fig 8(a)
+    micro-benchmarks (optimized table-driven kernels). *)
+type cost_model = {
+  delta_per_byte : float;   (** subtract + scale, client side *)
+  add_per_byte : float;     (** XOR, storage side *)
+  encode_per_byte : float;  (** full-stripe encode, per data byte *)
+  decode_per_byte : float;  (** full-stripe decode, per data byte *)
+}
+
+val default_costs : cost_model
+
+type t = {
+  k : int;
+  n : int;
+  block_size : int;
+  strategy : strategy;
+  t_p : int;  (** client-failure threshold (Sec 4) *)
+  t_d : int;  (** storage-failure tolerance implied by strategy and t_p *)
+  costs : cost_model;
+  (* Tuning knobs, all in (simulated) seconds unless noted. *)
+  retry_delay : float;        (** backoff between swap/lock retries *)
+  order_retry_limit : int;    (** ORDER replies before declaring the
+                                  predecessor write stuck (Fig 5 l.13) *)
+  recovery_poll_delay : float;(** pause between recovery state polls *)
+  recovery_retry_limit : int; (** recovery poll rounds before giving up *)
+  monitor_interval : float;   (** period of the Sec 3.10 monitor *)
+  stale_write_age : float;    (** recentlist age that flags a write as
+                                  stuck *)
+}
+
+val make :
+  ?strategy:strategy ->
+  ?t_p:int ->
+  ?block_size:int ->
+  ?costs:cost_model ->
+  ?retry_delay:float ->
+  ?order_retry_limit:int ->
+  ?recovery_poll_delay:float ->
+  ?recovery_retry_limit:int ->
+  ?monitor_interval:float ->
+  ?stale_write_age:float ->
+  k:int ->
+  n:int ->
+  unit ->
+  t
+(** Build a configuration.  Defaults: parallel strategy, [t_p = 1],
+    1 KB blocks.  [t_d] is derived from the strategy's theorem (clamped
+    at 0).  Requires [2 <= k < n] and [n - k <= k] (the paper's
+    correctness precondition, Sec 4).
+    @raise Invalid_argument on violations. *)
+
+val p : t -> int
+(** Redundancy [n - k]. *)
+
+val t_d_for : strategy -> t_p:int -> p:int -> int
+(** The storage-failure tolerance a strategy provides (>= 0 clamp). *)
+
+val strategy_to_string : strategy -> string

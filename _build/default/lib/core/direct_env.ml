@@ -1,0 +1,92 @@
+type node_slot = {
+  mutable store : Storage_node.t;
+  mutable alive : bool;
+  mutable generation : int;
+}
+
+type t = {
+  cfg : Config.t;
+  code : Rs_code.t;
+  layout : Layout.t;
+  nodes : node_slot array;
+  failed_clients : (int, unit) Hashtbl.t;
+  mutable clock : float;
+}
+
+(* Every call ticks the clock a little so recentlist timestamps are
+   strictly ordered and retry loops always advance time. *)
+let tick = 1e-6
+
+let create ?(rotate = true) cfg =
+  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let failed_clients = Hashtbl.create 4 in
+  let t =
+    {
+      cfg;
+      code;
+      layout;
+      nodes = [||];
+      failed_clients;
+      clock = 0.;
+    }
+  in
+  let make_store ~index ~init =
+    Storage_node.create
+      ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
+      ~client_failed:(Hashtbl.mem failed_clients)
+      ~now:(fun () -> t.clock)
+      ~block_size:cfg.Config.block_size ~init ()
+  in
+  let nodes =
+    Array.init cfg.Config.n (fun index ->
+        { store = make_store ~index ~init:`Zeroed; alive = true; generation = 0 })
+  in
+  (* [nodes] is immutable in [t]; rebuild the record with it. *)
+  let t = { t with nodes } in
+  t
+
+let now t = t.clock
+
+let crash_node t i = t.nodes.(i).alive <- false
+
+let remap_node t i =
+  let n = t.nodes.(i) in
+  n.generation <- n.generation + 1;
+  n.alive <- true;
+  n.store <-
+    Storage_node.create
+      ~alpha_for:(Layout.alpha_oracle t.layout t.code ~node:i)
+      ~client_failed:(Hashtbl.mem t.failed_clients)
+      ~now:(fun () -> t.clock)
+      ~block_size:t.cfg.Config.block_size ~init:`Garbage ()
+
+let node_store t i = t.nodes.(i).store
+
+let mark_client_failed t id = Hashtbl.replace t.failed_clients id ()
+
+let env t ~id =
+  let call_logical ~node ~slot req =
+    t.clock <- t.clock +. tick;
+    let ns = t.nodes.(node) in
+    if not ns.alive then Error `Node_down
+    else Ok (Storage_node.handle ns.store ~caller:id ~slot req)
+  in
+  {
+    Client.client_id = id;
+    call =
+      (fun ~slot ~pos req ->
+        let node = Layout.node_of t.layout ~stripe:slot ~pos in
+        call_logical ~node ~slot req);
+    call_node = (fun ~node req -> call_logical ~node ~slot:0 req);
+    broadcast = None;
+    pfor = (fun thunks -> List.iter (fun f -> f ()) thunks);
+    sleep = (fun d -> t.clock <- t.clock +. Float.max d tick);
+    now = (fun () -> t.clock);
+    compute = (fun _ -> t.clock <- t.clock +. tick);
+    note = (fun _ -> ());
+  }
+
+let make_client t ~id = Client.create t.cfg t.code (env t ~id)
+
+let make_volume t ~id = Volume.create (make_client t ~id) t.layout

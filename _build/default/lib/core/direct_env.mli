@@ -1,0 +1,34 @@
+(** In-process, simulator-free protocol environment.
+
+    Wires a {!Client.env} straight to [n] local {!Storage_node.t}
+    instances: calls execute immediately, [pfor] is sequential, [sleep]
+    advances a synthetic clock.  No concurrency, no failures-in-flight —
+    this exists to (a) prove the client protocol is genuinely
+    transport-agnostic and (b) let library users embed the protocol over
+    their own transport by imitating this module.
+
+    Crash injection is still available ([crash_node] / [remap_node]):
+    calls to a crashed node return [`Node_down] until it is remapped to
+    a fresh INIT instance, so single-threaded recovery paths are
+    exercisable without the simulator. *)
+
+type t
+
+val create : ?rotate:bool -> Config.t -> t
+
+val make_client : t -> id:int -> Client.t
+val make_volume : t -> id:int -> Volume.t
+
+val crash_node : t -> int -> unit
+val remap_node : t -> int -> unit
+
+val node_store : t -> int -> Storage_node.t
+(** Current storage state behind logical node [i] (white-box checks). *)
+
+val now : t -> float
+(** The synthetic clock (advanced by [sleep] and by a small tick per
+    call). *)
+
+val mark_client_failed : t -> int -> unit
+(** Make the failure detector report the client as crashed (lock
+    expiry paths). *)

@@ -1,0 +1,33 @@
+type t = { k : int; n : int; rotate : bool }
+
+let create ?(rotate = true) ~k ~n () =
+  if k < 1 || n <= k then invalid_arg "Layout.create: need 1 <= k < n";
+  { k; n; rotate }
+
+let k t = t.k
+let n t = t.n
+
+let stripe_of_block t l =
+  if l < 0 then invalid_arg "Layout.stripe_of_block: negative block";
+  (l / t.k, l mod t.k)
+
+let block_of_stripe t ~stripe ~pos =
+  if pos < 0 || pos >= t.k then invalid_arg "Layout.block_of_stripe: not a data position";
+  (stripe * t.k) + pos
+
+let node_of t ~stripe ~pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Layout.node_of: bad position";
+  if stripe < 0 then invalid_arg "Layout.node_of: negative stripe";
+  if t.rotate then (pos + stripe) mod t.n else pos
+
+let pos_of t ~stripe ~node =
+  if node < 0 || node >= t.n then invalid_arg "Layout.pos_of: bad node";
+  if stripe < 0 then invalid_arg "Layout.pos_of: negative stripe";
+  if t.rotate then ((node - stripe) mod t.n + t.n) mod t.n else node
+
+let redundant_positions t = List.init (t.n - t.k) (fun i -> t.k + i)
+
+let alpha_oracle t code ~node ~slot ~dblk =
+  let pos = pos_of t ~stripe:slot ~node in
+  if pos < t.k then (if pos = dblk then 1 else 0)
+  else Rs_code.alpha code ~j:pos ~i:dblk

@@ -1,0 +1,45 @@
+(** Placement of stripes onto logical storage nodes (Sec 3.11).
+
+    Applications address a flat space of logical data blocks.  Block [L]
+    lives at offset [L mod k] of stripe [L / k].  Within stripe [s],
+    stripe position [q] (data positions [0..k-1], redundant positions
+    [k..n-1]) is served by logical node [(q + s) mod n], so consecutive
+    stripes rotate: sequential I/O spreads over all nodes and the
+    redundant blocks do not hotspot the last [p] nodes.
+
+    Rotation can be disabled (for the ablation benchmark), pinning
+    position [q] to node [q] for every stripe. *)
+
+type t
+
+val create : ?rotate:bool -> k:int -> n:int -> unit -> t
+(** [rotate] defaults to [true]. *)
+
+val k : t -> int
+val n : t -> int
+
+val stripe_of_block : t -> int -> int * int
+(** [stripe_of_block t l] is [(stripe, position)] for logical data block
+    [l]; [position < k]. *)
+
+val block_of_stripe : t -> stripe:int -> pos:int -> int
+(** Inverse of {!stripe_of_block} for data positions. *)
+
+val node_of : t -> stripe:int -> pos:int -> int
+(** Logical storage node serving stripe position [pos] of [stripe]. *)
+
+val pos_of : t -> stripe:int -> node:int -> int
+(** Stripe position served by [node] in [stripe] (inverse of
+    {!node_of}). *)
+
+val redundant_positions : t -> int list
+(** [k .. n-1]. *)
+
+val alpha_oracle : t -> Rs_code.t -> node:int -> slot:int -> dblk:int -> int
+(** Coefficient lookup a storage node needs to serve broadcast adds:
+    [alpha_oracle t code ~node] is the function a cluster builder installs
+    on logical node [node]; applied to a [slot] (stripe) and data position
+    [dblk] it returns [alpha(pos, dblk)] where [pos] is that node's
+    position in the stripe.  If the node holds a {e data} position of the
+    stripe it returns 1 for its own block (identity coefficient) and 0
+    otherwise. *)

@@ -1,0 +1,56 @@
+(* Integer ceiling of [num / den] for positive [den], exact for negative
+   numerators (OCaml division truncates toward zero). *)
+let ceil_div num den =
+  assert (den > 0);
+  if num >= 0 then (num + den - 1) / den else -(-num / den)
+
+(* d_SERIAL = ceil(p/(t_p+1) - t_p/2) = ceil((2p - t_p(t_p+1)) / (2(t_p+1))) *)
+let d_serial ~t_p ~p =
+  if t_p < 0 || p < 0 then invalid_arg "Resilience.d_serial";
+  ceil_div ((2 * p) - (t_p * (t_p + 1))) (2 * (t_p + 1))
+
+(* d_PARALLEL = ceil(p/2^t_p - t_p/2) = ceil((2p - t_p 2^t_p) / 2^(t_p+1)) *)
+let d_parallel ~t_p ~p =
+  if t_p < 0 || p < 0 then invalid_arg "Resilience.d_parallel";
+  let pow = 1 lsl t_p in
+  ceil_div ((2 * p) - (t_p * pow)) (2 * pow)
+
+let d_hybrid ~t_p ~p ~group =
+  if group <= 0 then invalid_arg "Resilience.d_hybrid: group size";
+  let d = d_serial ~t_p ~p in
+  if group <= d then d else -1
+
+(* delta = 1 + (t_p+1)(t_d + t_p/2 - 1); the t_p(t_p+1)/2 term is always
+   integral. *)
+let delta_serial ~t_p ~t_d =
+  if t_p < 0 || t_d < 0 then invalid_arg "Resilience.delta_serial";
+  1 + ((t_p + 1) * (t_d - 1)) + (t_p * (t_p + 1) / 2)
+
+let delta_parallel ~t_p ~t_d =
+  if t_p < 0 || t_d < 0 then invalid_arg "Resilience.delta_parallel";
+  let pow = 1 lsl t_p in
+  1 + (pow * (t_d - 1)) + (pow / 2 * t_p)
+
+let write_latency_serial ~p = p + 1
+let write_latency_parallel = 2
+
+let write_latency_hybrid ~p ~group =
+  if group <= 0 then invalid_arg "Resilience.write_latency_hybrid";
+  1 + ceil_div p group
+
+let tolerated_pairs strategy ~p =
+  let d t_p =
+    match strategy with
+    | `Serial -> d_serial ~t_p ~p
+    | `Parallel -> d_parallel ~t_p ~p
+  in
+  let rec go t_p acc =
+    let t_d = d t_p in
+    if t_d < 0 then List.rev acc else go (t_p + 1) ((t_p, t_d) :: acc)
+  in
+  go 0 []
+
+let pairs_to_string pairs =
+  pairs
+  |> List.map (fun (t_p, t_d) -> Printf.sprintf "%dc%ds" t_p t_d)
+  |> String.concat ", "

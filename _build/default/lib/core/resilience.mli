@@ -1,0 +1,45 @@
+(** Failure-resilience formulas of Section 4 (Theorems 1-3,
+    Corollary 1): how many client crashes [t_p] and storage-node crashes
+    [t_d] each update strategy tolerates for a k-of-n code with
+    [p = n - k] redundant blocks, and the write latency each costs.
+
+    These both configure the protocol (recovery's [slack] needs [t_d])
+    and regenerate Fig 8(c). *)
+
+val d_serial : t_p:int -> p:int -> int
+(** Theorem 1: max storage-node failures with serial adds,
+    [ceil(p / (t_p+1) - t_p/2)] (may be negative: intolerable). *)
+
+val d_parallel : t_p:int -> p:int -> int
+(** Theorem 2: max storage-node failures with parallel adds,
+    [ceil(p / 2^t_p - t_p/2)]. *)
+
+val d_hybrid : t_p:int -> p:int -> group:int -> int
+(** Theorem 3: parallel-serial with groups of size [group] tolerates
+    [d_serial] provided [group <= d_serial]; returns the tolerated
+    [t_d] (negative if the group size violates the bound). *)
+
+val delta_serial : t_p:int -> t_d:int -> int
+(** Corollary 1: redundant nodes needed by the serial (and hybrid)
+    scheme: [1 + (t_p+1)(t_d + t_p/2 - 1)]. *)
+
+val delta_parallel : t_p:int -> t_d:int -> int
+(** Corollary 1 for parallel adds: [1 + 2^t_p (t_d + t_p/2 - 1)]. *)
+
+val write_latency_serial : p:int -> int
+(** Round trips of a common-case serial write: [p + 1]. *)
+
+val write_latency_parallel : int
+(** Round trips of a common-case parallel write: 2. *)
+
+val write_latency_hybrid : p:int -> group:int -> int
+(** Round trips with groups of size [group]: [1 + ceil(p / group)]. *)
+
+val tolerated_pairs :
+  [ `Serial | `Parallel ] -> p:int -> (int * int) list
+(** All maximal [(t_p, t_d)] pairs with [t_p, t_d >= 0] tolerated for the
+    given redundancy — the "1c1s, 0c2s" strings of Fig 8(a) and the
+    curves of Fig 8(c).  Ordered by increasing [t_p]. *)
+
+val pairs_to_string : (int * int) list -> string
+(** Render pairs as the paper does: ["0c2s, 1c1s, 2c0s"]. *)

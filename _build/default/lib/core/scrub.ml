@@ -1,0 +1,35 @@
+type report = {
+  scanned : int;
+  healthy : int;
+  repaired : int;
+  unrepaired : int;
+}
+
+let scrub client ~slots =
+  let scanned = ref 0 and healthy = ref 0 in
+  let repaired = ref 0 and unrepaired = ref 0 in
+  List.iter
+    (fun slot ->
+      incr scanned;
+      let before = Client.verify_slot client ~slot in
+      if before.Client.sh_healthy then incr healthy
+      else begin
+        Client.recover_slot client ~slot;
+        let after = Client.verify_slot client ~slot in
+        if after.Client.sh_healthy then incr repaired else incr unrepaired
+      end)
+    (List.sort_uniq compare slots);
+  {
+    scanned = !scanned;
+    healthy = !healthy;
+    repaired = !repaired;
+    unrepaired = !unrepaired;
+  }
+
+let scrub_volume volume =
+  scrub (Volume.client volume) ~slots:(Volume.used_slots volume)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "scanned %d stripe(s): %d healthy, %d repaired, %d unrepaired" r.scanned
+    r.healthy r.repaired r.unrepaired

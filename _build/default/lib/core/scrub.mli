@@ -1,0 +1,27 @@
+(** Background scrubber (extension; complements the Sec 3.10 monitor).
+
+    The monitor catches {e known} problem signatures — stale unfinished
+    writes and INIT replacements.  The scrubber goes further: it
+    verifies every stripe's blocks against the erasure code's
+    consistency conditions (the same recentlist test recovery uses) and
+    repairs anything degraded, restoring full [t_p]/[t_d] resiliency.
+    Run it periodically, or after a burst of failures. *)
+
+type report = {
+  scanned : int;   (** stripes examined *)
+  healthy : int;   (** already fully consistent on all [n] nodes *)
+  repaired : int;  (** degraded stripes successfully recovered *)
+  unrepaired : int;(** stripes still degraded after repair (beyond the
+                       failure envelope, or contended) *)
+}
+
+val scrub : Client.t -> slots:int list -> report
+(** Verify (and repair as needed) each listed stripe.  Safe to run
+    concurrently with reads, writes, other clients' recoveries, and
+    other scrubbers — repair is the ordinary recovery procedure, which
+    backs off when contended. *)
+
+val scrub_volume : Volume.t -> report
+(** {!scrub} over every stripe the volume has touched. *)
+
+val pp_report : Format.formatter -> report -> unit

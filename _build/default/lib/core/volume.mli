@@ -1,0 +1,51 @@
+(** Application-facing block device: a flat space of fixed-size logical
+    blocks, hiding all erasure-code intrinsics (Sec 2 "hide intrinsics").
+
+    Logical block [l] maps to data position [l mod k] of stripe [l / k],
+    placed on nodes by the rotating {!Layout}.  Reads and writes go
+    through the AJX {!Client}; batch operations pipeline requests through
+    parallel fibers, which is how sequential I/O reaches full bandwidth
+    (Sec 3.11). *)
+
+type t
+
+val create : Client.t -> Layout.t -> t
+(** The layout must agree with the client's configuration ([k], [n]).
+    @raise Invalid_argument otherwise. *)
+
+val client : t -> Client.t
+val layout : t -> Layout.t
+val block_size : t -> int
+
+val read : t -> int -> bytes
+(** [read t l] returns the contents of logical block [l] (zeros if never
+    written). *)
+
+val write : t -> int -> bytes -> unit
+(** [write t l v] durably stores [v] (must be exactly [block_size]
+    bytes). *)
+
+val read_batch : t -> int list -> bytes list
+(** Pipelined reads; results in request order. *)
+
+val write_batch : t -> (int * bytes) list -> unit
+(** Pipelined writes.  Blocks in one batch should be distinct; writes to
+    the same block within a batch race (regular-register semantics). *)
+
+val read_range : t -> from_block:int -> count:int -> bytes
+(** [read_range t ~from_block ~count] reads [count] consecutive logical
+    blocks (pipelined) and returns their concatenated contents. *)
+
+val write_range : t -> from_block:int -> bytes -> unit
+(** [write_range t ~from_block data] writes [data] — whose length must
+    be a multiple of the block size — across consecutive logical blocks
+    starting at [from_block], pipelined like {!write_batch}. *)
+
+val used_slots : t -> int list
+(** Stripes this volume has touched — the monitor's slot universe. *)
+
+val monitor_once : t -> unit
+(** Probe all storage nodes and repair any flagged stripe (Sec 3.10). *)
+
+val collect_garbage : t -> unit
+(** Run one two-phase GC round for this volume's client. *)

@@ -1,0 +1,1 @@
+lib/gf/block_ops.ml: Array Bytes Char Gf256 Int64 Random

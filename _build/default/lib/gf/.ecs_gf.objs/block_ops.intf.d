@@ -1,0 +1,1 @@
+lib/gf/block_ops.mli: Gf256 Random

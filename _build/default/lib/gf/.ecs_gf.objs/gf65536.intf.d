@@ -1,0 +1,1 @@
+lib/gf/gf65536.mli:

@@ -1,0 +1,41 @@
+(** Bulk GF(2^8) kernels over data blocks ([bytes]).
+
+    These are the three operations the protocol spends compute time on
+    (paper Fig 8a):
+    - {b Add}: XOR one block into another (storage node applying an [add]);
+    - {b Delta}: [alpha * (v - w)] over a whole block (client preparing an
+      [add] payload);
+    - scale: multiply a block by a field constant (broadcast optimization,
+      where the storage node does the scaling).
+
+    All functions require blocks of equal length and raise
+    [Invalid_argument] otherwise. *)
+
+val xor_into : dst:bytes -> src:bytes -> unit
+(** [xor_into ~dst ~src] sets [dst.(i) <- dst.(i) lxor src.(i)] for all i.
+    This is field addition (and subtraction) of blocks. *)
+
+val xor : bytes -> bytes -> bytes
+(** Pure block sum: fresh block equal to the XOR of the arguments. *)
+
+val scale : Gf256.t -> bytes -> bytes
+(** [scale alpha b] is the block whose every byte is [alpha * b.(i)]. *)
+
+val scale_into : Gf256.t -> dst:bytes -> src:bytes -> unit
+(** [scale_into alpha ~dst ~src] sets [dst.(i) <- alpha * src.(i)]. *)
+
+val scale_xor_into : Gf256.t -> dst:bytes -> src:bytes -> unit
+(** [scale_xor_into alpha ~dst ~src] sets
+    [dst.(i) <- dst.(i) lxor (alpha * src.(i))] — the fused kernel used
+    when accumulating one encoded block. *)
+
+val delta : Gf256.t -> v:bytes -> w:bytes -> bytes
+(** [delta alpha ~v ~w] is [alpha * (v - w)] per byte: the redundant-block
+    update a client sends for a write that changed a data block from [w]
+    to [v]. *)
+
+val is_zero : bytes -> bool
+(** [is_zero b] is true iff every byte of [b] is 0. *)
+
+val random : Random.State.t -> int -> bytes
+(** [random st len] is a fresh block of [len] uniformly random bytes. *)

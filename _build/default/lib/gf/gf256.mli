@@ -1,0 +1,43 @@
+(** Arithmetic in the finite field GF(2^8).
+
+    The field is realized as polynomials over GF(2) modulo the primitive
+    polynomial [x^8 + x^4 + x^3 + x^2 + 1] (0x11d), the conventional choice
+    for Reed-Solomon storage codes.  Elements are represented as [int] in
+    [0, 255].  Addition and subtraction are both XOR; multiplication and
+    inversion use exp/log tables built at module initialization, as in the
+    paper's "hand optimized code for field arithmetic" (Sec 5.1). *)
+
+type t = int
+(** A field element; callers must keep values in [0, 255]. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+(** [add a b] is the field sum (XOR). *)
+
+val sub : t -> t -> t
+(** [sub a b] equals [add a b]: every element is its own additive inverse. *)
+
+val mul : t -> t -> t
+(** [mul a b] is the field product. *)
+
+val div : t -> t -> t
+(** [div a b] is [a * b^-1].  @raise Division_by_zero if [b = 0]. *)
+
+val inv : t -> t
+(** [inv a] is the multiplicative inverse.
+    @raise Division_by_zero if [a = 0]. *)
+
+val pow : t -> int -> t
+(** [pow a e] is [a] raised to the [e]-th power, [e >= 0]. *)
+
+val exp : int -> t
+(** [exp i] is [g^i] for the generator [g = 2]; [i] is reduced mod 255. *)
+
+val log : t -> int
+(** [log a] is the discrete log base [g] of [a], in [0, 254].
+    @raise Invalid_argument if [a = 0]. *)
+
+val generator : t
+(** The multiplicative generator used by {!exp} and {!log}. *)

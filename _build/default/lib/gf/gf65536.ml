@@ -1,0 +1,55 @@
+(* GF(2^16) with primitive polynomial 0x1100B, exp/log tables. *)
+
+type t = int
+
+let field_size = 65536
+let group_order = field_size - 1
+let primitive_poly = 0x1100B
+let generator = 2
+
+let zero = 0
+let one = 1
+
+let exp_table = Array.make (2 * group_order) 0
+let log_table = Array.make field_size 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to group_order - 1 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x10000 <> 0 then x := !x lxor primitive_poly
+  done;
+  for i = group_order to (2 * group_order) - 1 do
+    exp_table.(i) <- exp_table.(i - group_order)
+  done
+
+let add a b = a lxor b
+let sub a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero
+  else exp_table.(group_order - log_table.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) - log_table.(b) + group_order)
+
+let pow a e =
+  if e = 0 then 1
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) * e mod group_order)
+
+let exp i =
+  let i = ((i mod group_order) + group_order) mod group_order in
+  exp_table.(i)
+
+let log a =
+  if a = 0 then invalid_arg "Gf65536.log: zero has no discrete log"
+  else log_table.(a)

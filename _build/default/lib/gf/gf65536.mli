@@ -1,0 +1,38 @@
+(** Arithmetic in GF(2^16).
+
+    The paper's arithmetic is over "some finite field, usually GF(2^h)"
+    (Sec 3.3); GF(2^8) caps a code at n <= 255 storage nodes.  This
+    module provides the same table-driven operations over GF(2^16)
+    (primitive polynomial [x^16 + x^12 + x^3 + x + 1], 0x1100B), the
+    substrate for codes wider than 255 blocks.  Elements are [int] in
+    [0, 65535]; tables cost ~768 KB, built at module initialization.
+
+    The protocol layer currently instantiates GF(2^8) (the paper's
+    regime, n <= 32 in every experiment); this field is provided —
+    complete and tested — for deployments that need wider stripes. *)
+
+type t = int
+
+val zero : t
+val one : t
+val generator : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on 0. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is 0. *)
+
+val pow : t -> int -> t
+(** [pow a e] for [e >= 0]. *)
+
+val exp : int -> t
+(** [exp i] is [generator^i], [i] reduced mod 65535. *)
+
+val log : t -> int
+(** @raise Invalid_argument on 0. *)

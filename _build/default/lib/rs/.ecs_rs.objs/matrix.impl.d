@@ -1,0 +1,1 @@
+lib/rs/matrix.ml: Array Format Gf256 List

@@ -1,0 +1,1 @@
+lib/rs/matrix.mli: Format Gf256

@@ -1,0 +1,1 @@
+lib/rs/rs_code.ml: Array Block_ops Bytes Fun Hashtbl List Matrix

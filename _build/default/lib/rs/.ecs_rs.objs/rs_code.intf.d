@@ -1,0 +1,1 @@
+lib/rs/rs_code.mli: Gf256

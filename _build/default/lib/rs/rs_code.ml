@@ -1,0 +1,128 @@
+(* Systematic RS codes: rows 0..k-1 of the generator are the identity,
+   rows k..n-1 hold the alpha coefficients.  Two constructions:
+   - Vandermonde: right-multiply an n x k Vandermonde matrix by the
+     inverse of its top k x k square, preserving the
+     any-k-rows-invertible (MDS) property;
+   - Cauchy: stack the identity on a (n-k) x k Cauchy matrix, MDS
+     because every square submatrix of a Cauchy matrix is nonsingular. *)
+
+type construction = [ `Vandermonde | `Cauchy ]
+
+type t = {
+  k : int;
+  n : int;
+  construction : construction;
+  gen : Matrix.t; (* n x k, systematic *)
+}
+
+let create ?(construction = `Vandermonde) ~k ~n () =
+  if k < 1 || n <= k || n > 255 then
+    invalid_arg "Rs_code.create: need 1 <= k < n <= 255";
+  let gen =
+    match construction with
+    | `Vandermonde ->
+      let v = Matrix.vandermonde ~rows:n ~cols:k in
+      let top = Matrix.submatrix_rows v (List.init k Fun.id) in
+      Matrix.mul v (Matrix.invert top)
+    | `Cauchy ->
+      let c = Matrix.cauchy ~rows:(n - k) ~cols:k in
+      Matrix.init ~rows:n ~cols:k (fun r col ->
+          if r < k then if r = col then 1 else 0
+          else Matrix.get c (r - k) col)
+  in
+  { k; n; construction; gen }
+
+let construction t = t.construction
+
+let k t = t.k
+let n t = t.n
+let p t = t.n - t.k
+
+let alpha t ~j ~i =
+  if j < t.k || j >= t.n then invalid_arg "Rs_code.alpha: j not redundant";
+  if i < 0 || i >= t.k then invalid_arg "Rs_code.alpha: bad data index";
+  Matrix.get t.gen j i
+
+let check_data t data =
+  if Array.length data <> t.k then
+    invalid_arg "Rs_code: expected k data blocks";
+  let len = Bytes.length data.(0) in
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> len then
+        invalid_arg "Rs_code: blocks of different lengths")
+    data;
+  len
+
+let encode t data =
+  let len = check_data t data in
+  Array.init (p t) (fun r ->
+      let j = t.k + r in
+      let out = Bytes.make len '\000' in
+      for i = 0 to t.k - 1 do
+        let a = Matrix.get t.gen j i in
+        if a <> 0 then Block_ops.scale_xor_into a ~dst:out ~src:data.(i)
+      done;
+      out)
+
+let stripe t data =
+  let redundant = encode t data in
+  Array.append (Array.map Bytes.copy data) redundant
+
+let distinct_prefix avail kneed =
+  (* First [kneed] distinct-index pairs from [avail]. *)
+  let seen = Hashtbl.create 16 in
+  let rec go acc count = function
+    | [] -> List.rev acc
+    | _ when count = kneed -> List.rev acc
+    | (idx, blk) :: rest ->
+      if Hashtbl.mem seen idx then go acc count rest
+      else begin
+        Hashtbl.add seen idx ();
+        go ((idx, blk) :: acc) (count + 1) rest
+      end
+  in
+  let chosen = go [] 0 avail in
+  if List.length chosen < kneed then
+    invalid_arg "Rs_code.decode: fewer than k distinct blocks";
+  chosen
+
+let decode t avail =
+  let chosen = distinct_prefix avail t.k in
+  List.iter
+    (fun (idx, _) ->
+      if idx < 0 || idx >= t.n then invalid_arg "Rs_code.decode: bad index")
+    chosen;
+  let rows = List.map fst chosen in
+  let blocks = List.map snd chosen in
+  let sub = Matrix.submatrix_rows t.gen rows in
+  let dec = Matrix.invert sub in
+  let len = Bytes.length (List.hd blocks) in
+  let block_arr = Array.of_list blocks in
+  Array.init t.k (fun i ->
+      let out = Bytes.make len '\000' in
+      Array.iteri
+        (fun c src ->
+          let a = Matrix.get dec i c in
+          if a <> 0 then Block_ops.scale_xor_into a ~dst:out ~src)
+        block_arr;
+      out)
+
+let reconstruct_stripe t avail =
+  let data = decode t avail in
+  stripe t data
+
+let update_delta t ~j ~i ~v ~w = Block_ops.delta (alpha t ~j ~i) ~v ~w
+
+let apply_update ~redundant ~delta = Block_ops.xor_into ~dst:redundant ~src:delta
+
+let verify_stripe t blocks =
+  if Array.length blocks <> t.n then
+    invalid_arg "Rs_code.verify_stripe: expected n blocks";
+  let data = Array.sub blocks 0 t.k in
+  let expect = encode t data in
+  let ok = ref true in
+  for r = 0 to p t - 1 do
+    if not (Bytes.equal expect.(r) blocks.(t.k + r)) then ok := false
+  done;
+  !ok

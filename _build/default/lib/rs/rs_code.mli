@@ -1,0 +1,70 @@
+(** Systematic k-of-n Reed-Solomon (MDS) erasure codes over GF(2^8).
+
+    A code instance fixes [k] data blocks and [p = n - k] redundant blocks
+    per stripe.  Block [j] (for [k <= j < n]) holds the linear combination
+    [sum_i alpha(j,i) * b_i] of the data blocks, and any [k] of the [n]
+    stripe blocks reconstruct the data (paper Sec 3.3).
+
+    The generator is a Vandermonde matrix put in systematic form, so the
+    code is MDS for any [n <= 255].
+
+    Indices are 0-based throughout: data blocks are [0 .. k-1], redundant
+    blocks are [k .. n-1]. *)
+
+type t
+
+(** How the generator matrix is built.  Both yield systematic MDS codes:
+    - [`Vandermonde]: an n x k Vandermonde matrix put in systematic form
+      (the classical Reed-Solomon construction);
+    - [`Cauchy]: identity stacked on a (n-k) x k Cauchy matrix — every
+      square submatrix of a Cauchy matrix is nonsingular, giving MDS
+      directly (the construction most storage systems use). *)
+type construction = [ `Vandermonde | `Cauchy ]
+
+val create : ?construction:construction -> k:int -> n:int -> unit -> t
+(** [create ~k ~n] builds a code (default [`Vandermonde]).  Requires
+    [1 <= k < n <= 255].
+    @raise Invalid_argument otherwise. *)
+
+val construction : t -> construction
+
+val k : t -> int
+val n : t -> int
+
+val p : t -> int
+(** Number of redundant blocks, [n - k]. *)
+
+val alpha : t -> j:int -> i:int -> Gf256.t
+(** [alpha t ~j ~i] is the coefficient of data block [i] in redundant
+    block [j] ([k <= j < n], [0 <= i < k]) — the constant a client
+    multiplies a write delta by before adding it at node [j]. *)
+
+val encode : t -> bytes array -> bytes array
+(** [encode t data] takes the [k] data blocks and returns the [n - k]
+    redundant blocks.  All blocks must have equal length. *)
+
+val stripe : t -> bytes array -> bytes array
+(** [stripe t data] is the full stripe: the [k] data blocks (copied)
+    followed by the [n - k] redundant blocks. *)
+
+val decode : t -> (int * bytes) list -> bytes array
+(** [decode t avail] reconstructs the [k] data blocks from any [>= k]
+    available stripe blocks given as [(stripe_index, contents)] pairs.
+    @raise Invalid_argument if fewer than [k] distinct indices are given. *)
+
+val reconstruct_stripe : t -> (int * bytes) list -> bytes array
+(** [reconstruct_stripe t avail] rebuilds the complete stripe (all [n]
+    blocks) from any [>= k] available blocks. *)
+
+val update_delta : t -> j:int -> i:int -> v:bytes -> w:bytes -> bytes
+(** [update_delta t ~j ~i ~v ~w] is [alpha(j,i) * (v - w)]: the payload a
+    client sends to redundant node [j] when changing data block [i] from
+    [w] to [v] (paper Fig 3/Fig 5, line 10). *)
+
+val apply_update : redundant:bytes -> delta:bytes -> unit
+(** [apply_update ~redundant ~delta] adds (XORs) the delta into the
+    redundant block in place — the storage node's [add]. *)
+
+val verify_stripe : t -> bytes array -> bool
+(** [verify_stripe t blocks] checks that an [n]-block stripe satisfies the
+    code (each redundant block equals its linear combination). *)

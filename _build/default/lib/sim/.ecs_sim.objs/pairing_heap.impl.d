@@ -1,0 +1,1 @@
+lib/sim/pairing_heap.ml: Array

@@ -1,0 +1,52 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Pairing_heap.t;
+  rng : Random.State.t;
+  mutable processed : int;
+}
+
+let create ?(seed = 0xEC5) () =
+  {
+    clock = 0.;
+    queue = Pairing_heap.create ();
+    rng = Random.State.make [| seed |];
+    processed = 0;
+  }
+
+let now t = t.clock
+let random t = t.rng
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  Pairing_heap.add t.queue ~time:at f
+
+let schedule_in t dt f =
+  if dt < 0. then invalid_arg "Engine.schedule_in: negative delay";
+  Pairing_heap.add t.queue ~time:(t.clock +. dt) f
+
+let step t =
+  match Pairing_heap.pop_min t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+
+let run ?until t =
+  let horizon = match until with Some u -> u | None -> infinity in
+  let rec loop () =
+    match Pairing_heap.peek_time t.queue with
+    | None -> ()
+    | Some time when time > horizon -> t.clock <- horizon
+    | Some _ ->
+      ignore (step t);
+      loop ()
+  in
+  loop ();
+  match until with
+  | Some u when t.clock < u && Pairing_heap.is_empty t.queue -> t.clock <- u
+  | _ -> ()
+
+let pending t = Pairing_heap.size t.queue
+let processed t = t.processed

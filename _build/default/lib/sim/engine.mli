@@ -1,0 +1,41 @@
+(** Discrete-event simulation core: a virtual clock and an ordered queue
+    of pending callbacks.
+
+    Time is a [float] in seconds.  Events scheduled for the same instant
+    fire in scheduling order.  The engine knows nothing about processes or
+    networks; {!Fiber} builds cooperative processes on top of it and
+    {!Net} builds a message-passing network. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine at time 0.  [seed] initializes {!random}
+    (default 0xEC5). *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val random : t -> Random.State.t
+(** The engine's random state; all simulation randomness should draw from
+    it so a run is reproducible from its seed. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] at absolute time [at].  Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_in : t -> float -> (unit -> unit) -> unit
+(** [schedule_in t dt f] runs [f] at [now t +. dt] ([dt >= 0]). *)
+
+val run : ?until:float -> t -> unit
+(** Dispatch events in time order until the queue is empty, or until the
+    clock would pass [until] (remaining events stay queued and the clock
+    is set to [until]). *)
+
+val step : t -> bool
+(** Dispatch a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val processed : t -> int
+(** Total events dispatched so far (a cheap progress metric). *)

@@ -1,0 +1,110 @@
+(* Fibers = one-shot continuations captured via effects, resumed by engine
+   callbacks.  The handler is installed once per fiber in [spawn]; Sleep
+   and Suspend reach it from arbitrarily deep protocol code. *)
+
+open Effect
+open Effect.Deep
+
+exception Not_in_fiber
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t (* absolute wake time *)
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Get_engine : Engine.t Effect.t
+
+let spawn eng ?at f =
+  let body () =
+    match_with f ()
+      {
+        retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sleep wake_at ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  Engine.schedule eng ~at:wake_at (fun () -> continue k ()))
+            | Suspend register ->
+              Some (fun (k : (a, _) continuation) -> register (continue k))
+            | Get_engine -> Some (fun (k : (a, _) continuation) -> continue k eng)
+            | _ -> None);
+      }
+  in
+  match at with
+  | None -> Engine.schedule_in eng 0. body
+  | Some at -> Engine.schedule eng ~at body
+
+let engine () = try perform Get_engine with Effect.Unhandled _ -> raise Not_in_fiber
+
+let now () = Engine.now (engine ())
+
+let sleep_until at =
+  let t = now () in
+  if at > t then perform (Sleep at)
+
+let sleep dt =
+  if dt < 0. then invalid_arg "Fiber.sleep: negative duration";
+  perform (Sleep (now () +. dt))
+
+let yield () = perform (Sleep (now ()))
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let fill iv v =
+    match iv.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      iv.state <- Full v;
+      (* Wake in FIFO order at the current instant. *)
+      List.iter (fun resume -> resume v) (List.rev waiters)
+
+  let read iv =
+    match iv.state with
+    | Full v -> v
+    | Empty _ ->
+      let eng = perform Get_engine in
+      perform
+        (Suspend
+           (fun resume ->
+             (* Defer the wakeup through the event queue so a fill never
+                runs reader continuations on the filler's stack. *)
+             let resume_later v =
+               Engine.schedule_in eng 0. (fun () -> resume v)
+             in
+             match iv.state with
+             | Full v -> resume_later v
+             | Empty waiters -> iv.state <- Empty (resume_later :: waiters)))
+
+  let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+  let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+end
+
+let join ivars = List.iter (fun iv -> Ivar.read iv) ivars
+
+let fork f =
+  let iv = Ivar.create () in
+  spawn (engine ()) (fun () -> Ivar.fill iv (f ()));
+  iv
+
+let fork_all fs = List.map Ivar.read (List.map fork fs)
+
+let timeout d f =
+  let result = Ivar.create () in
+  let woken = Ivar.create () in
+  let eng = engine () in
+  spawn eng (fun () ->
+      let v = f () in
+      if not (Ivar.is_filled result) then Ivar.fill result (Some v));
+  spawn eng (fun () ->
+      sleep d;
+      if not (Ivar.is_filled result) then Ivar.fill result None;
+      Ivar.fill woken ());
+  let r = Ivar.read result in
+  (* Let the timer fiber finish cleanly before returning on success. *)
+  ignore woken;
+  r

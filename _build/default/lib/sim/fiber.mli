@@ -1,0 +1,69 @@
+(** Cooperative processes over an {!Engine}, implemented with OCaml 5
+    effect handlers.
+
+    A fiber is direct-style code that can {!sleep} on the virtual clock or
+    block on an {!Ivar}; this is how protocol code "runs" inside the
+    simulator while reading exactly like blocking RPC code.  Fibers only
+    yield at these points, so interleaving is controlled by simulated time
+    — which is what makes concurrency experiments reproducible.
+
+    All fibers in one simulation must be spawned from the same engine.
+    Blocking operations must only be called from inside a fiber;
+    elsewhere they raise [Not_in_fiber]. *)
+
+exception Not_in_fiber
+
+val spawn : Engine.t -> ?at:float -> (unit -> unit) -> unit
+(** [spawn eng f] starts fiber [f] at time [at] (default: now).  An
+    uncaught exception in a fiber is re-raised out of [Engine.run]. *)
+
+val sleep : float -> unit
+(** Block the current fiber for the given simulated duration. *)
+
+val sleep_until : float -> unit
+(** Block until the given absolute simulated time (no-op if passed). *)
+
+val now : unit -> float
+(** Virtual time, callable from within a fiber. *)
+
+val engine : unit -> Engine.t
+(** The engine the current fiber runs on. *)
+
+val yield : unit -> unit
+(** Reschedule the current fiber at the same instant, letting other
+    ready fibers run. *)
+
+(** Write-once synchronization cells. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Resolve the ivar, waking all readers at the current instant.
+      @raise Invalid_argument if already filled. *)
+
+  val read : 'a t -> 'a
+  (** Block the current fiber until the ivar is filled; returns
+      immediately if it already is. *)
+
+  val is_filled : 'a t -> bool
+
+  val peek : 'a t -> 'a option
+end
+
+val join : unit Ivar.t list -> unit
+(** Wait for all the given ivars. *)
+
+val fork : (unit -> 'a) -> 'a Ivar.t
+(** Run a computation in a child fiber of the same engine; the result ivar
+    fills on completion. *)
+
+val fork_all : (unit -> 'a) list -> 'a list
+(** Run the computations as parallel fibers (the paper's [pfor]) and block
+    until all finish, returning results in order. *)
+
+val timeout : float -> (unit -> 'a) -> 'a option
+(** [timeout d f] runs [f] in a child fiber; returns [None] if it has not
+    finished after [d] simulated seconds (the child keeps running — the
+    simulator cannot cancel it — but its result is discarded). *)

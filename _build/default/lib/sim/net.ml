@@ -1,0 +1,128 @@
+type config = {
+  latency : float;
+  node_bandwidth : float;
+  fabric_bandwidth : float;
+  header_bytes : int;
+  rpc_cpu_overhead : float;
+}
+
+(* Paper Sec 5.1: 50 us ping, 500 Mbit/s Netperf per node.  The fabric is
+   a switched gigabit LAN, so we give it several times the node rate.
+   The 10 us CPU overhead per message approximates the user-mode RPC and
+   TCP costs the paper reports dominate latency (Sec 6.3). *)
+let default_config =
+  {
+    latency = 25e-6 (* one-way; 50 us round trip *);
+    node_bandwidth = 62.5e6;
+    fabric_bandwidth = 500e6;
+    header_bytes = 64;
+    rpc_cpu_overhead = 10e-6;
+  }
+
+type node = {
+  name : string;
+  nic : Resource.t;
+  cpu : Resource.t;
+  mutable alive : bool;
+  mutable out_bytes : float;
+  mutable in_bytes : float;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  fabric : Resource.t;
+  stats : Stats.t;
+}
+
+type error = Node_down
+
+let create engine ?(config = default_config) stats =
+  {
+    engine;
+    cfg = config;
+    fabric = Resource.create engine ~rate:config.fabric_bandwidth;
+    stats;
+  }
+
+let engine t = t.engine
+let stats t = t.stats
+let config t = t.cfg
+
+let add_node t ~name =
+  {
+    name;
+    nic = Resource.create t.engine ~rate:t.cfg.node_bandwidth;
+    cpu = Resource.create t.engine ~rate:1.0;
+    alive = true;
+    out_bytes = 0.;
+    in_bytes = 0.;
+  }
+
+let node_name n = n.name
+let is_alive n = n.alive
+let crash n = n.alive <- false
+let bytes_out n = n.out_bytes
+let bytes_in n = n.in_bytes
+
+let cpu_use n seconds = ignore (Resource.use n.cpu seconds)
+
+let count_msg t ~tag ~bytes =
+  Stats.incr t.stats "msgs";
+  Stats.incr t.stats ("msgs." ^ tag);
+  Stats.add t.stats "bytes" (float_of_int bytes);
+  Stats.add t.stats ("bytes." ^ tag) (float_of_int bytes)
+
+(* One message hop: sender CPU + NIC, fabric latency + bandwidth.  The
+   receive-side costs are paid by the caller because broadcast shares the
+   send side across destinations. *)
+let send_side t src ~bytes =
+  ignore (Resource.use src.cpu t.cfg.rpc_cpu_overhead);
+  ignore (Resource.use src.nic (float_of_int bytes));
+  src.out_bytes <- src.out_bytes +. float_of_int bytes;
+  ignore (Resource.use t.fabric (float_of_int bytes));
+  Fiber.sleep t.cfg.latency
+
+let receive_side t dst ~bytes =
+  ignore (Resource.use dst.nic (float_of_int bytes));
+  dst.in_bytes <- dst.in_bytes +. float_of_int bytes;
+  ignore (Resource.use dst.cpu t.cfg.rpc_cpu_overhead)
+
+let rpc t ~src ~dst ~tag ~req_bytes ~serve =
+  let req_total = req_bytes + t.cfg.header_bytes in
+  count_msg t ~tag ~bytes:req_total;
+  send_side t src ~bytes:req_total;
+  if not dst.alive then Error Node_down
+  else begin
+    receive_side t dst ~bytes:req_total;
+    let resp, resp_bytes = serve () in
+    let resp_total = resp_bytes + t.cfg.header_bytes in
+    count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
+    send_side t dst ~bytes:resp_total;
+    if not src.alive then Error Node_down
+    else begin
+      receive_side t src ~bytes:resp_total;
+      Ok resp
+    end
+  end
+
+let broadcast t ~src ~dsts ~tag ~req_bytes ~serve =
+  let req_total = req_bytes + t.cfg.header_bytes in
+  count_msg t ~tag ~bytes:req_total;
+  send_side t src ~bytes:req_total;
+  let deliver dst () =
+    if not dst.alive then (dst, Error Node_down)
+    else begin
+      receive_side t dst ~bytes:req_total;
+      let resp, resp_bytes = serve dst in
+      let resp_total = resp_bytes + t.cfg.header_bytes in
+      count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
+      send_side t dst ~bytes:resp_total;
+      if not src.alive then (dst, Error Node_down)
+      else begin
+        receive_side t src ~bytes:resp_total;
+        (dst, Ok resp)
+      end
+    end
+  in
+  Fiber.fork_all (List.map deliver dsts)

@@ -1,0 +1,80 @@
+(** Simulated network following the paper's simulator model (Sec 5.2):
+    each node has a CPU and a network adapter with finite rates, the
+    shared fabric has finite bandwidth and a fixed latency, and an RPC
+    allocates each resource in turn — sender CPU, sender NIC, fabric,
+    receiver NIC, receiver CPU — then the reply retraces the path.
+
+    Nodes can crash (fail-stop): calls to a crashed node fail after one
+    network latency, modelling reliable failure detection.  Per-message
+    and per-byte accounting flows into a {!Stats.t} plus per-node in/out
+    byte counters, which is what the Fig 1 message/bandwidth rows are
+    measured from. *)
+
+type t
+type node
+
+type error = Node_down
+
+(** Static configuration; defaults reproduce the paper's testbed
+    constants (Sec 5.1): 50 us inter-node latency, 500 Mbit/s ~ 62.5 MB/s
+    per-node bandwidth. *)
+type config = {
+  latency : float;          (** one-way propagation delay, seconds *)
+  node_bandwidth : float;   (** NIC rate, bytes/second *)
+  fabric_bandwidth : float; (** shared network rate, bytes/second *)
+  header_bytes : int;       (** fixed per-message overhead *)
+  rpc_cpu_overhead : float; (** sender/receiver CPU seconds per message *)
+}
+
+val default_config : config
+
+val create : Engine.t -> ?config:config -> Stats.t -> t
+
+val engine : t -> Engine.t
+val stats : t -> Stats.t
+val config : t -> config
+
+val add_node : t -> name:string -> node
+(** Register a node with its own NIC and CPU. *)
+
+val node_name : node -> string
+val is_alive : node -> bool
+
+val crash : node -> unit
+(** Fail-stop the node: all subsequent (and undelivered in-flight) calls
+    to it return [Error Node_down]. *)
+
+val bytes_out : node -> float
+val bytes_in : node -> float
+(** Payload bytes this node has sent / received so far. *)
+
+val cpu_use : node -> float -> unit
+(** Occupy the node's CPU for the given seconds of work (blocks the
+    calling fiber).  Used for local computation such as erasure-code
+    arithmetic. *)
+
+val rpc :
+  t ->
+  src:node ->
+  dst:node ->
+  tag:string ->
+  req_bytes:int ->
+  serve:(unit -> 'resp * int) ->
+  ('resp, error) result
+(** [rpc t ~src ~dst ~tag ~req_bytes ~serve] performs a blocking remote
+    call.  [serve] runs at the destination when the request arrives and
+    returns the response plus its payload size in bytes.  [tag] names the
+    operation for stats ("swap", "add", ...).  Fails with [Node_down] if
+    the destination is crashed at delivery or reply time. *)
+
+val broadcast :
+  t ->
+  src:node ->
+  dsts:node list ->
+  tag:string ->
+  req_bytes:int ->
+  serve:(node -> 'resp * int) ->
+  (node * ('resp, error) result) list
+(** One-send/many-receive primitive (Sec 3.11 broadcast optimization): the
+    sender pays CPU, NIC and fabric once; each destination pays its own
+    receive path and replies unicast.  Results are in [dsts] order. *)

@@ -1,0 +1,77 @@
+(* Array-backed binary min-heap on (time, seq).  The seq counter makes the
+   order total and FIFO among equal times, so simulations are reproducible
+   run to run. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = Array.make 64 None; len = 0; next_seq = 0 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let bigger = Array.make (2 * Array.length h.arr) None in
+  Array.blit h.arr 0 bigger 0 h.len;
+  h.arr <- bigger
+
+let get h i =
+  match h.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let add h ~time value =
+  if h.len = Array.length h.arr then grow h;
+  let e = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  (* Sift up. *)
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pe = get h parent in
+    if entry_lt e pe then begin
+      h.arr.(!i) <- Some pe;
+      i := parent
+    end
+    else continue := false
+  done;
+  h.arr.(!i) <- Some e
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let min = get h 0 in
+    h.len <- h.len - 1;
+    let last = get h h.len in
+    h.arr.(h.len) <- None;
+    if h.len > 0 then begin
+      (* Sift the last element down from the root. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let cur j = if j = !i then last else get h j in
+        if l < h.len && entry_lt (get h l) (cur !smallest) then smallest := l;
+        if r < h.len && entry_lt (get h r) (cur !smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          h.arr.(!i) <- h.arr.(!smallest);
+          i := !smallest
+        end
+      done;
+      h.arr.(!i) <- Some last
+    end;
+    Some (min.time, min.value)
+  end
+
+let peek_time h = if h.len = 0 then None else Some (get h 0).time
+
+let size h = h.len
+let is_empty h = h.len = 0

@@ -1,0 +1,20 @@
+(** A mutable min-heap keyed by [(time, sequence)] pairs, used as the
+    simulator's pending-event queue.  Ties on time break by insertion
+    order, which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Insert an element with the given key; O(log n). *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the element with the smallest key, or [None] if
+    empty. *)
+
+val peek_time : 'a t -> float option
+(** Key of the minimum element without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,42 @@
+(* FIFO rate server.  Because arrivals are processed in event order, a
+   single "free_at" watermark implements an exact FIFO queue without a
+   queue data structure. *)
+
+type t = {
+  engine : Engine.t;
+  rate : float;
+  created_at : float;
+  mutable free_at : float;
+  mutable served : float;
+}
+
+let create engine ~rate =
+  if rate <= 0. then invalid_arg "Resource.create: rate must be positive";
+  {
+    engine;
+    rate;
+    created_at = Engine.now engine;
+    free_at = Engine.now engine;
+    served = 0.;
+  }
+
+let use t amount =
+  if amount < 0. then invalid_arg "Resource.use: negative amount";
+  let arrival = Engine.now t.engine in
+  let start = Float.max arrival t.free_at in
+  let finish = start +. (amount /. t.rate) in
+  t.free_at <- finish;
+  t.served <- t.served +. amount;
+  Fiber.sleep_until finish;
+  start -. arrival
+
+let busy_until t = t.free_at
+
+let utilization t =
+  let elapsed = Engine.now t.engine -. t.created_at in
+  if elapsed <= 0. then 0.
+  else
+    let busy = t.served /. t.rate in
+    Float.min 1. (busy /. elapsed)
+
+let total_served t = t.served

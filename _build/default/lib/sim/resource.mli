@@ -1,0 +1,27 @@
+(** Rate-limited FIFO resources: network adapters, CPUs and the shared
+    fabric of the paper's simulator (Sec 5.2).
+
+    A resource serves one request at a time at [rate] bytes (or work
+    units) per second; requests queue in arrival order.  [use] blocks the
+    calling fiber for queueing plus service time and returns the amount of
+    time spent waiting in queue (useful for latency breakdowns). *)
+
+type t
+
+val create : Engine.t -> rate:float -> t
+(** [rate] must be positive (units per second). *)
+
+val use : t -> float -> float
+(** [use r amount] occupies the resource for [amount /. rate] seconds
+    after any queued work drains; blocks the calling fiber until service
+    completes and returns the time spent queued (0 if idle). *)
+
+val busy_until : t -> float
+(** Time at which currently accepted work completes. *)
+
+val utilization : t -> float
+(** Fraction of elapsed time the resource has been busy since creation
+    (1.0 = saturated). *)
+
+val total_served : t -> float
+(** Total units served so far. *)

@@ -1,0 +1,1 @@
+lib/storage/directory.ml: Array Net Storage_node

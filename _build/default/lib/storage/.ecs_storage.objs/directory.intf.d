@@ -1,0 +1,1 @@
+lib/storage/directory.mli: Net Storage_node

@@ -1,0 +1,1 @@
+lib/storage/proto.ml: Bytes List Printf

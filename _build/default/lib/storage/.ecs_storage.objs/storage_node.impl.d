@@ -1,0 +1,1 @@
+lib/storage/storage_node.ml: Block_ops Bytes Char Float Hashtbl List Proto Random

@@ -1,0 +1,46 @@
+type entry = {
+  net_node : Net.node;
+  store : Storage_node.t;
+  generation : int;
+}
+
+type t = {
+  entries : entry array;
+  factory : index:int -> generation:int -> entry;
+}
+
+let create ~n factory =
+  if n <= 0 then invalid_arg "Directory.create: need n > 0";
+  {
+    entries = Array.init n (fun index -> factory ~index ~generation:0);
+    factory;
+  }
+
+let n t = Array.length t.entries
+
+let check t i =
+  if i < 0 || i >= Array.length t.entries then
+    invalid_arg "Directory: logical node index out of range"
+
+let lookup t i =
+  check t i;
+  t.entries.(i)
+
+let crash t i =
+  check t i;
+  Net.crash t.entries.(i).net_node
+
+let remap t i =
+  check t i;
+  let next = t.entries.(i).generation + 1 in
+  let entry = t.factory ~index:i ~generation:next in
+  t.entries.(i) <- entry;
+  entry
+
+let crash_and_remap t i =
+  crash t i;
+  remap t i
+
+let generation t i =
+  check t i;
+  t.entries.(i).generation

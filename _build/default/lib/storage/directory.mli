@@ -1,0 +1,40 @@
+(** Directory service mapping logical storage-node indices to current
+    physical nodes (paper Sec 3.5).
+
+    Clients address logical nodes [0 .. n-1]; on a permanent failure the
+    operator (or test harness) installs a fresh replacement whose slots
+    all start in [Init] opmode with garbage contents, and subsequent
+    lookups transparently return it.  The crashed physical node keeps
+    refusing traffic, so in-flight calls fail cleanly. *)
+
+type entry = {
+  net_node : Net.node;
+  store : Storage_node.t;
+  generation : int; (** 0 for the original node, +1 per remap *)
+}
+
+type t
+
+val create : n:int -> (index:int -> generation:int -> entry) -> t
+(** [create ~n factory] builds a directory of [n] logical nodes, using
+    [factory] to instantiate each (generation 0 initially). *)
+
+val n : t -> int
+
+val lookup : t -> int -> entry
+(** Current physical node for a logical index.
+    @raise Invalid_argument on out-of-range index. *)
+
+val crash_and_remap : t -> int -> entry
+(** Fail-stop the current physical node and install a fresh replacement
+    (next generation); returns the replacement. *)
+
+val crash : t -> int -> unit
+(** Fail-stop the current physical node {e without} remapping — the
+    "failed and no replacement yet" window.  Use {!remap} to install the
+    replacement later. *)
+
+val remap : t -> int -> entry
+(** Install a replacement for a (crashed) logical node. *)
+
+val generation : t -> int -> int

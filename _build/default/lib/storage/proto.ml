@@ -1,0 +1,131 @@
+type tid = { seq : int; blk : int; client : int }
+
+let tid_compare a b =
+  let c = compare a.client b.client in
+  if c <> 0 then c
+  else
+    let c = compare a.seq b.seq in
+    if c <> 0 then c else compare a.blk b.blk
+
+let tid_to_string t = Printf.sprintf "<%d,%d,c%d>" t.seq t.blk t.client
+
+type lmode = Unl | L0 | L1 | Exp
+type opmode = Norm | Recons | Init
+
+let lmode_to_string = function
+  | Unl -> "UNL"
+  | L0 -> "L0"
+  | L1 -> "L1"
+  | Exp -> "EXP"
+
+let opmode_to_string = function
+  | Norm -> "NORM"
+  | Recons -> "RECONS"
+  | Init -> "INIT"
+
+type add_status = Add_ok | Add_order | Add_fail
+type check_status = Ck_init | Ck_gc | Ck_nochange
+
+type request =
+  | Read
+  | Swap of { v : bytes; ntid : tid }
+  | Add of { dv : bytes; ntid : tid; otid : tid option; epoch : int }
+  | Add_bcast of { dv : bytes; dblk : int; ntid : tid; otid : tid option; epoch : int }
+  | Checktid of { ntid : tid; otid : tid }
+  | Trylock of lmode
+  | Setlock of lmode
+  | Get_state
+  | Getrecent of lmode
+  | Reconstruct of { cset : int list; blk : bytes }
+  | Finalize of { epoch : int }
+  | Gc_old of tid list
+  | Gc_recent of tid list
+  | Probe of { older_than : float }
+
+type state_view = {
+  st_opmode : opmode;
+  st_recons_set : int list option;
+  st_oldlist : tid list;
+  st_recentlist : tid list;
+  st_block : bytes option;
+}
+
+type response =
+  | R_read of { block : bytes option; lmode : lmode }
+  | R_swap of { block : bytes option; epoch : int; otid : tid option; lmode : lmode }
+  | R_add of { status : add_status; opmode : opmode; lmode : lmode }
+  | R_check of check_status
+  | R_trylock of { ok : bool; oldlmode : lmode }
+  | R_ack
+  | R_state of state_view
+  | R_recent of tid list
+  | R_reconstruct of { epoch : int }
+  | R_gc of { ok : bool }
+  | R_probe of { stale : int list; init : int list }
+
+(* Wire-size accounting.  tid = three 32-bit ints; modes and statuses a
+   byte each; epochs 4 bytes; blocks at their actual length. *)
+let tid_bytes = 12
+let int_bytes = 4
+let mode_bytes = 1
+
+let opt_bytes size = function None -> 1 | Some _ -> 1 + size
+let block_bytes b = Bytes.length b
+let list_bytes size l = 4 + (size * List.length l)
+
+let request_bytes = function
+  | Read -> 1
+  | Swap { v; _ } -> 1 + block_bytes v + tid_bytes
+  | Add { dv; otid; _ } ->
+    1 + block_bytes dv + tid_bytes + opt_bytes tid_bytes otid + int_bytes
+  | Add_bcast { dv; otid; _ } ->
+    1 + block_bytes dv + int_bytes + tid_bytes + opt_bytes tid_bytes otid
+    + int_bytes
+  | Checktid _ -> 1 + (2 * tid_bytes)
+  | Trylock _ | Setlock _ -> 1 + mode_bytes
+  | Get_state -> 1
+  | Getrecent _ -> 1 + mode_bytes
+  | Reconstruct { cset; blk } -> 1 + list_bytes int_bytes cset + block_bytes blk
+  | Finalize _ -> 1 + int_bytes
+  | Gc_old tids | Gc_recent tids -> 1 + list_bytes tid_bytes tids
+  | Probe _ -> 1 + int_bytes
+
+let response_bytes = function
+  | R_read { block; _ } -> 1 + opt_bytes 0 block
+                           + (match block with Some b -> block_bytes b | None -> 0)
+                           + mode_bytes
+  | R_swap { block; otid; _ } ->
+    1
+    + (match block with Some b -> 1 + block_bytes b | None -> 1)
+    + int_bytes + opt_bytes tid_bytes otid + mode_bytes
+  | R_add _ -> 1 + (3 * mode_bytes)
+  | R_check _ -> 1 + mode_bytes
+  | R_trylock _ -> 1 + (2 * mode_bytes)
+  | R_ack -> 1
+  | R_state { st_recons_set; st_oldlist; st_recentlist; st_block; _ } ->
+    1 + mode_bytes
+    + (match st_recons_set with Some s -> 1 + list_bytes int_bytes s | None -> 1)
+    + list_bytes tid_bytes st_oldlist
+    + list_bytes tid_bytes st_recentlist
+    + (match st_block with Some b -> 1 + block_bytes b | None -> 1)
+  | R_recent tids -> 1 + list_bytes tid_bytes tids
+  | R_reconstruct _ -> 1 + int_bytes
+  | R_gc _ -> 1 + mode_bytes
+  | R_probe { stale; init } ->
+    1 + list_bytes int_bytes stale + list_bytes int_bytes init
+
+let request_tag = function
+  | Read -> "read"
+  | Swap _ -> "swap"
+  | Add _ -> "add"
+  | Add_bcast _ -> "add_bcast"
+  | Checktid _ -> "checktid"
+  | Trylock _ -> "trylock"
+  | Setlock _ -> "setlock"
+  | Get_state -> "get_state"
+  | Getrecent _ -> "getrecent"
+  | Reconstruct _ -> "reconstruct"
+  | Finalize _ -> "finalize"
+  | Gc_old _ -> "gc_old"
+  | Gc_recent _ -> "gc_recent"
+  | Probe _ -> "probe"

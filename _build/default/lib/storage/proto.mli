@@ -1,0 +1,90 @@
+(** Wire protocol between clients and storage nodes: the operations of
+    Figs 4-7 of the paper, plus the broadcast variant of [add]
+    (Sec 3.11) where the storage node performs the [alpha_ji]
+    multiplication itself.
+
+    A storage node hosts one {e slot} per stripe; every request addresses
+    a slot.  Blocks travelling in requests/responses dominate message
+    size; {!request_bytes} and {!response_bytes} give the payload sizes
+    the simulator charges to the network. *)
+
+(** Unique write identifier [(seq, blk, client)] — the paper's
+    [⟨seq, i, p⟩].  [blk] is the stripe-relative index of the data block
+    the write targets, which is what [find_consistent]'s per-origin test
+    uses. *)
+type tid = { seq : int; blk : int; client : int }
+
+val tid_compare : tid -> tid -> int
+val tid_to_string : tid -> string
+
+(** Lock mode of a slot: unlocked, partial lock (adds still admitted),
+    full lock, or expired (holder crashed). *)
+type lmode = Unl | L0 | L1 | Exp
+
+(** Operation mode: valid data, mid-reconstruction, or uninitialized
+    garbage (after a fail-remap). *)
+type opmode = Norm | Recons | Init
+
+val lmode_to_string : lmode -> string
+val opmode_to_string : opmode -> string
+
+(** Outcome of an [add]: applied; rejected because the predecessor write
+    has not been seen ([Order]); or rejected for mode/lock/epoch reasons
+    ([Fail] — the paper's bottom status). *)
+type add_status = Add_ok | Add_order | Add_fail
+
+(** Outcome of [checktid] (Fig 5 lines 43-45). *)
+type check_status = Ck_init | Ck_gc | Ck_nochange
+
+type request =
+  | Read
+  | Swap of { v : bytes; ntid : tid }
+  | Add of { dv : bytes; ntid : tid; otid : tid option; epoch : int }
+  | Add_bcast of { dv : bytes; dblk : int; ntid : tid; otid : tid option; epoch : int }
+      (** Broadcast write: [dv = v - w] unscaled; the node multiplies by
+          its own coefficient for data block [dblk]. *)
+  | Checktid of { ntid : tid; otid : tid }
+  | Trylock of lmode
+  | Setlock of lmode
+  | Get_state
+  | Getrecent of lmode
+  | Reconstruct of { cset : int list; blk : bytes }
+  | Finalize of { epoch : int }
+  | Gc_old of tid list
+  | Gc_recent of tid list
+  | Probe of { older_than : float }
+      (** Monitoring (Sec 3.10): report slots whose recentlist holds an
+          entry older than [older_than] seconds (a started-but-unfinished
+          write) and slots in [Init] opmode. *)
+
+type state_view = {
+  st_opmode : opmode;
+  st_recons_set : int list option;
+  st_oldlist : tid list;
+  st_recentlist : tid list; (** newest first *)
+  st_block : bytes option;  (** [None] unless opmode = Norm *)
+}
+
+type response =
+  | R_read of { block : bytes option; lmode : lmode }
+  | R_swap of { block : bytes option; epoch : int; otid : tid option; lmode : lmode }
+  | R_add of { status : add_status; opmode : opmode; lmode : lmode }
+  | R_check of check_status
+  | R_trylock of { ok : bool; oldlmode : lmode }
+  | R_ack
+  | R_state of state_view
+  | R_recent of tid list
+  | R_reconstruct of { epoch : int }
+  | R_gc of { ok : bool }
+  | R_probe of { stale : int list; init : int list }
+
+val tid_bytes : int
+(** Serialized size we charge for one tid. *)
+
+val request_bytes : request -> int
+val response_bytes : response -> int
+(** Payload sizes in bytes as charged to the simulated network (blocks at
+    their real length, control fields at fixed sizes). *)
+
+val request_tag : request -> string
+(** Short stable name used for per-operation message accounting. *)

@@ -1,0 +1,298 @@
+open Proto
+
+(* recentlist/oldlist entries carry the node-local arrival time: swap uses
+   the largest time to find the previous write's tid, and the monitor uses
+   ages to detect stuck writes.  Lists are kept newest-first. *)
+type entry = { e_tid : tid; e_time : float }
+
+type slot = {
+  mutable block : bytes;
+  mutable opmode : opmode;
+  mutable lmode : lmode;
+  mutable lid : int option; (* client holding the lock, if any *)
+  mutable epoch : int;
+  mutable recentlist : entry list;
+  mutable oldlist : entry list;
+  mutable recons_set : int list option;
+}
+
+type t = {
+  slots : (int, slot) Hashtbl.t;
+  now : unit -> float;
+  client_failed : int -> bool;
+  alpha_for : (slot:int -> dblk:int -> int) option;
+  block_size : int;
+  init : [ `Zeroed | `Garbage ];
+  mutable garbage_seed : int;
+}
+
+let create ?alpha_for ?(client_failed = fun _ -> false) ~now ~block_size ~init
+    () =
+  {
+    slots = Hashtbl.create 64;
+    now;
+    client_failed;
+    alpha_for;
+    block_size;
+    init;
+    garbage_seed = 0x5eed;
+  }
+
+(* Deterministic "random" garbage for INIT slots: the paper's remapped
+   node holds arbitrary bits; determinism keeps test runs reproducible. *)
+let garbage_block t =
+  t.garbage_seed <- (t.garbage_seed * 1103515245) + 12345;
+  let st = Random.State.make [| t.garbage_seed |] in
+  Bytes.init t.block_size (fun _ -> Char.chr (Random.State.int st 256))
+
+let fresh_slot t =
+  match t.init with
+  | `Zeroed ->
+    {
+      block = Bytes.make t.block_size '\000';
+      opmode = Norm;
+      lmode = Unl;
+      lid = None;
+      epoch = 0;
+      recentlist = [];
+      oldlist = [];
+      recons_set = None;
+    }
+  | `Garbage ->
+    {
+      block = garbage_block t;
+      opmode = Init;
+      lmode = Unl;
+      lid = None;
+      epoch = 0;
+      recentlist = [];
+      oldlist = [];
+      recons_set = None;
+    }
+
+let slot t id =
+  match Hashtbl.find_opt t.slots id with
+  | Some s -> s
+  | None ->
+    let s = fresh_slot t in
+    Hashtbl.add t.slots id s;
+    s
+
+let tids entries = List.map (fun e -> e.e_tid) entries
+
+let mem_tid tid entries = List.exists (fun e -> tid_compare e.e_tid tid = 0) entries
+
+(* "upon failure of lid when lmode in {L0, L1} do lmode <- EXP" (Fig 6). *)
+let expire_if_holder_failed t s =
+  match (s.lmode, s.lid) with
+  | (L0 | L1), Some holder when t.client_failed holder ->
+    s.lmode <- Exp;
+    s.lid <- None
+  | _ -> ()
+
+let do_read s =
+  if s.opmode <> Norm || s.lmode <> Unl then R_read { block = None; lmode = s.lmode }
+  else R_read { block = Some (Bytes.copy s.block); lmode = s.lmode }
+
+let do_swap t s ~v ~ntid =
+  if s.opmode <> Norm || s.lmode <> Unl then
+    R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
+  else begin
+    let retblk = s.block in
+    s.block <- Bytes.copy v;
+    (* Previous write = recentlist entry with the largest time; the list
+       is newest-first so that is the head. *)
+    let otid = match s.recentlist with [] -> None | e :: _ -> Some e.e_tid in
+    s.recentlist <- { e_tid = ntid; e_time = t.now () } :: s.recentlist;
+    R_swap { block = Some retblk; epoch = s.epoch; otid; lmode = s.lmode }
+  end
+
+let apply_add t s ~dv ~ntid ~otid ~epoch =
+  if s.opmode <> Norm || not (s.lmode = Unl || s.lmode = L0) || epoch < s.epoch
+  then R_add { status = Add_fail; opmode = s.opmode; lmode = s.lmode }
+  else
+    let order_ok =
+      match otid with
+      | None -> true
+      | Some o -> mem_tid o s.recentlist || mem_tid o s.oldlist
+    in
+    if not order_ok then
+      R_add { status = Add_order; opmode = s.opmode; lmode = s.lmode }
+    else begin
+      Block_ops.xor_into ~dst:s.block ~src:dv;
+      s.recentlist <- { e_tid = ntid; e_time = t.now () } :: s.recentlist;
+      R_add { status = Add_ok; opmode = s.opmode; lmode = s.lmode }
+    end
+
+let do_checktid s ~ntid ~otid =
+  if not (mem_tid ntid s.recentlist) then R_check Ck_init
+  else if not (mem_tid otid s.recentlist) then R_check Ck_gc
+  else R_check Ck_nochange
+
+let do_trylock s ~caller lm =
+  match s.lmode with
+  | L0 | L1 -> R_trylock { ok = false; oldlmode = s.lmode }
+  | Unl | Exp ->
+    let old = s.lmode in
+    s.lmode <- lm;
+    s.lid <- Some caller;
+    R_trylock { ok = true; oldlmode = old }
+
+let do_setlock s ~caller lm =
+  s.lmode <- lm;
+  s.lid <- (if lm = Unl || lm = Exp then None else Some caller);
+  R_ack
+
+(* Deviation from Fig 6 (documented in DESIGN.md): the paper's get_state
+   returns the block only when opmode = NORM.  A recoverer taking over a
+   crashed recovery (opmode = RECONS) must decode from the adopted
+   recons_set, whose members may already have been reconstructed; their
+   RECONS blocks are exactly the consistent values, so we return blocks
+   for RECONS slots as well.  INIT slots still return no block. *)
+let do_get_state s =
+  R_state
+    {
+      st_opmode = s.opmode;
+      st_recons_set = s.recons_set;
+      st_oldlist = tids s.oldlist;
+      st_recentlist = tids s.recentlist;
+      st_block = (if s.opmode = Init then None else Some (Bytes.copy s.block));
+    }
+
+let do_getrecent s ~caller lm =
+  s.lmode <- lm;
+  s.lid <- Some caller;
+  R_recent (tids s.recentlist)
+
+let do_reconstruct s ~cset ~blk =
+  s.opmode <- Recons;
+  s.recons_set <- Some cset;
+  s.block <- Bytes.copy blk;
+  R_reconstruct { epoch = s.epoch }
+
+let do_finalize s ~epoch =
+  s.epoch <- epoch;
+  s.recentlist <- [];
+  s.oldlist <- [];
+  s.recons_set <- None;
+  if s.opmode = Recons then s.opmode <- Norm;
+  s.lmode <- Unl;
+  s.lid <- None;
+  R_ack
+
+let do_gc_old s tids_to_drop =
+  if s.opmode <> Norm || s.lmode <> Unl then R_gc { ok = false }
+  else begin
+    s.oldlist <-
+      List.filter
+        (fun e -> not (List.exists (fun t -> tid_compare t e.e_tid = 0) tids_to_drop))
+        s.oldlist;
+    R_gc { ok = true }
+  end
+
+let do_gc_recent s tids_to_move =
+  if s.opmode <> Norm || s.lmode <> Unl then R_gc { ok = false }
+  else begin
+    let moved, kept =
+      List.partition
+        (fun e -> List.exists (fun t -> tid_compare t e.e_tid = 0) tids_to_move)
+        s.recentlist
+    in
+    s.recentlist <- kept;
+    s.oldlist <- moved @ s.oldlist;
+    R_gc { ok = true }
+  end
+
+(* Monitoring probe (Sec 3.10): stale = slots with a recentlist entry
+   older than the threshold (a started-but-unfinished or un-GC'd write);
+   init = slots holding garbage after a fail-remap. *)
+let do_probe t ~older_than =
+  let now = t.now () in
+  let stale, init =
+    Hashtbl.fold
+      (fun id s (stale, init) ->
+        let is_stale =
+          List.exists (fun e -> now -. e.e_time > older_than) s.recentlist
+        in
+        let stale = if is_stale then id :: stale else stale in
+        let init = if s.opmode = Init then id :: init else init in
+        (stale, init))
+      t.slots ([], [])
+  in
+  R_probe { stale = List.sort compare stale; init = List.sort compare init }
+
+let rec handle t ~caller ~slot:slot_id req =
+  match req with
+  | Probe { older_than } ->
+    (* Node-wide: must not materialize the addressed slot. *)
+    do_probe t ~older_than
+  | _ -> handle_slot t ~caller ~slot:slot_id req
+
+and handle_slot t ~caller ~slot:slot_id req =
+  let s = slot t slot_id in
+  expire_if_holder_failed t s;
+  match req with
+  | Read -> do_read s
+  | Swap { v; ntid } -> do_swap t s ~v ~ntid
+  | Add { dv; ntid; otid; epoch } -> apply_add t s ~dv ~ntid ~otid ~epoch
+  | Add_bcast { dv; dblk; ntid; otid; epoch } ->
+    let alpha =
+      match t.alpha_for with
+      | Some f -> f ~slot:slot_id ~dblk
+      | None -> invalid_arg "Storage_node: broadcast add without alpha_for"
+    in
+    let scaled = if alpha = 1 then dv else Block_ops.scale alpha dv in
+    apply_add t s ~dv:scaled ~ntid ~otid ~epoch
+  | Checktid { ntid; otid } -> do_checktid s ~ntid ~otid
+  | Trylock lm -> do_trylock s ~caller lm
+  | Setlock lm -> do_setlock s ~caller lm
+  | Get_state -> do_get_state s
+  | Getrecent lm -> do_getrecent s ~caller lm
+  | Reconstruct { cset; blk } -> do_reconstruct s ~cset ~blk
+  | Finalize { epoch } -> do_finalize s ~epoch
+  | Gc_old l -> do_gc_old s l
+  | Gc_recent l -> do_gc_recent s l
+  | Probe _ -> assert false (* dispatched in [handle] *)
+
+let slot_count t = Hashtbl.length t.slots
+
+(* Sec 6.5 accounting: opmode and lmode packed in 1 byte, lid 2, epoch 4,
+   list lengths 2 bytes each, plus 12 bytes per retained tid and 4 for
+   its timestamp; recons_set only while recovery is in flight. *)
+let overhead_bytes t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      let per_entry = tid_bytes + 4 in
+      let lists =
+        per_entry * (List.length s.recentlist + List.length s.oldlist)
+      in
+      let recons =
+        match s.recons_set with None -> 0 | Some l -> 4 * List.length l
+      in
+      acc + 1 + 2 + 4 + 2 + 2 + lists + recons)
+    t.slots 0
+
+let overhead_bytes_per_slot t =
+  let n = slot_count t in
+  if n = 0 then 0. else float_of_int (overhead_bytes t) /. float_of_int n
+
+let peek_block t ~slot:id = (slot t id).block
+let peek_opmode t ~slot:id = (slot t id).opmode
+let peek_lmode t ~slot:id = (slot t id).lmode
+let peek_epoch t ~slot:id = (slot t id).epoch
+let peek_recentlist t ~slot:id = tids (slot t id).recentlist
+let peek_oldlist t ~slot:id = tids (slot t id).oldlist
+
+let oldest_recent_age t ~now =
+  Hashtbl.fold
+    (fun _ s acc ->
+      List.fold_left
+        (fun acc e ->
+          let age = now -. e.e_time in
+          match acc with None -> Some age | Some a -> Some (Float.max a age))
+        acc s.recentlist)
+    t.slots None
+
+let slots_in_opmode t mode =
+  Hashtbl.fold (fun id s acc -> if s.opmode = mode then id :: acc else acc) t.slots []
+  |> List.sort compare

@@ -1,0 +1,65 @@
+(** The storage-node state machine — the "thin server" of the paper.
+
+    A node hosts one {e slot} per stripe, each holding the stripe block
+    this node is responsible for plus the protocol metadata of Figs 4-6:
+    [opmode], [lmode] (+ lock-holder id), [epoch], [recentlist],
+    [oldlist], and [recons_set].  Every remote procedure is a
+    non-blocking state transition implemented by {!handle}; there is no
+    server-side inter-procedure coordination, which is the paper's
+    "simple storage nodes" claim (Sec 6.4).
+
+    {b Lock expiry.}  The paper's nodes expire a lock "upon failure" of
+    its holder (fail-stop failures are detectable).  Here the node
+    consults a [client_failed] oracle whenever it observes a held lock,
+    which realizes the same behaviour without background threads.
+
+    {b Fail-remap.}  A node created with [init:`Garbage] starts every
+    slot in [Init] opmode with arbitrary contents, modelling the fresh
+    replacement node of Sec 3.5. *)
+
+type t
+
+val create :
+  ?alpha_for:(slot:int -> dblk:int -> int) ->
+  ?client_failed:(int -> bool) ->
+  now:(unit -> float) ->
+  block_size:int ->
+  init:[ `Zeroed | `Garbage ] ->
+  unit ->
+  t
+(** [alpha_for] gives this node's erasure-code coefficient for data block
+    [dblk] of stripe [slot]; it is required only to serve broadcast adds.
+    [client_failed] is the failure detector (defaults to "nobody ever
+    fails").  [now] supplies the node-local clock used to timestamp
+    recentlist entries. *)
+
+val handle : t -> caller:int -> slot:int -> Proto.request -> Proto.response
+(** Serve one remote procedure call on a slot.  [caller] identifies the
+    invoking client (lock ownership, expiry). *)
+
+val slot_count : t -> int
+(** Number of slots this node has materialized. *)
+
+val overhead_bytes : t -> int
+(** Protocol metadata bytes currently held beyond block contents —
+    the Sec 6.5 space-overhead measurement. *)
+
+val overhead_bytes_per_slot : t -> float
+(** [overhead_bytes] averaged over materialized slots (0 if none). *)
+
+(** Test/diagnostic accessors (read-only views). *)
+
+val peek_block : t -> slot:int -> bytes
+val peek_opmode : t -> slot:int -> Proto.opmode
+val peek_lmode : t -> slot:int -> Proto.lmode
+val peek_epoch : t -> slot:int -> int
+val peek_recentlist : t -> slot:int -> Proto.tid list
+val peek_oldlist : t -> slot:int -> Proto.tid list
+
+val oldest_recent_age : t -> now:float -> float option
+(** Age of the oldest recentlist entry across all slots — what the
+    monitoring mechanism (Sec 3.10) inspects to detect unfinished
+    writes.  [None] if all recentlists are empty. *)
+
+val slots_in_opmode : t -> Proto.opmode -> int list
+(** Slots currently in the given opmode (monitor probe for INIT). *)

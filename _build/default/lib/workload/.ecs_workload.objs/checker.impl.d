@@ -1,0 +1,1 @@
+lib/workload/checker.ml: Bytes Char Hashtbl Int64 List Printf

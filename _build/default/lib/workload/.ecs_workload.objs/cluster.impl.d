@@ -1,0 +1,1 @@
+lib/workload/cluster.ml: Bytes Client Config Directory Engine Fiber Hashtbl Layout List Net Printf Proto Rs_code Stats Storage_node Volume

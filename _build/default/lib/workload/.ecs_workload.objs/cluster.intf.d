@@ -1,0 +1,1 @@
+lib/workload/cluster.mli: Client Config Directory Engine Layout Net Rs_code Stats Volume

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Printf Random

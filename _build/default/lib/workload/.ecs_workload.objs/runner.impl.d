@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Bytes Char Checker Cluster Config Engine Fiber Generator List Printf Stats Volume

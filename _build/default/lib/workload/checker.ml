@@ -1,0 +1,105 @@
+type write_rec = {
+  w_tag : int;
+  w_start : float;
+  w_finish : float option;
+}
+
+type read_rec = { r_tag : int; r_start : float; r_finish : float }
+
+type t = {
+  writes : (int, write_rec list ref) Hashtbl.t; (* per block *)
+  reads : (int, read_rec list ref) Hashtbl.t;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+let create () =
+  {
+    writes = Hashtbl.create 64;
+    reads = Hashtbl.create 64;
+    n_reads = 0;
+    n_writes = 0;
+  }
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let record_write t ~block ~tag ~start ~finish =
+  t.n_writes <- t.n_writes + 1;
+  push t.writes block { w_tag = tag; w_start = start; w_finish = finish }
+
+let record_read t ~block ~tag ~start ~finish =
+  t.n_reads <- t.n_reads + 1;
+  push t.reads block { r_tag = tag; r_start = start; r_finish = finish }
+
+let reads t = t.n_reads
+let writes t = t.n_writes
+
+(* A write W is "strictly overwritten before time s" if some other write
+   W' has W.finish < W'.start and W'.finish < s. *)
+let overwritten_before ws w s =
+  match w.w_finish with
+  | None -> false
+  | Some wf ->
+    List.exists
+      (fun w' ->
+        w' != w
+        &&
+        match w'.w_finish with
+        | Some w'f -> w'.w_start > wf && w'f < s
+        | None -> false)
+      ws
+
+let check t =
+  let violations = ref [] in
+  let warnings = ref [] in
+  Hashtbl.iter
+    (fun block reads ->
+      let ws =
+        match Hashtbl.find_opt t.writes block with Some r -> !r | None -> []
+      in
+      List.iter
+        (fun r ->
+          let legal =
+            if r.r_tag = 0 then
+              (* Initial value: legal unless some write completed before
+                 the read started and was not... the initial value is
+                 overwritten once any write completes. *)
+              not
+                (List.exists
+                   (fun w ->
+                     match w.w_finish with
+                     | Some wf -> wf < r.r_start
+                     | None -> false)
+                   ws)
+            else
+              match List.find_opt (fun w -> w.w_tag = r.r_tag) ws with
+              | None -> false (* value never written *)
+              | Some w ->
+                w.w_start <= r.r_finish
+                && not (overwritten_before ws w r.r_start)
+          in
+          if not legal then
+            violations :=
+              Printf.sprintf
+                "block %d: read [%.6f,%.6f] returned tag %d illegally" block
+                r.r_start r.r_finish r.r_tag
+              :: !violations)
+        !reads)
+    t.reads;
+  if !violations = [] then Ok !warnings else Error !violations
+
+let tag_block ~size ~tag =
+  if size < 8 then invalid_arg "Checker.tag_block: block too small";
+  let b = Bytes.make size '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int tag);
+  (* Deterministic filler so corruption elsewhere in the block is
+     detectable too. *)
+  for i = 8 to size - 1 do
+    Bytes.set b i (Char.chr ((tag + (i * 131)) land 0xff))
+  done;
+  b
+
+let tag_of_block b = Int64.to_int (Bytes.get_int64_le b 0)

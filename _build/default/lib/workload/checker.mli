@@ -1,0 +1,40 @@
+(** Consistency checker for the protocol's guarantee (Sec 3.1):
+    multi-writer {e regular register} semantics per block.
+
+    Operations are recorded with their invocation/response times in the
+    simulation.  A read of block [b] returning value [v] is legal iff
+    [v] was written by some write [W] to [b] such that
+    - [W] was invoked before the read responded, and
+    - no other write to [b] both started after [W] completed and
+      completed before the read started (i.e. [W] was not strictly
+      overwritten before the read began);
+    or [v] is the initial value and no write to [b] completed before the
+    read started.
+
+    Values are identified by tags; use {!tag_block} to stamp block
+    contents with a tag and {!tag_of_block} to recover it. *)
+
+type t
+
+val create : unit -> t
+
+val record_write :
+  t -> block:int -> tag:int -> start:float -> finish:float option -> unit
+(** [finish = None] records an incomplete write (client crashed): its
+    value may legally be returned by any later read (it is concurrent
+    with everything after its start), but it never overwrites. *)
+
+val record_read : t -> block:int -> tag:int -> start:float -> finish:float -> unit
+
+val check : t -> (string list, string list) result
+(** [Ok warnings] if every read is legal; [Error violations] otherwise. *)
+
+val reads : t -> int
+val writes : t -> int
+
+val tag_block : size:int -> tag:int -> bytes
+(** A block of [size] bytes carrying [tag] in its first 8 bytes (rest is
+    a deterministic function of the tag). *)
+
+val tag_of_block : bytes -> int
+(** Recover the tag; [0] for the initial all-zeros block. *)

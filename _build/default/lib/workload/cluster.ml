@@ -1,0 +1,235 @@
+exception Client_crashed of int
+
+type remap_policy = [ `Auto | `Manual ]
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  code : Rs_code.t;
+  layout : Layout.t;
+  dir : Directory.t;
+  remap_policy : remap_policy;
+  crashed_clients : (int, unit) Hashtbl.t;
+  client_nodes : (int, Net.node) Hashtbl.t;
+  mutable note_hooks : (float -> string -> unit) list;
+}
+
+(* Service times at a storage node beyond the generic per-message RPC
+   overhead: block-touching operations pay a per-byte cost from the
+   configured cost model, control operations a small constant. *)
+let serve_cost cfg (req : Proto.request) =
+  let costs = cfg.Config.costs in
+  let per_byte = costs.Config.add_per_byte in
+  let control = 0.5e-6 in
+  match req with
+  | Proto.Read -> control +. (per_byte *. float_of_int cfg.Config.block_size)
+  | Proto.Swap { v; _ } -> control +. (per_byte *. float_of_int (Bytes.length v))
+  | Proto.Add { dv; _ } -> control +. (per_byte *. float_of_int (Bytes.length dv))
+  | Proto.Add_bcast { dv; _ } ->
+    (* scale + add *)
+    control
+    +. ((per_byte +. costs.Config.delta_per_byte)
+       *. float_of_int (Bytes.length dv))
+  | Proto.Reconstruct { blk; _ } ->
+    control +. (per_byte *. float_of_int (Bytes.length blk))
+  | Proto.Checktid _ | Proto.Trylock _ | Proto.Setlock _ | Proto.Get_state
+  | Proto.Getrecent _ | Proto.Finalize _ | Proto.Gc_old _ | Proto.Gc_recent _
+  | Proto.Probe _ ->
+    control
+
+let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
+    ?(remap_policy = `Auto) cfg =
+  let engine = Engine.create ~seed () in
+  let stats = Stats.create () in
+  let net = Net.create engine ~config:net_config stats in
+  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let crashed_clients = Hashtbl.create 8 in
+  let client_failed id = Hashtbl.mem crashed_clients id in
+  let factory ~index ~generation =
+    let name = Printf.sprintf "s%d.g%d" index generation in
+    let init = if generation = 0 then `Zeroed else `Garbage in
+    {
+      Directory.net_node = Net.add_node net ~name;
+      store =
+        Storage_node.create
+          ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
+          ~client_failed
+          ~now:(fun () -> Engine.now engine)
+          ~block_size:cfg.Config.block_size ~init ();
+      generation;
+    }
+  in
+  let dir = Directory.create ~n:cfg.Config.n factory in
+  {
+    engine;
+    net;
+    stats;
+    cfg;
+    code;
+    layout;
+    dir;
+    remap_policy;
+    crashed_clients;
+    client_nodes = Hashtbl.create 8;
+    note_hooks = [];
+  }
+
+let engine t = t.engine
+let net t = t.net
+let stats t = t.stats
+let config t = t.cfg
+let code t = t.code
+let layout t = t.layout
+let directory t = t.dir
+let now t = Engine.now t.engine
+
+let client_crashed t id = Hashtbl.mem t.crashed_clients id
+
+let crash_client t id =
+  Hashtbl.replace t.crashed_clients id ();
+  match Hashtbl.find_opt t.client_nodes id with
+  | Some node -> Net.crash node
+  | None -> ()
+
+let crash_storage t i = Directory.crash t.dir i
+let remap_storage t i = ignore (Directory.remap t.dir i)
+
+let crash_and_remap_storage t i = ignore (Directory.crash_and_remap t.dir i)
+
+let storage_entry t i = Directory.lookup t.dir i
+
+let on_note t hook = t.note_hooks <- hook :: t.note_hooks
+
+let client_node t ~id =
+  match Hashtbl.find_opt t.client_nodes id with
+  | Some n -> n
+  | None ->
+    let n = Net.add_node t.net ~name:(Printf.sprintf "c%d" id) in
+    Hashtbl.replace t.client_nodes id n;
+    n
+
+(* One slot-addressed RPC to logical node [lnode]; under [`Auto] remap, a
+   dead node is replaced once and the call retried against the fresh
+   INIT instance, mirroring the paper's directory redirection. *)
+let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
+  if client_crashed t id then raise (Client_crashed id);
+  let entry = Directory.lookup t.dir lnode in
+  let dst = entry.Directory.net_node in
+  let tag = Proto.request_tag req in
+  let serve () =
+    Net.cpu_use dst (serve_cost t.cfg req);
+    let resp = Storage_node.handle entry.Directory.store ~caller:id ~slot req in
+    (resp, Proto.response_bytes resp)
+  in
+  let result =
+    Net.rpc t.net ~src ~dst ~tag ~req_bytes:(Proto.request_bytes req) ~serve
+  in
+  if client_crashed t id then raise (Client_crashed id);
+  match result with
+  | Ok resp -> Ok resp
+  | Error Net.Node_down -> (
+    match t.remap_policy with
+    | `Manual -> Error `Node_down
+    | `Auto ->
+      if attempts >= 3 then Error `Node_down
+      else begin
+        (* Only remap if nobody else replaced it since we looked. *)
+        let current = Directory.lookup t.dir lnode in
+        if not (Net.is_alive current.Directory.net_node) then
+          ignore (Directory.remap t.dir lnode);
+        rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:(attempts + 1)
+      end)
+
+let client_env t ~id =
+  let src = client_node t ~id in
+  let check_alive () = if client_crashed t id then raise (Client_crashed id) in
+  let call ~slot ~pos req =
+    let lnode = Layout.node_of t.layout ~stripe:slot ~pos in
+    rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:0
+  in
+  let call_node ~node req =
+    (* Node-addressed (probes): slot field is ignored by the server. *)
+    rpc_to_logical t ~id ~src ~lnode:node ~slot:0 req ~attempts:0
+  in
+  let broadcast ~slot ~poss req =
+    check_alive ();
+    let lnodes =
+      List.map (fun pos -> (pos, Layout.node_of t.layout ~stripe:slot ~pos)) poss
+    in
+    let entries =
+      List.map (fun (pos, ln) -> (pos, Directory.lookup t.dir ln)) lnodes
+    in
+    let dsts = List.map (fun (_, e) -> e.Directory.net_node) entries in
+    let serve dst_node =
+      let pos, entry =
+        List.find (fun (_, e) -> e.Directory.net_node == dst_node) entries
+      in
+      ignore pos;
+      Net.cpu_use dst_node (serve_cost t.cfg req);
+      let resp =
+        Storage_node.handle entry.Directory.store ~caller:id ~slot req
+      in
+      (resp, Proto.response_bytes resp)
+    in
+    let results =
+      Net.broadcast t.net ~src ~dsts ~tag:(Proto.request_tag req)
+        ~req_bytes:(Proto.request_bytes req) ~serve
+    in
+    check_alive ();
+    List.map2
+      (fun (pos, _) (_, r) ->
+        ( pos,
+          match r with
+          | Ok resp -> Ok resp
+          | Error Net.Node_down -> Error `Node_down ))
+      lnodes results
+  in
+  let pfor thunks =
+    check_alive ();
+    let crashed = ref false in
+    let guard f () = try f () with Client_crashed _ -> crashed := true in
+    ignore (Fiber.fork_all (List.map guard thunks));
+    if !crashed then raise (Client_crashed id)
+  in
+  let sleep d =
+    check_alive ();
+    Fiber.sleep d;
+    check_alive ()
+  in
+  let note event =
+    Stats.incr t.stats ("note." ^ event);
+    List.iter (fun hook -> hook (Engine.now t.engine) event) t.note_hooks
+  in
+  {
+    Client.client_id = id;
+    call;
+    call_node;
+    broadcast = Some broadcast;
+    pfor;
+    sleep;
+    now = (fun () -> Engine.now t.engine);
+    compute =
+      (fun seconds ->
+        check_alive ();
+        Net.cpu_use src seconds);
+    note;
+  }
+
+let make_client t ~id = Client.create t.cfg t.code (client_env t ~id)
+
+let make_volume t ~id =
+  let client = make_client t ~id in
+  Volume.create client t.layout
+
+let spawn t f = Fiber.spawn t.engine f
+
+let run ?until t =
+  let rec go () =
+    match Engine.run ?until t.engine with
+    | () -> ()
+    | exception Client_crashed _ -> go ()
+  in
+  go ()

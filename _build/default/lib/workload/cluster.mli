@@ -1,0 +1,69 @@
+(** Simulated storage cluster: wires the discrete-event network, the
+    storage nodes behind a remapping directory, and per-client protocol
+    environments — the counterpart of the paper's 8-host testbed
+    (Sec 5.1) and of its tuned simulator for larger systems (Sec 5.2).
+
+    Crash injection:
+    - {!crash_storage} fail-stops a storage node; with the default
+      [`Auto] remap policy the next client that trips over it installs a
+      fresh INIT replacement (the paper's directory remap, Sec 3.5);
+    - {!crash_client} fail-stops a client: its in-flight fibers die at
+      their next environment interaction, and storage nodes' failure
+      detectors observe it (lock expiry).  {!run} absorbs the resulting
+      [Client_crashed] unwinds and keeps the simulation going. *)
+
+exception Client_crashed of int
+
+type remap_policy = [ `Auto | `Manual ]
+
+type t
+
+val create :
+  ?net_config:Net.config ->
+  ?rotate:bool ->
+  ?seed:int ->
+  ?remap_policy:remap_policy ->
+  Config.t ->
+  t
+
+val engine : t -> Engine.t
+val net : t -> Net.t
+val stats : t -> Stats.t
+val config : t -> Config.t
+val code : t -> Rs_code.t
+val layout : t -> Layout.t
+val directory : t -> Directory.t
+
+val now : t -> float
+
+val client_env : t -> id:int -> Client.env
+(** Build the protocol environment for client [id]: a dedicated network
+    node plus calls routed through layout and directory. *)
+
+val make_client : t -> id:int -> Client.t
+val make_volume : t -> id:int -> Volume.t
+
+val spawn : t -> (unit -> unit) -> unit
+(** Spawn a fiber at the current simulated time. *)
+
+val run : ?until:float -> t -> unit
+(** Drive the simulation, absorbing {!Client_crashed} unwinds from
+    fibers of crashed clients. *)
+
+val crash_client : t -> int -> unit
+val client_crashed : t -> int -> bool
+
+val crash_storage : t -> int -> unit
+(** Fail-stop logical storage node [i] without remapping. *)
+
+val remap_storage : t -> int -> unit
+(** Install a fresh INIT replacement for logical node [i]. *)
+
+val crash_and_remap_storage : t -> int -> unit
+
+val storage_entry : t -> int -> Directory.entry
+(** Current physical node behind logical index [i] (tests/inspection). *)
+
+val on_note : t -> (float -> string -> unit) -> unit
+(** Subscribe to client protocol events ("recovery.start", ...); also
+    counted in {!stats} under ["note.<event>"]. *)

@@ -1,0 +1,75 @@
+type op = Op_read | Op_write
+
+type access = { op : op; block : int }
+
+type spec =
+  | Random_mix of { blocks : int; write_frac : float }
+  | Sequential of { start : int; count : int; op : op }
+  | Write_only of { blocks : int }
+  | Read_only of { blocks : int }
+  | Zipf of { blocks : int; write_frac : float; theta : float }
+  | Trace of access array
+
+type t = { spec : spec; rng : Random.State.t; mutable cursor : int }
+
+let create ~seed spec =
+  (match spec with
+  | Random_mix { blocks; write_frac } ->
+    if blocks <= 0 then invalid_arg "Generator: blocks";
+    if write_frac < 0. || write_frac > 1. then invalid_arg "Generator: write_frac"
+  | Sequential { count; _ } -> if count <= 0 then invalid_arg "Generator: count"
+  | Write_only { blocks } | Read_only { blocks } ->
+    if blocks <= 0 then invalid_arg "Generator: blocks"
+  | Zipf { blocks; write_frac; theta } ->
+    if blocks <= 0 then invalid_arg "Generator: blocks";
+    if write_frac < 0. || write_frac > 1. then invalid_arg "Generator: write_frac";
+    if theta <= 0. || theta >= 1. then invalid_arg "Generator: theta"
+  | Trace arr -> if Array.length arr = 0 then invalid_arg "Generator: empty trace");
+  { spec; rng = Random.State.make [| seed |]; cursor = 0 }
+
+let next t =
+  match t.spec with
+  | Random_mix { blocks; write_frac } ->
+    let op =
+      if Random.State.float t.rng 1.0 < write_frac then Op_write else Op_read
+    in
+    { op; block = Random.State.int t.rng blocks }
+  | Sequential { start; count; op } ->
+    let block = start + (t.cursor mod count) in
+    t.cursor <- t.cursor + 1;
+    { op; block }
+  | Write_only { blocks } -> { op = Op_write; block = Random.State.int t.rng blocks }
+  | Read_only { blocks } -> { op = Op_read; block = Random.State.int t.rng blocks }
+  | Zipf { blocks; write_frac; theta } ->
+    (* Inverse-CDF sampling of the classic Zipf-like approximation
+       P(rank <= x) = (x/N)^(1-theta) (Gray et al.): skewed toward low
+       ranks; rank r is then scattered over the block space by a fixed
+       multiplicative hash so hot blocks are not all in one stripe. *)
+    let u = Random.State.float t.rng 1.0 in
+    let rank =
+      int_of_float (float_of_int blocks *. (u ** (1. /. (1. -. theta))))
+    in
+    let rank = min (blocks - 1) rank in
+    let block = rank * 2654435761 land max_int mod blocks in
+    let op =
+      if Random.State.float t.rng 1.0 < write_frac then Op_write else Op_read
+    in
+    { op; block }
+  | Trace arr ->
+    let a = arr.(t.cursor mod Array.length arr) in
+    t.cursor <- t.cursor + 1;
+    a
+
+let spec_to_string = function
+  | Random_mix { blocks; write_frac } ->
+    Printf.sprintf "random(%d blocks, %.0f%% writes)" blocks (100. *. write_frac)
+  | Sequential { start; count; op } ->
+    Printf.sprintf "sequential(%s from %d, %d blocks)"
+      (match op with Op_read -> "read" | Op_write -> "write")
+      start count
+  | Write_only { blocks } -> Printf.sprintf "write-only(%d blocks)" blocks
+  | Read_only { blocks } -> Printf.sprintf "read-only(%d blocks)" blocks
+  | Zipf { blocks; write_frac; theta } ->
+    Printf.sprintf "zipf(%d blocks, %.0f%% writes, theta=%.2f)" blocks
+      (100. *. write_frac) theta
+  | Trace arr -> Printf.sprintf "trace(%d accesses)" (Array.length arr)

@@ -1,0 +1,36 @@
+(** Workload generation for the experiments of Sections 6.2 and 6.6:
+    random-block read/write mixes and sequential streams over a logical
+    block space. *)
+
+type op = Op_read | Op_write
+
+type access = { op : op; block : int }
+
+(** A workload specification:
+    - [Random_mix]: uniformly random blocks from [0 .. blocks-1], write
+      with probability [write_frac];
+    - [Sequential]: a cyclic sequential scan of the given kind starting
+      at [start];
+    - [Write_only] / [Read_only]: shorthands for pure random loads. *)
+type spec =
+  | Random_mix of { blocks : int; write_frac : float }
+  | Sequential of { start : int; count : int; op : op }
+  | Write_only of { blocks : int }
+  | Read_only of { blocks : int }
+  | Zipf of { blocks : int; write_frac : float; theta : float }
+      (** Skewed popularity via the classic approximation
+          [P(rank <= x) = (x/N)^(1-theta)] with [0 < theta < 1]: larger
+          [theta] concentrates more traffic on fewer blocks (hot-spot
+          model); hot ranks are hash-scattered across the block space. *)
+  | Trace of access array
+      (** Replay a fixed access sequence cyclically (trace-driven). *)
+
+type t
+
+val create : seed:int -> spec -> t
+
+val next : t -> access
+(** Produce the next access (thread the generator through one client
+    fiber). *)
+
+val spec_to_string : spec -> string

@@ -1,0 +1,193 @@
+type result = {
+  duration : float;
+  clients : int;
+  outstanding : int;
+  read_ops : int;
+  write_ops : int;
+  read_mbs : float;
+  write_mbs : float;
+  total_mbs : float;
+  read_latency : float;
+  write_latency : float;
+  msgs : float;
+  recoveries : float;
+}
+
+type counters = {
+  mutable c_read_ops : int;
+  mutable c_write_ops : int;
+  mutable c_read_lat : float;
+  mutable c_write_lat : float;
+  (* window counters for the sampler *)
+  mutable w_read_ops : int;
+  mutable w_write_ops : int;
+}
+
+let next_tag = ref 1
+
+let fresh_tag () =
+  incr next_tag;
+  !next_tag
+
+let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?on_sample
+    ?(sample_every = 1.0) ?(gc_every = Some 0.05) ?check ~cluster ~clients
+    ~duration ~workload () =
+  let cfg = Cluster.config cluster in
+  let block_size = cfg.Config.block_size in
+  let start = Cluster.now cluster in
+  let measure_from = start +. warmup in
+  let t_end = measure_from +. duration in
+  let ctr =
+    {
+      c_read_ops = 0;
+      c_write_ops = 0;
+      c_read_lat = 0.;
+      c_write_lat = 0.;
+      w_read_ops = 0;
+      w_write_ops = 0;
+    }
+  in
+  let in_window t = t >= measure_from && t <= t_end in
+  (* Scheduled fault-injection events, relative to run start. *)
+  List.iter
+    (fun (at, action) ->
+      Engine.schedule (Cluster.engine cluster) ~at:(start +. at) (fun () ->
+          action cluster))
+    events;
+  (* Per-client volumes and request fibers. *)
+  for c = 0 to clients - 1 do
+    let volume = Cluster.make_volume cluster ~id:c in
+    let gen = Generator.create ~seed:(0x1234 + (c * 97)) workload in
+    let do_read block =
+      let t0 = Cluster.now cluster in
+      let v = Volume.read volume block in
+      let t1 = Cluster.now cluster in
+      (match check with
+      | Some ck ->
+        Checker.record_read ck ~block ~tag:(Checker.tag_of_block v) ~start:t0
+          ~finish:t1
+      | None -> ());
+      if in_window t1 then begin
+        ctr.c_read_ops <- ctr.c_read_ops + 1;
+        ctr.c_read_lat <- ctr.c_read_lat +. (t1 -. t0);
+        ctr.w_read_ops <- ctr.w_read_ops + 1
+      end
+    in
+    let do_write block =
+      let t0 = Cluster.now cluster in
+      match check with
+      | Some ck -> (
+        let tag = fresh_tag () in
+        let v = Checker.tag_block ~size:block_size ~tag in
+        try
+          Volume.write volume block v;
+          let t1 = Cluster.now cluster in
+          Checker.record_write ck ~block ~tag ~start:t0 ~finish:(Some t1);
+          if in_window t1 then begin
+            ctr.c_write_ops <- ctr.c_write_ops + 1;
+            ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
+            ctr.w_write_ops <- ctr.w_write_ops + 1
+          end
+        with Cluster.Client_crashed _ as e ->
+          Checker.record_write ck ~block ~tag ~start:t0 ~finish:None;
+          raise e)
+      | None ->
+        let v = Bytes.make block_size (Char.chr (block land 0xff)) in
+        Volume.write volume block v;
+        let t1 = Cluster.now cluster in
+        if in_window t1 then begin
+          ctr.c_write_ops <- ctr.c_write_ops + 1;
+          ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
+          ctr.w_write_ops <- ctr.w_write_ops + 1
+        end
+    in
+    let request_loop () =
+      let rec go () =
+        if Cluster.now cluster < t_end && not (Cluster.client_crashed cluster c)
+        then begin
+          let { Generator.op; block } = Generator.next gen in
+          (match op with
+          | Generator.Op_read -> do_read block
+          | Generator.Op_write -> do_write block);
+          go ()
+        end
+      in
+      try go () with Cluster.Client_crashed _ -> ()
+    in
+    for _ = 1 to outstanding do
+      Cluster.spawn cluster request_loop
+    done;
+    (* Per-client garbage-collection task (Fig 7). *)
+    match gc_every with
+    | None -> ()
+    | Some period ->
+      Cluster.spawn cluster (fun () ->
+          let rec gc_loop () =
+            if
+              Cluster.now cluster < t_end
+              && not (Cluster.client_crashed cluster c)
+            then begin
+              Fiber.sleep period;
+              (try Volume.collect_garbage volume
+               with Cluster.Client_crashed _ -> ());
+              gc_loop ()
+            end
+          in
+          gc_loop ())
+  done;
+  (* Windowed throughput sampler for timeline figures. *)
+  (match on_sample with
+  | None -> ()
+  | Some f ->
+    Cluster.spawn cluster (fun () ->
+        let rec sample () =
+          if Cluster.now cluster < t_end then begin
+            Fiber.sleep sample_every;
+            let mb ops =
+              float_of_int (ops * block_size) /. 1.0e6 /. sample_every
+            in
+            (* Skip the trailing partial window. *)
+            if Cluster.now cluster <= t_end then
+              f (Cluster.now cluster) ~read_mbs:(mb ctr.w_read_ops)
+                ~write_mbs:(mb ctr.w_write_ops);
+            ctr.w_read_ops <- 0;
+            ctr.w_write_ops <- 0;
+            sample ()
+          end
+        in
+        sample ()));
+  let stats = Cluster.stats cluster in
+  let msgs_before = Stats.counter stats "msgs" in
+  let recov_before = Stats.counter stats "note.recovery.done" in
+  Cluster.run cluster;
+  let msgs = Stats.counter stats "msgs" -. msgs_before in
+  let recoveries = Stats.counter stats "note.recovery.done" -. recov_before in
+  let mb ops = float_of_int (ops * block_size) /. 1.0e6 /. duration in
+  {
+    duration;
+    clients;
+    outstanding;
+    read_ops = ctr.c_read_ops;
+    write_ops = ctr.c_write_ops;
+    read_mbs = mb ctr.c_read_ops;
+    write_mbs = mb ctr.c_write_ops;
+    total_mbs = mb (ctr.c_read_ops + ctr.c_write_ops);
+    read_latency =
+      (if ctr.c_read_ops = 0 then 0.
+       else ctr.c_read_lat /. float_of_int ctr.c_read_ops);
+    write_latency =
+      (if ctr.c_write_ops = 0 then 0.
+       else ctr.c_write_lat /. float_of_int ctr.c_write_ops);
+    msgs;
+    recoveries;
+  }
+
+let print_result label r =
+  Printf.printf
+    "%-34s %2d clients x%-3d | write %7.2f MB/s (%6d ops, %5.2f ms) | read \
+     %7.2f MB/s (%6d ops, %5.2f ms) | %.0f msgs%s\n%!"
+    label r.clients r.outstanding r.write_mbs r.write_ops
+    (1000. *. r.write_latency) r.read_mbs r.read_ops (1000. *. r.read_latency)
+    r.msgs
+    (if r.recoveries > 0. then Printf.sprintf " | %.0f recoveries" r.recoveries
+     else "")

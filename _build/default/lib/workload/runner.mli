@@ -1,0 +1,44 @@
+(** Experiment driver: spins up clients with a given number of
+    outstanding requests each, runs a workload for a simulated duration,
+    and reports aggregate throughput and latency — the measurement loop
+    behind Figs 9 and 10. *)
+
+type result = {
+  duration : float;        (** measured window, simulated seconds *)
+  clients : int;
+  outstanding : int;
+  read_ops : int;
+  write_ops : int;
+  read_mbs : float;        (** aggregate read throughput, MB/s *)
+  write_mbs : float;       (** aggregate write throughput, MB/s *)
+  total_mbs : float;
+  read_latency : float;    (** mean, seconds; 0 if no reads *)
+  write_latency : float;
+  msgs : float;            (** messages during the window *)
+  recoveries : float;      (** recoveries completed during the window *)
+}
+
+val run :
+  ?outstanding:int ->
+  ?warmup:float ->
+  ?events:(float * (Cluster.t -> unit)) list ->
+  ?on_sample:(float -> read_mbs:float -> write_mbs:float -> unit) ->
+  ?sample_every:float ->
+  ?gc_every:float option ->
+  ?check:Checker.t ->
+  cluster:Cluster.t ->
+  clients:int ->
+  duration:float ->
+  workload:Generator.spec ->
+  unit ->
+  result
+(** Run [clients] clients, each with [outstanding] request fibers, for
+    [duration] simulated seconds after a [warmup] (default 0.05 s, its
+    operations are excluded from counts).  [events] are scheduled
+    actions (crash injection).  [sample_every]/[on_sample] stream
+    windowed throughput for timeline figures.  [check], when given,
+    records every operation for the regular-register checker: writes
+    stamp blocks with fresh tags. *)
+
+val print_result : string -> result -> unit
+(** One-line summary to stdout. *)

@@ -1,0 +1,51 @@
+let fmt_f v =
+  if v = 0. then "0"
+  else if Float.abs v >= 100. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    List.mapi
+      (fun c w ->
+        let cell = Option.value (List.nth_opt row c) ~default:"" in
+        Printf.sprintf "%-*s" w cell)
+      widths
+    |> String.concat "  "
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (String.make (String.length (render header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  print_newline ()
+
+let print_series ~title ~x_label ~series =
+  let xs =
+    List.concat_map (fun (_, pts) -> List.map fst pts) series
+    |> List.sort_uniq compare
+  in
+  let header = x_label :: List.map fst series in
+  let rows =
+    List.map
+      (fun x ->
+        fmt_f x
+        :: List.map
+             (fun (_, pts) ->
+               match List.assoc_opt x pts with
+               | Some y -> fmt_f y
+               | None -> "-")
+             series)
+      xs
+  in
+  print ~title ~header rows

@@ -1,0 +1,14 @@
+(** Minimal fixed-width table / series rendering for the benchmark
+    harness, so every reproduced figure prints paper-shaped rows. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** Render rows under a title with column widths fitted to content. *)
+
+val print_series :
+  title:string -> x_label:string -> series:(string * (float * float) list) list -> unit
+(** Render one line per x value with a column per named series (used for
+    figure curves: throughput vs clients, etc.).  X values are the union
+    of the series' x coordinates. *)
+
+val fmt_f : float -> string
+(** Compact float: 3 significant-ish digits ("12.3", "0.004"). *)

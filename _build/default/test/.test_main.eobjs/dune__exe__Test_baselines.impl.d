@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bytes Char Engine Fab Fiber Gwgr Net Printf Stats

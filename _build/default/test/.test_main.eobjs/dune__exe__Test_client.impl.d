@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Array Bytes Char Client Cluster Config Directory Fun Layout List Printf Random Rs_code Stats Storage_node Volume

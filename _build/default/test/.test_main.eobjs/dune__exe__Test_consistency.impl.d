@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Bytes Checker Client Cluster Config Fiber Fun Generator List Printf Runner

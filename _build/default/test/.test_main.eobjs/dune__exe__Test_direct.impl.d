@@ -1,0 +1,1 @@
+test/test_direct.ml: Alcotest Array Bytes Char Client Config Direct_env Layout List Printf Proto Rs_code Storage_node Volume

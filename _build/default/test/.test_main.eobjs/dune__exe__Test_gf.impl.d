@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Array Block_ops Bytes Char Gf256 List Printf QCheck QCheck_alcotest Random

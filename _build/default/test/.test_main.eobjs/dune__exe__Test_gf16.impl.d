@@ -1,0 +1,1 @@
+test/test_gf16.ml: Alcotest Array Gf65536 Printf Random

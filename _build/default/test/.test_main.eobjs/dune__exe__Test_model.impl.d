@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bytes Char Client Config Direct_env Fun Hashtbl List Option Printf QCheck QCheck_alcotest Random Scrub String Volume

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes List Proto QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Bytes Char Client Cluster Config Directory Engine Fiber Fun Layout List Printf Proto Random Rs_code Stats Storage_node

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Config Layout List Printf QCheck QCheck_alcotest Resilience Rs_code

@@ -1,0 +1,1 @@
+test/test_rs.ml: Alcotest Array Bytes Char Fun Gf256 List Matrix Printf QCheck QCheck_alcotest Random Rs_code String

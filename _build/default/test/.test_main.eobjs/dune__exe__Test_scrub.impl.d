@@ -1,0 +1,1 @@
+test/test_scrub.ml: Alcotest Array Bytes Client Cluster Config Directory Fiber Format Layout Printf Rs_code Scrub Stats Storage_node Volume

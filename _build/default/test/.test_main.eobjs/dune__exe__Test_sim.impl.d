@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fiber List Net Pairing_heap Printf Random Resource Stats

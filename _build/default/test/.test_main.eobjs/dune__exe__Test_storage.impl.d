@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Block_ops Bytes Char Directory Engine Hashtbl Layout List Net Printf Proto Rs_code Stats Storage_node String

@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Array Bytes Checker Client Cluster Config Directory Fiber Fun Generator Layout List Printf Random Rs_code Runner Scrub Storage_node

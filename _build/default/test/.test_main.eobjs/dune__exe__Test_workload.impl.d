@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bytes Client Cluster Config Directory Fiber Filename Fun Generator Hashtbl List Option Printf Proto Runner Str String Sys Table Unix

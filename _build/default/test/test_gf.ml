@@ -1,0 +1,210 @@
+(* Unit and property tests for GF(2^8) scalar arithmetic and the bulk
+   block kernels. *)
+
+let check = Alcotest.(check int)
+
+let test_add_is_xor () =
+  check "3+5" (3 lxor 5) (Gf256.add 3 5);
+  check "0+x" 77 (Gf256.add 0 77);
+  check "x+x" 0 (Gf256.add 129 129)
+
+let test_sub_equals_add () =
+  for _ = 1 to 100 do
+    let a = Random.int 256 and b = Random.int 256 in
+    check "sub=add" (Gf256.add a b) (Gf256.sub a b)
+  done
+
+let test_mul_table_small () =
+  (* Hand-checked products in GF(2^8)/0x11d. *)
+  check "2*2" 4 (Gf256.mul 2 2);
+  check "2*128" 29 (Gf256.mul 2 128);
+  (* x^7 * x = x^8 = x^4+x^3+x^2+1 = 0x1d *)
+  check "0*x" 0 (Gf256.mul 0 91);
+  check "x*0" 0 (Gf256.mul 91 0);
+  check "1*x" 91 (Gf256.mul 1 91)
+
+let test_mul_matches_carryless () =
+  (* Cross-check table multiplication against shift-and-xor reference. *)
+  let slow_mul a b =
+    let r = ref 0 and a = ref a and b = ref b in
+    while !b <> 0 do
+      if !b land 1 <> 0 then r := !r lxor !a;
+      a := !a lsl 1;
+      if !a land 0x100 <> 0 then a := !a lxor 0x11d;
+      b := !b lsr 1
+    done;
+    !r
+  in
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      if Gf256.mul a b <> slow_mul a b then
+        Alcotest.failf "mul %d %d: table %d, reference %d" a b (Gf256.mul a b)
+          (slow_mul a b)
+    done
+  done
+
+let test_inverse () =
+  for a = 1 to 255 do
+    check (Printf.sprintf "a*inv a (a=%d)" a) 1 (Gf256.mul a (Gf256.inv a))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf256.inv 0))
+
+let test_div () =
+  for _ = 1 to 200 do
+    let a = Random.int 256 and b = 1 + Random.int 255 in
+    check "div*b" a (Gf256.mul (Gf256.div a b) b)
+  done;
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (Gf256.div 5 0))
+
+let test_pow () =
+  check "a^0" 1 (Gf256.pow 7 0);
+  check "0^0" 1 (Gf256.pow 0 0);
+  check "0^5" 0 (Gf256.pow 0 5);
+  let rec naive a e = if e = 0 then 1 else Gf256.mul a (naive a (e - 1)) in
+  for a = 1 to 20 do
+    for e = 0 to 20 do
+      check (Printf.sprintf "%d^%d" a e) (naive a e) (Gf256.pow a e)
+    done
+  done
+
+let test_exp_log_roundtrip () =
+  for a = 1 to 255 do
+    check "exp(log a)" a (Gf256.exp (Gf256.log a))
+  done;
+  check "generator order" 1 (Gf256.pow Gf256.generator 255);
+  Alcotest.check_raises "log 0" (Invalid_argument
+    "Gf256.log: zero has no discrete log") (fun () -> ignore (Gf256.log 0))
+
+let test_generator_is_primitive () =
+  (* g^i for i in 0..254 must hit every nonzero element exactly once. *)
+  let seen = Array.make 256 false in
+  for i = 0 to 254 do
+    seen.(Gf256.exp i) <- true
+  done;
+  for a = 1 to 255 do
+    Alcotest.(check bool) (Printf.sprintf "covers %d" a) true seen.(a)
+  done
+
+(* --- Block kernels ----------------------------------------------- *)
+
+let random_block len = Bytes.init len (fun _ -> Char.chr (Random.int 256))
+
+let test_xor_into () =
+  let a = random_block 100 and b = random_block 100 in
+  let expect =
+    Bytes.init 100 (fun i ->
+        Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+  in
+  let dst = Bytes.copy a in
+  Block_ops.xor_into ~dst ~src:b;
+  Alcotest.(check bytes) "xor_into" expect dst
+
+let test_xor_pure () =
+  let a = random_block 17 and b = random_block 17 in
+  let r = Block_ops.xor a b in
+  Block_ops.xor_into ~dst:r ~src:b;
+  Alcotest.(check bytes) "xor twice restores" a r
+
+let test_xor_length_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Block_ops: blocks of different lengths") (fun () ->
+      Block_ops.xor_into ~dst:(Bytes.create 4) ~src:(Bytes.create 5))
+
+let test_scale () =
+  let b = random_block 64 in
+  let scaled = Block_ops.scale 7 b in
+  for i = 0 to 63 do
+    check "scale byte" (Gf256.mul 7 (Char.code (Bytes.get b i)))
+      (Char.code (Bytes.get scaled i))
+  done;
+  Alcotest.(check bytes) "scale by 1" b (Block_ops.scale 1 b);
+  Alcotest.(check bool) "scale by 0 is zero" true
+    (Block_ops.is_zero (Block_ops.scale 0 b))
+
+let test_scale_xor_into () =
+  let dst0 = random_block 33 and src = random_block 33 in
+  let dst = Bytes.copy dst0 in
+  Block_ops.scale_xor_into 9 ~dst ~src;
+  let expect = Block_ops.xor dst0 (Block_ops.scale 9 src) in
+  Alcotest.(check bytes) "fused = scale then xor" expect dst
+
+let test_delta () =
+  let v = random_block 50 and w = random_block 50 in
+  let d = Block_ops.delta 5 ~v ~w in
+  let expect = Block_ops.scale 5 (Block_ops.xor v w) in
+  Alcotest.(check bytes) "delta" expect d;
+  Alcotest.(check bool) "delta v v = 0" true
+    (Block_ops.is_zero (Block_ops.delta 5 ~v ~w:v))
+
+let test_is_zero () =
+  Alcotest.(check bool) "zeros" true (Block_ops.is_zero (Bytes.make 10 '\000'));
+  Alcotest.(check bool) "empty" true (Block_ops.is_zero Bytes.empty);
+  let b = Bytes.make 10 '\000' in
+  Bytes.set b 9 '\001';
+  Alcotest.(check bool) "last nonzero" false (Block_ops.is_zero b)
+
+let test_odd_length_blocks () =
+  (* Exercise the non-word tail path of xor_into. *)
+  List.iter
+    (fun len ->
+      let a = random_block len and b = random_block len in
+      let r = Block_ops.xor (Block_ops.xor a b) b in
+      Alcotest.(check bytes) (Printf.sprintf "len %d" len) a r)
+    [ 1; 3; 7; 8; 9; 15; 16; 17; 1023; 1025 ]
+
+(* --- qcheck properties -------------------------------------------- *)
+
+let elem = QCheck.int_range 0 255
+
+let prop_assoc =
+  QCheck.Test.make ~name:"gf mul associative" ~count:1000
+    QCheck.(triple elem elem elem)
+    (fun (a, b, c) ->
+      Gf256.mul a (Gf256.mul b c) = Gf256.mul (Gf256.mul a b) c)
+
+let prop_distrib =
+  QCheck.Test.make ~name:"gf mul distributes over add" ~count:1000
+    QCheck.(triple elem elem elem)
+    (fun (a, b, c) ->
+      Gf256.mul a (Gf256.add b c) = Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+
+let prop_comm =
+  QCheck.Test.make ~name:"gf mul commutative" ~count:1000
+    QCheck.(pair elem elem)
+    (fun (a, b) -> Gf256.mul a b = Gf256.mul b a)
+
+let prop_block_scale_distributes =
+  QCheck.Test.make ~name:"block scale distributes over xor" ~count:100
+    QCheck.(triple elem (string_of_size (QCheck.Gen.return 32)) (string_of_size (QCheck.Gen.return 32)))
+    (fun (alpha, s1, s2) ->
+      let b1 = Bytes.of_string s1 and b2 = Bytes.of_string s2 in
+      Bytes.equal
+        (Block_ops.scale alpha (Block_ops.xor b1 b2))
+        (Block_ops.xor (Block_ops.scale alpha b1) (Block_ops.scale alpha b2)))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "gf256",
+    [
+      t "add is xor" test_add_is_xor;
+      t "sub equals add" test_sub_equals_add;
+      t "mul small cases" test_mul_table_small;
+      t "mul matches carryless reference (exhaustive)" test_mul_matches_carryless;
+      t "multiplicative inverse" test_inverse;
+      t "division" test_div;
+      t "pow" test_pow;
+      t "exp/log roundtrip" test_exp_log_roundtrip;
+      t "generator is primitive" test_generator_is_primitive;
+      t "xor_into" test_xor_into;
+      t "xor pure" test_xor_pure;
+      t "xor length mismatch" test_xor_length_mismatch;
+      t "scale" test_scale;
+      t "scale_xor_into fused" test_scale_xor_into;
+      t "delta" test_delta;
+      t "is_zero" test_is_zero;
+      t "odd-length blocks" test_odd_length_blocks;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_assoc; prop_distrib; prop_comm; prop_block_scale_distributes ] )

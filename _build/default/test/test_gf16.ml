@@ -1,0 +1,103 @@
+(* Tests for the GF(2^16) field (substrate for codes wider than 255
+   blocks). *)
+
+let check = Alcotest.(check int)
+
+let slow_mul a b =
+  (* Carry-less shift-and-xor reference, reduced by 0x1100B. *)
+  let r = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then r := !r lxor !a;
+    a := !a lsl 1;
+    if !a land 0x10000 <> 0 then a := !a lxor 0x1100B;
+    b := !b lsr 1
+  done;
+  !r
+
+let test_generator_is_primitive () =
+  (* g^i for i in 0..65534 must cover every nonzero element: this is
+     what certifies 0x1100B as primitive. *)
+  let seen = Array.make 65536 false in
+  for i = 0 to 65534 do
+    let v = Gf65536.exp i in
+    if seen.(v) then Alcotest.failf "exp repeats at %d" i;
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "zero never hit" false seen.(0)
+
+let test_mul_matches_reference () =
+  let rng = Random.State.make [| 21 |] in
+  for _ = 1 to 20_000 do
+    let a = Random.State.int rng 65536 and b = Random.State.int rng 65536 in
+    if Gf65536.mul a b <> slow_mul a b then
+      Alcotest.failf "mul %d %d: table %d, reference %d" a b (Gf65536.mul a b)
+        (slow_mul a b)
+  done
+
+let test_field_axioms_sampled () =
+  let rng = Random.State.make [| 22 |] in
+  for _ = 1 to 5_000 do
+    let a = Random.State.int rng 65536
+    and b = Random.State.int rng 65536
+    and c = Random.State.int rng 65536 in
+    check "assoc" (Gf65536.mul a (Gf65536.mul b c)) (Gf65536.mul (Gf65536.mul a b) c);
+    check "comm" (Gf65536.mul a b) (Gf65536.mul b a);
+    check "distrib"
+      (Gf65536.mul a (Gf65536.add b c))
+      (Gf65536.add (Gf65536.mul a b) (Gf65536.mul a c));
+    check "one" a (Gf65536.mul a 1);
+    check "zero" 0 (Gf65536.mul a 0)
+  done
+
+let test_inverse_exhaustive () =
+  for a = 1 to 65535 do
+    if Gf65536.mul a (Gf65536.inv a) <> 1 then
+      Alcotest.failf "inv %d broken" a
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf65536.inv 0))
+
+let test_div_and_pow () =
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 2_000 do
+    let a = Random.State.int rng 65536 and b = 1 + Random.State.int rng 65535 in
+    check "div" a (Gf65536.mul (Gf65536.div a b) b)
+  done;
+  check "a^0" 1 (Gf65536.pow 777 0);
+  check "0^7" 0 (Gf65536.pow 0 7);
+  let rec naive a e = if e = 0 then 1 else Gf65536.mul a (naive a (e - 1)) in
+  for e = 0 to 12 do
+    check (Printf.sprintf "pow e=%d" e) (naive 9177 e) (Gf65536.pow 9177 e)
+  done;
+  check "generator order" 1 (Gf65536.pow Gf65536.generator 65535)
+
+let test_exp_log_roundtrip () =
+  let rng = Random.State.make [| 24 |] in
+  for _ = 1 to 5_000 do
+    let a = 1 + Random.State.int rng 65535 in
+    check "roundtrip" a (Gf65536.exp (Gf65536.log a))
+  done;
+  Alcotest.check_raises "log 0"
+    (Invalid_argument "Gf65536.log: zero has no discrete log") (fun () ->
+      ignore (Gf65536.log 0))
+
+let test_add_self_inverse () =
+  let rng = Random.State.make [| 25 |] in
+  for _ = 1 to 1_000 do
+    let a = Random.State.int rng 65536 and b = Random.State.int rng 65536 in
+    check "sub = add" (Gf65536.add a b) (Gf65536.sub a b);
+    check "a+a=0" 0 (Gf65536.add a a)
+  done
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "gf65536",
+    [
+      t "0x1100B is primitive (exhaustive)" test_generator_is_primitive;
+      t "mul matches carry-less reference (20k samples)" test_mul_matches_reference;
+      t "field axioms (5k samples)" test_field_axioms_sampled;
+      t "inverse (exhaustive)" test_inverse_exhaustive;
+      t "div and pow" test_div_and_pow;
+      t "exp/log roundtrip" test_exp_log_roundtrip;
+      t "characteristic 2" test_add_self_inverse;
+    ] )

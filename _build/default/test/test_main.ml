@@ -1,0 +1,23 @@
+(* Entry point: gathers every suite.  Suites live one-per-module with a
+   [suite : string * unit Alcotest.test_case list] value. *)
+
+let () =
+  Alcotest.run "ecstore"
+    [
+      Test_gf.suite;
+      Test_gf16.suite;
+      Test_rs.suite;
+      Test_sim.suite;
+      Test_storage.suite;
+      Test_client.suite;
+      Test_recovery.suite;
+      Test_baselines.suite;
+      Test_resilience.suite;
+      Test_consistency.suite;
+      Test_workload.suite;
+      Test_proto.suite;
+      Test_scrub.suite;
+      Test_torture.suite;
+      Test_direct.suite;
+      Test_model.suite;
+    ]

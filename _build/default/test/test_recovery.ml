@@ -1,0 +1,361 @@
+(* Failure-injection tests: storage-node crashes with online recovery,
+   client crashes leaving partial writes, crashes during recovery itself,
+   the monitor, and epoch fencing. *)
+
+let block_of cluster c =
+  Bytes.make (Cluster.config cluster).Config.block_size c
+
+let run_to_completion cluster f =
+  let result = ref None in
+  Cluster.spawn cluster (fun () -> result := Some (f ()));
+  Cluster.run cluster;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "fiber did not complete"
+
+let stripe_consistent cluster ~slot =
+  let cfg = Cluster.config cluster in
+  let layout = Cluster.layout cluster in
+  let blocks =
+    Array.init cfg.Config.n (fun pos ->
+        let node = Layout.node_of layout ~stripe:slot ~pos in
+        let entry = Cluster.storage_entry cluster node in
+        Bytes.copy (Storage_node.peek_block entry.Directory.store ~slot))
+  in
+  Rs_code.verify_stripe (Cluster.code cluster) blocks
+
+let cfg_3_5 ?(strategy = Config.Parallel) () =
+  Config.make ~strategy ~t_p:1 ~block_size:64 ~k:3 ~n:5 ()
+
+let test_storage_crash_then_read () =
+  (* Crash the node holding a data block; a read must trigger recovery
+     and return the value decoded from the survivors. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Client.write client ~slot:0 ~i:0 (block_of cluster 'v');
+      Client.write client ~slot:0 ~i:1 (block_of cluster 'w');
+      (* Data position 0 of stripe 0 is on logical node 0 (rotation +0). *)
+      Cluster.crash_and_remap_storage cluster 0;
+      Alcotest.(check bytes) "recovered value" (block_of cluster 'v')
+        (Client.read client ~slot:0 ~i:0));
+  Alcotest.(check bool) "consistent after recovery" true
+    (stripe_consistent cluster ~slot:0);
+  Alcotest.(check bool) "recovery ran" true
+    (Stats.counter (Cluster.stats cluster) "note.recovery.done" >= 1.)
+
+let test_storage_crash_then_write () =
+  (* Crash the data node; a write to that block must recover and then
+     land. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Client.write client ~slot:0 ~i:2 (block_of cluster 'a');
+      let node = Layout.node_of (Cluster.layout cluster) ~stripe:0 ~pos:2 in
+      Cluster.crash_and_remap_storage cluster node;
+      Client.write client ~slot:0 ~i:2 (block_of cluster 'b');
+      Alcotest.(check bytes) "new value" (block_of cluster 'b')
+        (Client.read client ~slot:0 ~i:2));
+  Alcotest.(check bool) "consistent" true (stripe_consistent cluster ~slot:0)
+
+let test_redundant_node_crash () =
+  (* Crash a redundant node: reads are unaffected (no recovery), but the
+     next write to the stripe trips over it and repairs. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Client.write client ~slot:0 ~i:0 (block_of cluster 'r');
+      let node = Layout.node_of (Cluster.layout cluster) ~stripe:0 ~pos:4 in
+      Cluster.crash_and_remap_storage cluster node;
+      (* Read does not touch redundant nodes. *)
+      Alcotest.(check bytes) "read ok" (block_of cluster 'r')
+        (Client.read client ~slot:0 ~i:0);
+      Alcotest.(check (float 0.01)) "no recovery for reads" 0.
+        (Stats.counter (Cluster.stats cluster) "note.recovery.start");
+      Client.write client ~slot:0 ~i:1 (block_of cluster 's');
+      Alcotest.(check bytes) "write landed" (block_of cluster 's')
+        (Client.read client ~slot:0 ~i:1));
+  Alcotest.(check bool) "consistent (redundant restored)" true
+    (stripe_consistent cluster ~slot:0)
+
+let test_two_storage_crashes_3_5 () =
+  (* 3-of-5 with t_p=1, parallel: tolerates 1 storage crash; with t_p=0
+     it tolerates 2.  Use t_p=0 and crash two nodes. *)
+  let cfg = Config.make ~strategy:Config.Parallel ~t_p:0 ~block_size:64 ~k:3 ~n:5 () in
+  let cluster = Cluster.create cfg in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Client.write client ~slot:0 ~i (block_of cluster (Char.chr (104 + i)))
+      done;
+      Cluster.crash_and_remap_storage cluster 0;
+      Cluster.crash_and_remap_storage cluster 1;
+      for i = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d survives 2 crashes" i)
+          (block_of cluster (Char.chr (104 + i)))
+          (Client.read client ~slot:0 ~i)
+      done);
+  Alcotest.(check bool) "consistent" true (stripe_consistent cluster ~slot:0)
+
+let test_client_crash_mid_write_then_monitor () =
+  (* Writer crashes between swap and adds: the stripe is torn.  The
+     monitor detects the stale recentlist entry and repairs. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let w = Cluster.make_client cluster ~id:0 in
+  Cluster.spawn cluster (fun () ->
+      Client.write w ~slot:0 ~i:0 (block_of cluster 'p'));
+  Cluster.run cluster;
+  (* Second write that will be cut short: crash the client right after
+     its swap lands by scheduling the crash mid-flight. *)
+  Cluster.spawn cluster (fun () ->
+      try Client.write w ~slot:0 ~i:1 (block_of cluster 'q')
+      with Cluster.Client_crashed _ -> ());
+  (* One round trip is ~125us: crash at 150us, after swap, before the
+     adds complete. *)
+  Engine.schedule (Cluster.engine cluster)
+    ~at:(Cluster.now cluster +. 150e-6)
+    (fun () -> Cluster.crash_client cluster 0);
+  Cluster.run cluster;
+  (* The stripe may now be torn. Run the monitor from a healthy client. *)
+  let m = Cluster.make_client cluster ~id:1 in
+  run_to_completion cluster (fun () ->
+      Fiber.sleep 1.0;
+      Client.monitor_once m ~slots:[ 0 ]);
+  Alcotest.(check bool) "consistent after monitor" true
+    (stripe_consistent cluster ~slot:0);
+  (* Block 0's committed value must have survived whatever happened to
+     the partial write. *)
+  let reader = Cluster.make_client cluster ~id:2 in
+  let v = run_to_completion cluster (fun () -> Client.read reader ~slot:0 ~i:0) in
+  Alcotest.(check bytes) "committed value intact" (block_of cluster 'p') v
+
+let test_client_crash_storms_then_crash_storage () =
+  (* The Sec 3.10 scenario: t_p writers crash mid-write; monitor repairs;
+     then a storage node crashes and data is still recoverable. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let setup = Cluster.make_client cluster ~id:10 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Client.write setup ~slot:0 ~i (block_of cluster (Char.chr (65 + i)))
+      done);
+  (* One writer (t_p = 1) crashes mid-write. *)
+  let w = Cluster.make_client cluster ~id:0 in
+  Cluster.spawn cluster (fun () ->
+      try Client.write w ~slot:0 ~i:0 (block_of cluster 'Z')
+      with Cluster.Client_crashed _ -> ());
+  Engine.schedule (Cluster.engine cluster)
+    ~at:(Cluster.now cluster +. 150e-6)
+    (fun () -> Cluster.crash_client cluster 0);
+  Cluster.run cluster;
+  (* Monitor repairs the partial write... *)
+  let m = Cluster.make_client cluster ~id:1 in
+  run_to_completion cluster (fun () ->
+      Fiber.sleep 1.0;
+      Client.monitor_once m ~slots:[ 0 ]);
+  Alcotest.(check bool) "repaired" true (stripe_consistent cluster ~slot:0);
+  (* ...so a subsequent storage crash is survivable. *)
+  run_to_completion cluster (fun () ->
+      Cluster.crash_and_remap_storage cluster 2;
+      let v1 = Client.read m ~slot:0 ~i:1 in
+      Alcotest.(check bytes) "B" (block_of cluster 'B') v1)
+
+let test_crash_during_recovery_handoff () =
+  (* Client 0 crashes mid-recovery (after reconstruct marks nodes
+     RECONS); client 1 must adopt the recons_set and finish. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let setup = Cluster.make_client cluster ~id:10 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Client.write setup ~slot:0 ~i (block_of cluster (Char.chr (97 + i)))
+      done;
+      Cluster.crash_and_remap_storage cluster 0);
+  let r1 = Cluster.make_client cluster ~id:0 in
+  Cluster.spawn cluster (fun () ->
+      try Client.recover_slot r1 ~slot:0 with Cluster.Client_crashed _ -> ());
+  (* Recovery takes ~10 round trips; crash it partway through. *)
+  Engine.schedule (Cluster.engine cluster)
+    ~at:(Cluster.now cluster +. 600e-6)
+    (fun () -> Cluster.crash_client cluster 0);
+  Cluster.run cluster;
+  let r2 = Cluster.make_client cluster ~id:1 in
+  run_to_completion cluster (fun () ->
+      Fiber.sleep 0.5;
+      Client.recover_slot r2 ~slot:0;
+      for i = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d after handoff" i)
+          (block_of cluster (Char.chr (97 + i)))
+          (Client.read r2 ~slot:0 ~i)
+      done);
+  Alcotest.(check bool) "consistent" true (stripe_consistent cluster ~slot:0)
+
+let test_concurrent_recoveries_back_off () =
+  (* Two clients try to recover the same stripe; locks must make one
+     back off, and both finish without corruption. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let setup = Cluster.make_client cluster ~id:10 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Client.write setup ~slot:0 ~i (block_of cluster (Char.chr (97 + i)))
+      done;
+      Cluster.crash_and_remap_storage cluster 1);
+  let r1 = Cluster.make_client cluster ~id:0 in
+  let r2 = Cluster.make_client cluster ~id:1 in
+  Cluster.spawn cluster (fun () -> Client.recover_slot r1 ~slot:0);
+  Cluster.spawn cluster (fun () -> Client.recover_slot r2 ~slot:0);
+  Cluster.run cluster;
+  Alcotest.(check bool) "consistent" true (stripe_consistent cluster ~slot:0);
+  let reader = Cluster.make_client cluster ~id:2 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d" i)
+          (block_of cluster (Char.chr (97 + i)))
+          (Client.read reader ~slot:0 ~i)
+      done)
+
+let test_write_concurrent_with_recovery () =
+  (* A write in flight while another client runs recovery: the write must
+     eventually land (possibly after epoch fencing forces a retry) and
+     the stripe must stay consistent. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let setup = Cluster.make_client cluster ~id:10 in
+  run_to_completion cluster (fun () ->
+      for i = 0 to 2 do
+        Client.write setup ~slot:0 ~i (block_of cluster 'o')
+      done;
+      Cluster.crash_and_remap_storage cluster 4);
+  let writer = Cluster.make_client cluster ~id:0 in
+  let recoverer = Cluster.make_client cluster ~id:1 in
+  Cluster.spawn cluster (fun () -> Client.recover_slot recoverer ~slot:0);
+  Cluster.spawn cluster (fun () ->
+      Client.write writer ~slot:0 ~i:0 (block_of cluster 'N'));
+  Cluster.run cluster;
+  Alcotest.(check bool) "consistent" true (stripe_consistent cluster ~slot:0);
+  let reader = Cluster.make_client cluster ~id:2 in
+  run_to_completion cluster (fun () ->
+      Alcotest.(check bytes) "write landed" (block_of cluster 'N')
+        (Client.read reader ~slot:0 ~i:0))
+
+let test_epoch_bumped_by_recovery () =
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Client.write client ~slot:0 ~i:0 (block_of cluster 'e');
+      Client.recover_slot client ~slot:0;
+      Client.recover_slot client ~slot:0);
+  let e = Cluster.storage_entry cluster 0 in
+  Alcotest.(check int) "epoch = 2 after two recoveries" 2
+    (Storage_node.peek_epoch e.Directory.store ~slot:0)
+
+let test_recovery_preserves_unwritten_stripe () =
+  (* Recovery of a stripe that was never written must restore zeros. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Cluster.crash_and_remap_storage cluster 0;
+      Alcotest.(check bytes) "zeros" (block_of cluster '\000')
+        (Client.read client ~slot:0 ~i:0))
+
+let test_monitor_detects_init_node () =
+  (* After a remap, INIT slots are repaired by the monitor without any
+     client read/write tripping over them first. *)
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let client = Cluster.make_client cluster ~id:0 in
+  run_to_completion cluster (fun () ->
+      Client.write client ~slot:0 ~i:0 (block_of cluster 'm'));
+  (* Crash and remap; touch the INIT node once so its slot materializes
+     (a probe alone does not create slots). *)
+  let m = Cluster.make_client cluster ~id:1 in
+  run_to_completion cluster (fun () ->
+      Cluster.crash_and_remap_storage cluster 0;
+      (* The INIT slot materializes when anything touches it; monitor
+         relies on recovery triggered via directory-generation change,
+         which the Volume monitor performs.  Here we poke it. *)
+      (match (Client.env m).Client.call ~slot:0 ~pos:0 Proto.Read with
+      | Ok _ | Error _ -> ());
+      Client.monitor_once m ~slots:[ 0 ]);
+  Alcotest.(check bool) "repaired via monitor" true
+    (stripe_consistent cluster ~slot:0);
+  Alcotest.(check bool) "opmode back to NORM" true
+    (Storage_node.peek_opmode
+       (Cluster.storage_entry cluster 0).Directory.store ~slot:0
+    = Proto.Norm)
+
+let test_no_remap_write_states_stuck () =
+  (* With manual remap policy and a dead node, a write to the dead data
+     node cannot finish: it must raise Stuck rather than hang or corrupt. *)
+  let cfg =
+    Config.make ~strategy:Config.Parallel ~t_p:1 ~block_size:64 ~k:3 ~n:5
+      ~retry_delay:1e-4 ~recovery_retry_limit:20 ()
+  in
+  let cluster = Cluster.create ~remap_policy:`Manual cfg in
+  let client = Cluster.make_client cluster ~id:0 in
+  let result =
+    run_to_completion cluster (fun () ->
+        Cluster.crash_storage cluster 0;
+        match Client.write client ~slot:0 ~i:0 (block_of cluster 'x') with
+        | () -> `Completed
+        | exception Client.Stuck _ -> `Stuck)
+  in
+  Alcotest.(check bool) "stuck" true (result = `Stuck)
+
+let test_online_recovery_under_load () =
+  (* Crash a node while 3 clients keep writing: everything must settle
+     consistent, with all stripes decodable. *)
+  let cfg = Config.make ~strategy:Config.Parallel ~t_p:1 ~block_size:64 ~k:3 ~n:5 () in
+  let cluster = Cluster.create cfg in
+  let stripes = 6 in
+  for id = 0 to 2 do
+    let client = Cluster.make_client cluster ~id in
+    Cluster.spawn cluster (fun () ->
+        let rng = Random.State.make [| id + 1 |] in
+        for _ = 1 to 40 do
+          let slot = Random.State.int rng stripes in
+          let i = Random.State.int rng 3 in
+          Client.write client ~slot ~i
+            (block_of cluster (Char.chr (65 + Random.State.int rng 26)));
+          Fiber.sleep 1e-4
+        done)
+  done;
+  Engine.schedule (Cluster.engine cluster) ~at:2e-3 (fun () ->
+      Cluster.crash_and_remap_storage cluster 3);
+  Cluster.run cluster;
+  (* Repair any stripes still torn (redundant-only damage), then check. *)
+  let fixer = Cluster.make_client cluster ~id:9 in
+  run_to_completion cluster (fun () ->
+      Client.monitor_once fixer ~slots:(List.init stripes Fun.id);
+      for slot = 0 to stripes - 1 do
+        (* Touch each position so INIT slots materialize and repair. *)
+        for i = 0 to 2 do
+          ignore (Client.read fixer ~slot ~i)
+        done
+      done;
+      Client.monitor_once fixer ~slots:(List.init stripes Fun.id));
+  for slot = 0 to stripes - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "stripe %d consistent" slot)
+      true
+      (stripe_consistent cluster ~slot)
+  done
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "recovery",
+    [
+      t "storage crash then read" test_storage_crash_then_read;
+      t "storage crash then write" test_storage_crash_then_write;
+      t "redundant node crash" test_redundant_node_crash;
+      t "two storage crashes (t_p=0, 3-of-5)" test_two_storage_crashes_3_5;
+      t "client crash mid-write + monitor" test_client_crash_mid_write_then_monitor;
+      t "t_p crashes then storage crash (Sec 3.10)" test_client_crash_storms_then_crash_storage;
+      t "crash during recovery: handoff" test_crash_during_recovery_handoff;
+      t "concurrent recoveries back off" test_concurrent_recoveries_back_off;
+      t "write concurrent with recovery" test_write_concurrent_with_recovery;
+      t "epoch bumped by recovery" test_epoch_bumped_by_recovery;
+      t "recovery of unwritten stripe" test_recovery_preserves_unwritten_stripe;
+      t "monitor repairs INIT node" test_monitor_detects_init_node;
+      t "manual remap: write reports Stuck" test_no_remap_write_states_stuck;
+      t "online recovery under load" test_online_recovery_under_load;
+    ] )

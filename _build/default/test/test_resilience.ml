@@ -1,0 +1,214 @@
+(* Tests for the Section 4 formulas (Theorems 1-3, Corollary 1) and the
+   Config derivations. *)
+
+let check = Alcotest.(check int)
+
+let test_d_serial_tp0 () =
+  (* With no client failures both schemes tolerate p storage crashes. *)
+  for p = 0 to 8 do
+    check (Printf.sprintf "serial p=%d" p) p (Resilience.d_serial ~t_p:0 ~p);
+    check (Printf.sprintf "parallel p=%d" p) p (Resilience.d_parallel ~t_p:0 ~p)
+  done
+
+let test_d_serial_values () =
+  (* d_SERIAL = ceil(p/(t_p+1) - t_p/2), hand-computed. *)
+  check "p=2 tp=1" 1 (Resilience.d_serial ~t_p:1 ~p:2);
+  check "p=3 tp=1" 1 (Resilience.d_serial ~t_p:1 ~p:3);
+  check "p=4 tp=1" 2 (Resilience.d_serial ~t_p:1 ~p:4);
+  check "p=2 tp=2" 0 (Resilience.d_serial ~t_p:2 ~p:2);
+  check "p=6 tp=2" 1 (Resilience.d_serial ~t_p:2 ~p:6);
+  (* Negative means intolerable. *)
+  Alcotest.(check bool) "p=2 tp=3 negative" true
+    (Resilience.d_serial ~t_p:3 ~p:2 < 0)
+
+let test_d_parallel_values () =
+  (* d_PARALLEL = ceil(p/2^t_p - t_p/2). *)
+  check "p=2 tp=1" 1 (Resilience.d_parallel ~t_p:1 ~p:2);
+  check "p=4 tp=1" 2 (Resilience.d_parallel ~t_p:1 ~p:4);
+  check "p=4 tp=2" 0 (Resilience.d_parallel ~t_p:2 ~p:4);
+  check "p=8 tp=2" 1 (Resilience.d_parallel ~t_p:2 ~p:8)
+
+let test_parallel_weaker_than_serial () =
+  (* Theorem 2's bound is never better than Theorem 1's. *)
+  for t_p = 0 to 4 do
+    for p = 0 to 12 do
+      Alcotest.(check bool)
+        (Printf.sprintf "tp=%d p=%d" t_p p)
+        true
+        (Resilience.d_parallel ~t_p ~p <= Resilience.d_serial ~t_p ~p)
+    done
+  done
+
+let test_corollary_consistency () =
+  (* delta_serial is the least p with d_serial >= t_d (Corollary 1
+     inverts Theorem 1). *)
+  for t_p = 0 to 3 do
+    for t_d = 1 to 4 do
+      let delta = Resilience.delta_serial ~t_p ~t_d in
+      Alcotest.(check bool)
+        (Printf.sprintf "serial delta=%d tolerates (tp=%d,td=%d)" delta t_p t_d)
+        true
+        (Resilience.d_serial ~t_p ~p:delta >= t_d);
+      if delta > 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "delta-1 insufficient (tp=%d,td=%d)" t_p t_d)
+          true
+          (Resilience.d_serial ~t_p ~p:(delta - 1) < t_d)
+    done
+  done
+
+let test_corollary_parallel () =
+  for t_p = 0 to 3 do
+    for t_d = 1 to 4 do
+      let delta = Resilience.delta_parallel ~t_p ~t_d in
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel delta=%d tolerates (tp=%d,td=%d)" delta t_p t_d)
+        true
+        (Resilience.d_parallel ~t_p ~p:delta >= t_d)
+    done
+  done
+
+let test_latencies () =
+  check "serial p=3" 4 (Resilience.write_latency_serial ~p:3);
+  check "parallel" 2 Resilience.write_latency_parallel;
+  check "hybrid p=4 g=2" 3 (Resilience.write_latency_hybrid ~p:4 ~group:2);
+  check "hybrid p=4 g=4" 2 (Resilience.write_latency_hybrid ~p:4 ~group:4);
+  check "hybrid p=5 g=2" 4 (Resilience.write_latency_hybrid ~p:5 ~group:2)
+
+let test_hybrid_theorem3 () =
+  (* Groups no larger than d_serial keep the serial bound. *)
+  check "p=4 tp=1 g=2" 2 (Resilience.d_hybrid ~t_p:1 ~p:4 ~group:2);
+  Alcotest.(check bool) "too-large group rejected" true
+    (Resilience.d_hybrid ~t_p:1 ~p:4 ~group:3 < 0)
+
+let test_tolerated_pairs () =
+  (* Fig 8(a)-style resiliency strings; p=2 serial. *)
+  Alcotest.(check string) "p=2 serial" "0c2s, 1c1s, 2c0s"
+    (Resilience.pairs_to_string (Resilience.tolerated_pairs `Serial ~p:2));
+  (* Depends only on p, not on n or k individually (Fig 8c). *)
+  Alcotest.(check string) "p=1" "0c1s, 1c0s, 2c0s"
+    (Resilience.pairs_to_string (Resilience.tolerated_pairs `Parallel ~p:1));
+  let serial4 = Resilience.tolerated_pairs `Serial ~p:4 in
+  let parallel4 = Resilience.tolerated_pairs `Parallel ~p:4 in
+  Alcotest.(check bool) "serial >= parallel coverage" true
+    (List.length serial4 >= List.length parallel4)
+
+(* --- Config -------------------------------------------------------- *)
+
+let test_config_validation () =
+  Alcotest.check_raises "k=1" (Invalid_argument "Config.make: need k >= 2 (Sec 4)")
+    (fun () -> ignore (Config.make ~k:1 ~n:3 ()));
+  Alcotest.check_raises "p>k" (Invalid_argument "Config.make: need n - k <= k (Sec 4)")
+    (fun () -> ignore (Config.make ~k:2 ~n:5 ()));
+  Alcotest.check_raises "n<=k" (Invalid_argument "Config.make: need n > k")
+    (fun () -> ignore (Config.make ~k:4 ~n:4 ()))
+
+let test_config_t_d_derivation () =
+  let cfg = Config.make ~strategy:Config.Serial ~t_p:1 ~k:4 ~n:8 () in
+  check "serial 4-of-8 tp=1" (Resilience.d_serial ~t_p:1 ~p:4) cfg.Config.t_d;
+  let cfg = Config.make ~strategy:Config.Parallel ~t_p:1 ~k:4 ~n:8 () in
+  check "parallel 4-of-8 tp=1" (Resilience.d_parallel ~t_p:1 ~p:4) cfg.Config.t_d;
+  (* Clamped at zero when intolerable. *)
+  let cfg = Config.make ~strategy:Config.Parallel ~t_p:4 ~k:4 ~n:6 () in
+  check "clamped" 0 cfg.Config.t_d
+
+let test_strategy_strings () =
+  Alcotest.(check string) "serial" "serial" (Config.strategy_to_string Config.Serial);
+  Alcotest.(check string) "hybrid" "hybrid(3)"
+    (Config.strategy_to_string (Config.Hybrid 3))
+
+(* --- Layout -------------------------------------------------------- *)
+
+let test_layout_block_mapping () =
+  let l = Layout.create ~k:3 ~n:5 () in
+  Alcotest.(check (pair int int)) "block 0" (0, 0) (Layout.stripe_of_block l 0);
+  Alcotest.(check (pair int int)) "block 4" (1, 1) (Layout.stripe_of_block l 4);
+  check "inverse" 4 (Layout.block_of_stripe l ~stripe:1 ~pos:1)
+
+let test_layout_rotation () =
+  let l = Layout.create ~k:2 ~n:4 () in
+  (* Stripe 0: pos q -> node q; stripe 1: pos q -> node q+1 mod 4. *)
+  check "s0 p0" 0 (Layout.node_of l ~stripe:0 ~pos:0);
+  check "s1 p0" 1 (Layout.node_of l ~stripe:1 ~pos:0);
+  check "s1 p3" 0 (Layout.node_of l ~stripe:1 ~pos:3);
+  check "s4 p0" 0 (Layout.node_of l ~stripe:4 ~pos:0);
+  (* pos_of inverts node_of. *)
+  for stripe = 0 to 7 do
+    for pos = 0 to 3 do
+      let node = Layout.node_of l ~stripe ~pos in
+      check (Printf.sprintf "inv s%d p%d" stripe pos) pos
+        (Layout.pos_of l ~stripe ~node)
+    done
+  done
+
+let test_layout_redundant_rotates () =
+  (* The redundant positions land on different nodes across stripes
+     (Sec 3.11: no parity hotspot). *)
+  let l = Layout.create ~k:2 ~n:4 () in
+  let parity_nodes =
+    List.init 4 (fun stripe -> Layout.node_of l ~stripe ~pos:2)
+    |> List.sort_uniq compare
+  in
+  check "parity spread over all nodes" 4 (List.length parity_nodes)
+
+let test_layout_rejects_negative_stripe () =
+  let l = Layout.create ~k:2 ~n:4 () in
+  Alcotest.check_raises "node_of" (Invalid_argument "Layout.node_of: negative stripe")
+    (fun () -> ignore (Layout.node_of l ~stripe:(-1) ~pos:0));
+  Alcotest.check_raises "pos_of" (Invalid_argument "Layout.pos_of: negative stripe")
+    (fun () -> ignore (Layout.pos_of l ~stripe:(-1) ~node:0));
+  Alcotest.check_raises "stripe_of_block"
+    (Invalid_argument "Layout.stripe_of_block: negative block") (fun () ->
+      ignore (Layout.stripe_of_block l (-3)))
+
+let test_layout_no_rotate () =
+  let l = Layout.create ~rotate:false ~k:2 ~n:4 () in
+  for stripe = 0 to 5 do
+    check "pinned" 3 (Layout.node_of l ~stripe ~pos:3)
+  done
+
+let test_layout_alpha_oracle () =
+  let code = Rs_code.create ~k:2 ~n:4 () in
+  let l = Layout.create ~k:2 ~n:4 () in
+  (* Stripe 1 rotates: node 3 serves position 2 (first redundant). *)
+  check "redundant alpha"
+    (Rs_code.alpha code ~j:2 ~i:1)
+    (Layout.alpha_oracle l code ~node:3 ~slot:1 ~dblk:1);
+  (* Node serving a data position: identity on own block. *)
+  check "data self" 1 (Layout.alpha_oracle l code ~node:1 ~slot:1 ~dblk:0);
+  check "data other" 0 (Layout.alpha_oracle l code ~node:1 ~slot:1 ~dblk:1)
+
+let prop_pairs_depend_only_on_p =
+  QCheck.Test.make ~name:"resiliency depends only on n-k (Fig 8c)" ~count:50
+    QCheck.(pair (int_range 2 10) (int_range 1 4))
+    (fun (k, p) ->
+      let pairs1 = Resilience.tolerated_pairs `Serial ~p in
+      (* Same p with a different k: formulas never see k. *)
+      ignore k;
+      let pairs2 = Resilience.tolerated_pairs `Serial ~p in
+      pairs1 = pairs2)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "resilience",
+    [
+      t "t_p=0 tolerates p crashes" test_d_serial_tp0;
+      t "d_serial hand values" test_d_serial_values;
+      t "d_parallel hand values" test_d_parallel_values;
+      t "parallel never beats serial" test_parallel_weaker_than_serial;
+      t "corollary 1 inverts theorem 1" test_corollary_consistency;
+      t "corollary 1 (parallel)" test_corollary_parallel;
+      t "write latencies" test_latencies;
+      t "theorem 3 (hybrid)" test_hybrid_theorem3;
+      t "tolerated pairs strings (Fig 8a/8c)" test_tolerated_pairs;
+      t "config validation" test_config_validation;
+      t "config derives t_d" test_config_t_d_derivation;
+      t "strategy strings" test_strategy_strings;
+      t "layout block mapping" test_layout_block_mapping;
+      t "layout rotation + inverse" test_layout_rotation;
+      t "layout parity rotates (Sec 3.11)" test_layout_redundant_rotates;
+      t "layout without rotation" test_layout_no_rotate;
+      t "layout rejects negative stripe" test_layout_rejects_negative_stripe;
+      t "layout alpha oracle" test_layout_alpha_oracle;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_pairs_depend_only_on_p ] )

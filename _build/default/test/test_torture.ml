@@ -1,0 +1,142 @@
+(* Torture tests: randomized crash schedules (storage nodes and clients)
+   over a running workload, across seeds, codes and strategies.  After
+   each run the scrubber repairs residual damage and we assert:
+   - the recorded history satisfies regular-register semantics,
+   - every stripe is white-box consistent with the erasure code,
+   - the scrubber reports nothing unrepairable.
+
+   These runs stay within the Sec 4 failure envelope (at most t_p client
+   crashes and t_d concurrent storage crashes), which is the regime the
+   paper's theorems promise to survive. *)
+
+let stripe_consistent cluster ~slot =
+  let cfg = Cluster.config cluster in
+  let layout = Cluster.layout cluster in
+  let blocks =
+    Array.init cfg.Config.n (fun pos ->
+        let node = Layout.node_of layout ~stripe:slot ~pos in
+        let entry = Cluster.storage_entry cluster node in
+        Bytes.copy (Storage_node.peek_block entry.Directory.store ~slot))
+  in
+  Rs_code.verify_stripe (Cluster.code cluster) blocks
+
+let torture ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
+  let cfg =
+    Config.make ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01 ()
+  in
+  let cluster = Cluster.create ~seed cfg in
+  let ck = Checker.create () in
+  let rng = Random.State.make [| seed |] in
+  let clients = 3 in
+  let blocks = 8 * k in
+  let stripes = (blocks + k - 1) / k in
+  (* Random crash schedule within the measurement window. *)
+  let events = ref [] in
+  for c = 0 to storage_crashes - 1 do
+    let at = 0.02 +. Random.State.float rng 0.06 in
+    let node = Random.State.int rng n in
+    ignore c;
+    events := (at, fun cl -> Cluster.crash_and_remap_storage cl node) :: !events
+  done;
+  for c = 0 to client_crashes - 1 do
+    let at = 0.02 +. Random.State.float rng 0.06 in
+    let victim = Random.State.int rng clients in
+    ignore c;
+    events := (at, fun cl -> Cluster.crash_client cl victim) :: !events
+  done;
+  let result =
+    Runner.run ~outstanding:2 ~warmup:0.0 ~events:!events ~check:ck ~cluster
+      ~clients ~duration:0.15
+      ~workload:(Generator.Random_mix { blocks; write_frac = 0.5 })
+      ()
+  in
+  (* Post-run repair pass from a fresh client, then verify everything. *)
+  let fixer = Cluster.make_client cluster ~id:50 in
+  let report = ref None in
+  Cluster.spawn cluster (fun () ->
+      Fiber.sleep 0.05;
+      (* Touch every slot/pos once so INIT replacements materialize. *)
+      Client.monitor_once fixer ~slots:(List.init stripes Fun.id);
+      report := Some (Scrub.scrub fixer ~slots:(List.init stripes Fun.id)));
+  Cluster.run cluster;
+  let report =
+    match !report with Some r -> r | None -> Alcotest.fail "scrub did not run"
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: nothing unrepairable" seed)
+    0 report.Scrub.unrepaired;
+  for slot = 0 to stripes - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d stripe %d consistent" seed slot)
+      true
+      (stripe_consistent cluster ~slot)
+  done;
+  (match Checker.check ck with
+  | Ok _ -> ()
+  | Error violations ->
+    Alcotest.failf "seed %d: %d consistency violations, first: %s" seed
+      (List.length violations) (List.hd violations));
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d made progress" seed)
+    true
+    (result.Runner.read_ops + result.Runner.write_ops > 50)
+
+let test_storage_crash_seeds () =
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+        ~storage_crashes:1 ~client_crashes:0 ())
+    [ 101; 102; 103; 104 ]
+
+let test_client_crash_seeds () =
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+        ~storage_crashes:0 ~client_crashes:1 ())
+    [ 201; 202; 203; 204 ]
+
+let test_combined_crash_seeds () =
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+        ~storage_crashes:1 ~client_crashes:1 ())
+    [ 301; 302; 303 ]
+
+let test_serial_strategy_crashes () =
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Serial ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
+        ~client_crashes:1 ())
+    [ 401; 402 ]
+
+let test_bcast_strategy_crashes () =
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Bcast ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
+        ~client_crashes:0 ())
+    [ 501; 502 ]
+
+let test_larger_code_crashes () =
+  (* 6-of-10 (p=4) with t_p=1 parallel tolerates t_d=2: crash two. *)
+  List.iter
+    (fun seed ->
+      torture ~seed ~strategy:Config.Parallel ~k:6 ~n:10 ~t_p:1
+        ~storage_crashes:2 ~client_crashes:1 ())
+    [ 601; 602 ]
+
+let test_hybrid_strategy_crashes () =
+  torture ~seed:701 ~strategy:(Config.Hybrid 2) ~k:4 ~n:8 ~t_p:1
+    ~storage_crashes:1 ~client_crashes:1 ()
+
+let suite =
+  let t name f = Alcotest.test_case name `Slow f in
+  ( "torture",
+    [
+      t "random storage crashes x4 seeds" test_storage_crash_seeds;
+      t "random client crashes x4 seeds" test_client_crash_seeds;
+      t "combined crashes x3 seeds" test_combined_crash_seeds;
+      t "serial strategy under crashes x2" test_serial_strategy_crashes;
+      t "bcast strategy under crashes x2" test_bcast_strategy_crashes;
+      t "6-of-10, two storage crashes x2" test_larger_code_crashes;
+      t "hybrid strategy under crashes" test_hybrid_strategy_crashes;
+    ] )

@@ -1,0 +1,317 @@
+(* Tests for the workload library: generators, the cluster environment,
+   the runner's accounting, and table rendering. *)
+
+let test_generator_random_mix () =
+  let gen = Generator.create ~seed:1 (Generator.Random_mix { blocks = 10; write_frac = 0.3 }) in
+  let n = 2000 in
+  let writes = ref 0 in
+  for _ = 1 to n do
+    let { Generator.op; block } = Generator.next gen in
+    Alcotest.(check bool) "block in range" true (block >= 0 && block < 10);
+    if op = Generator.Op_write then incr writes
+  done;
+  let frac = float_of_int !writes /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "write fraction %.2f near 0.3" frac)
+    true
+    (frac > 0.25 && frac < 0.35)
+
+let test_generator_sequential () =
+  let gen =
+    Generator.create ~seed:1
+      (Generator.Sequential { start = 5; count = 3; op = Generator.Op_write })
+  in
+  let blocks = List.init 7 (fun _ -> (Generator.next gen).Generator.block) in
+  Alcotest.(check (list int)) "cyclic scan" [ 5; 6; 7; 5; 6; 7; 5 ] blocks
+
+let test_generator_validation () =
+  Alcotest.check_raises "bad frac" (Invalid_argument "Generator: write_frac")
+    (fun () ->
+      ignore
+        (Generator.create ~seed:1
+           (Generator.Random_mix { blocks = 1; write_frac = 1.5 })));
+  Alcotest.check_raises "no blocks" (Invalid_argument "Generator: blocks")
+    (fun () ->
+      ignore (Generator.create ~seed:1 (Generator.Write_only { blocks = 0 })))
+
+let test_generator_deterministic () =
+  let mk () =
+    Generator.create ~seed:99 (Generator.Random_mix { blocks = 50; write_frac = 0.5 })
+  in
+  let a = mk () and b = mk () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Generator.next a = Generator.next b)
+  done
+
+let test_generator_write_read_only () =
+  let w = Generator.create ~seed:1 (Generator.Write_only { blocks = 4 }) in
+  let r = Generator.create ~seed:1 (Generator.Read_only { blocks = 4 }) in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "write only" true ((Generator.next w).Generator.op = Generator.Op_write);
+    Alcotest.(check bool) "read only" true ((Generator.next r).Generator.op = Generator.Op_read)
+  done
+
+let test_generator_zipf_skew () =
+  let gen =
+    Generator.create ~seed:3 (Generator.Zipf { blocks = 1000; write_frac = 0.5; theta = 0.8 })
+  in
+  let counts = Hashtbl.create 64 in
+  let n = 5000 in
+  for _ = 1 to n do
+    let { Generator.block; _ } = Generator.next gen in
+    Alcotest.(check bool) "in range" true (block >= 0 && block < 1000);
+    Hashtbl.replace counts block (1 + Option.value (Hashtbl.find_opt counts block) ~default:0)
+  done;
+  (* Skew: the most popular block gets far more than the uniform share
+     of 5 accesses, and far fewer than 1000 distinct blocks appear. *)
+  let hottest = Hashtbl.fold (fun _ c m -> max c m) counts 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest %d >> uniform share" hottest)
+    true (hottest > 50);
+  (* Head concentration: the 10 most popular blocks carry a large share
+     of the traffic (uniform would give them ~1%). *)
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let top10 =
+    List.sort (fun a b -> compare b a) all
+    |> List.filteri (fun i _ -> i < 10)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-10 share %d/%d > 30%%" top10 n)
+    true
+    (float_of_int top10 /. float_of_int n > 0.3)
+
+let test_generator_zipf_validation () =
+  Alcotest.check_raises "theta" (Invalid_argument "Generator: theta") (fun () ->
+      ignore
+        (Generator.create ~seed:1
+           (Generator.Zipf { blocks = 10; write_frac = 0.5; theta = 1.5 })))
+
+let test_generator_trace_replay () =
+  let trace =
+    [|
+      { Generator.op = Generator.Op_write; block = 3 };
+      { Generator.op = Generator.Op_read; block = 1 };
+    |]
+  in
+  let gen = Generator.create ~seed:1 (Generator.Trace trace) in
+  let a = Generator.next gen and b = Generator.next gen and c = Generator.next gen in
+  Alcotest.(check bool) "first" true (a = trace.(0));
+  Alcotest.(check bool) "second" true (b = trace.(1));
+  Alcotest.(check bool) "cycles" true (c = trace.(0));
+  Alcotest.check_raises "empty" (Invalid_argument "Generator: empty trace")
+    (fun () -> ignore (Generator.create ~seed:1 (Generator.Trace [||])))
+
+(* --- Cluster environment ------------------------------------------- *)
+
+let default_cfg () = Config.make ~t_p:1 ~block_size:64 ~k:2 ~n:4 ()
+
+let test_cluster_client_env_calls () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let env = Cluster.client_env cluster ~id:0 in
+  let got = ref None in
+  Cluster.spawn cluster (fun () ->
+      got := Some (env.Client.call ~slot:0 ~pos:0 Proto.Read));
+  Cluster.run cluster;
+  match !got with
+  | Some (Ok (Proto.R_read { block = Some _; _ })) -> ()
+  | _ -> Alcotest.fail "env call failed"
+
+let test_cluster_crashed_client_raises () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let env = Cluster.client_env cluster ~id:0 in
+  Cluster.crash_client cluster 0;
+  let raised = ref false in
+  Cluster.spawn cluster (fun () ->
+      try ignore (env.Client.call ~slot:0 ~pos:0 Proto.Read)
+      with Cluster.Client_crashed 0 -> raised := true);
+  Cluster.run cluster;
+  Alcotest.(check bool) "raised" true !raised
+
+let test_cluster_auto_remap () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let env = Cluster.client_env cluster ~id:0 in
+  Cluster.crash_storage cluster 0;
+  let got = ref None in
+  Cluster.spawn cluster (fun () ->
+      got := Some (env.Client.call ~slot:0 ~pos:0 Proto.Read));
+  Cluster.run cluster;
+  (* Auto remap: the call reaches a fresh INIT node rather than failing. *)
+  (match !got with
+  | Some (Ok (Proto.R_read { block = None; _ })) -> ()
+  | _ -> Alcotest.fail "expected INIT response after auto remap");
+  Alcotest.(check int) "generation bumped" 1
+    (Directory.generation (Cluster.directory cluster) 0)
+
+let test_cluster_manual_remap_surfaces_error () =
+  let cluster = Cluster.create ~remap_policy:`Manual (default_cfg ()) in
+  let env = Cluster.client_env cluster ~id:0 in
+  Cluster.crash_storage cluster 0;
+  let got = ref None in
+  Cluster.spawn cluster (fun () ->
+      got := Some (env.Client.call ~slot:0 ~pos:0 Proto.Read));
+  Cluster.run cluster;
+  match !got with
+  | Some (Error `Node_down) -> ()
+  | _ -> Alcotest.fail "expected Node_down under manual policy"
+
+let test_cluster_pfor_parallel_timing () =
+  (* pfor really is parallel: 4 sleeps of 10 ms take ~10 ms, not 40. *)
+  let cluster = Cluster.create (default_cfg ()) in
+  let env = Cluster.client_env cluster ~id:0 in
+  let elapsed = ref 0. in
+  Cluster.spawn cluster (fun () ->
+      let t0 = Fiber.now () in
+      env.Client.pfor (List.init 4 (fun _ () -> Fiber.sleep 0.01));
+      elapsed := Fiber.now () -. t0);
+  Cluster.run cluster;
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel (%.3f s)" !elapsed)
+    true
+    (!elapsed < 0.015)
+
+let test_cluster_note_hooks () =
+  let cfg = Config.make ~t_p:1 ~block_size:64 ~k:3 ~n:5 () in
+  let cluster = Cluster.create cfg in
+  let events = ref [] in
+  Cluster.on_note cluster (fun _ e -> events := e :: !events);
+  let client = Cluster.make_client cluster ~id:0 in
+  Cluster.spawn cluster (fun () ->
+      Client.write client ~slot:0 ~i:0 (Bytes.make 64 'x');
+      Cluster.crash_and_remap_storage cluster 0;
+      ignore (Client.read client ~slot:0 ~i:0));
+  Cluster.run cluster;
+  Alcotest.(check bool) "saw recovery.start" true
+    (List.mem "recovery.start" !events);
+  Alcotest.(check bool) "saw recovery.done" true
+    (List.mem "recovery.done" !events)
+
+let test_cluster_deterministic () =
+  let run () =
+    let cluster = Cluster.create ~seed:7 (default_cfg ()) in
+    let r =
+      Runner.run ~outstanding:4 ~warmup:0.01 ~cluster ~clients:2 ~duration:0.05
+        ~workload:(Generator.Random_mix { blocks = 16; write_frac = 0.5 })
+        ()
+    in
+    (r.Runner.read_ops, r.Runner.write_ops, r.Runner.msgs)
+  in
+  Alcotest.(check bool) "same results" true (run () = run ())
+
+(* --- Runner accounting --------------------------------------------- *)
+
+let test_runner_counts_and_throughput () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let r =
+    Runner.run ~outstanding:4 ~warmup:0.01 ~cluster ~clients:2 ~duration:0.1
+      ~workload:(Generator.Write_only { blocks = 32 })
+      ()
+  in
+  Alcotest.(check int) "no reads in write-only" 0 r.Runner.read_ops;
+  Alcotest.(check bool) "wrote something" true (r.Runner.write_ops > 100);
+  let expect_mbs =
+    float_of_int (r.Runner.write_ops * 64) /. 1e6 /. r.Runner.duration
+  in
+  Alcotest.(check (float 0.01)) "mbs consistent" expect_mbs r.Runner.write_mbs;
+  Alcotest.(check bool) "latency positive" true (r.Runner.write_latency > 0.)
+
+let test_runner_sampler () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let samples = ref 0 in
+  ignore
+    (Runner.run ~outstanding:2 ~warmup:0.0
+       ~on_sample:(fun _ ~read_mbs:_ ~write_mbs -> if write_mbs >= 0. then incr samples)
+       ~sample_every:0.02 ~cluster ~clients:1 ~duration:0.1
+       ~workload:(Generator.Write_only { blocks = 8 })
+       ());
+  Alcotest.(check bool)
+    (Printf.sprintf "%d samples ~5" !samples)
+    true
+    (!samples >= 4 && !samples <= 5)
+
+let test_runner_events_fire () =
+  let cluster = Cluster.create (default_cfg ()) in
+  let fired_at = ref (-1.) in
+  ignore
+    (Runner.run ~outstanding:2 ~warmup:0.0
+       ~events:[ (0.05, fun cl -> fired_at := Cluster.now cl) ]
+       ~cluster ~clients:1 ~duration:0.1
+       ~workload:(Generator.Write_only { blocks = 8 })
+       ());
+  Alcotest.(check (float 1e-6)) "event time" 0.05 !fired_at
+
+(* --- Table rendering ------------------------------------------------ *)
+
+let with_captured_stdout f =
+  let tmp = Filename.temp_file "table" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let test_table_alignment () =
+  let out =
+    with_captured_stdout (fun () ->
+        Table.print ~title:"t" ~header:[ "a"; "bb" ]
+          [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ])
+  in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0
+    &&
+    let re = Str.regexp_string "== t ==" in
+    (try ignore (Str.search_forward re out 0); true with Not_found -> false))
+
+let test_fmt_f () =
+  Alcotest.(check string) "zero" "0" (Table.fmt_f 0.);
+  Alcotest.(check string) "big" "123" (Table.fmt_f 123.4);
+  Alcotest.(check string) "mid" "12.30" (Table.fmt_f 12.3);
+  Alcotest.(check string) "small" "0.0042" (Table.fmt_f 0.0042)
+
+let test_print_series_union () =
+  let out =
+    with_captured_stdout (fun () ->
+        Table.print_series ~title:"s" ~x_label:"x"
+          ~series:[ ("a", [ (1., 10.) ]); ("b", [ (2., 20.) ]) ])
+  in
+  (* Union of xs: rows for 1 and 2, dashes where absent. *)
+  Alcotest.(check bool) "has dash" true (String.contains out '-')
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "workload",
+    [
+      t "generator random mix fraction" test_generator_random_mix;
+      t "generator sequential cycle" test_generator_sequential;
+      t "generator validation" test_generator_validation;
+      t "generator deterministic per seed" test_generator_deterministic;
+      t "generator write/read only" test_generator_write_read_only;
+      t "generator zipf skew" test_generator_zipf_skew;
+      t "generator zipf validation" test_generator_zipf_validation;
+      t "generator trace replay" test_generator_trace_replay;
+      t "cluster env basic call" test_cluster_client_env_calls;
+      t "crashed client raises" test_cluster_crashed_client_raises;
+      t "auto remap on node death" test_cluster_auto_remap;
+      t "manual policy surfaces Node_down" test_cluster_manual_remap_surfaces_error;
+      t "pfor runs thunks in parallel" test_cluster_pfor_parallel_timing;
+      t "note hooks fire" test_cluster_note_hooks;
+      t "cluster runs are deterministic" test_cluster_deterministic;
+      t "runner counts and throughput" test_runner_counts_and_throughput;
+      t "runner sampler cadence" test_runner_sampler;
+      t "runner events fire on time" test_runner_events_fire;
+      t "table alignment" test_table_alignment;
+      t "fmt_f" test_fmt_f;
+      t "print_series x union" test_print_series_union;
+    ] )
