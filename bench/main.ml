@@ -3,7 +3,8 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig9a   # one experiment
-     dune exec bench/main.exe -- --list  # list experiment names *)
+     dune exec bench/main.exe -- --list  # list experiment names
+     dune exec bench/main.exe -- smoke --json out.json  # CI smoke run *)
 
 let experiments =
   [
@@ -35,6 +36,16 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
+  | "smoke" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: smoke [--json FILE]\n";
+        exit 1
+    in
+    Smoke.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

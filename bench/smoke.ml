@@ -1,0 +1,57 @@
+(* CI smoke benchmark: one small simulated run with mild link faults —
+   enough to exercise the full stack (erasure coding, protocol,
+   retry/backoff, fault injection) in a few seconds of wall clock — with
+   an optional machine-readable JSON summary for the CI artifact. *)
+
+let run ?json () =
+  let cfg = Config.make ~k:3 ~n:5 ~block_size:1024 () in
+  let faults = { Net.drop = 0.02; dup = 0.02; delay = 0.; jitter = 20e-6 } in
+  let cluster = Cluster.create ~seed:0xC1 ~faults cfg in
+  let ck = Checker.create () in
+  let result =
+    Runner.run ~outstanding:4 ~check:ck ~cluster ~clients:4 ~duration:0.5
+      ~workload:(Generator.Random_mix { blocks = 64; write_frac = 0.5 })
+      ()
+  in
+  Runner.print_result "smoke 3-of-5, 2% loss + dup" result;
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  Printf.printf "history %s\n%!"
+    (if consistent then "consistent (regular-register semantics)"
+     else "INCONSISTENT");
+  let stats = Cluster.stats cluster in
+  let c name = Stats.counter stats name in
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"config\": { \"k\": %d, \"n\": %d, \"block_size\": %d },\n\
+      \  \"clients\": %d,\n\
+      \  \"outstanding\": %d,\n\
+      \  \"duration_s\": %.3f,\n\
+      \  \"read_ops\": %d,\n\
+      \  \"write_ops\": %d,\n\
+      \  \"read_mbs\": %.3f,\n\
+      \  \"write_mbs\": %.3f,\n\
+      \  \"read_latency_ms\": %.4f,\n\
+      \  \"write_latency_ms\": %.4f,\n\
+      \  \"msgs\": %.0f,\n\
+      \  \"rpc_timeouts\": %.0f,\n\
+      \  \"rpc_retries\": %.0f,\n\
+      \  \"faults_dropped\": %.0f,\n\
+      \  \"faults_duplicated\": %.0f,\n\
+      \  \"history_consistent\": %b\n\
+       }\n"
+      cfg.Config.k cfg.Config.n cfg.Config.block_size result.Runner.clients
+      result.Runner.outstanding result.Runner.duration result.Runner.read_ops
+      result.Runner.write_ops result.Runner.read_mbs result.Runner.write_mbs
+      (1000. *. result.Runner.read_latency)
+      (1000. *. result.Runner.write_latency)
+      result.Runner.msgs (c "rpc.timeout") (c "rpc.retry")
+      (c "faults.dropped") (c "faults.duplicated") consistent;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path);
+  if not consistent then exit 1

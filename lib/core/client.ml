@@ -1,6 +1,6 @@
 open Proto
 
-type call_result = (Proto.response, [ `Node_down ]) result
+type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
 
 type env = {
   client_id : int;
@@ -37,6 +37,7 @@ type t = {
 
 exception Data_loss of string
 exception Stuck of string
+exception Write_abandoned of string
 
 let create cfg code env =
   if Rs_code.k code <> cfg.Config.k || Rs_code.n code <> cfg.Config.n then
@@ -64,6 +65,34 @@ let fresh_tid t ~i =
 
 let redundant_positions t =
   List.init (Config.p t.cfg) (fun r -> t.cfg.Config.k + r)
+
+(* ------------------------------------------------------------------ *)
+(* Timeout handling.  A [`Timeout] means a request or reply was lost on
+   a faulty link; the callee may or may not have executed the request.
+   Every protocol message except [swap] is idempotent at the storage
+   node (adds and swaps are deduplicated by tid, lock/GC/recovery ops
+   are absolute state writes), so those are resent under bounded
+   exponential backoff.  [swap] is the one ambiguous case; the write
+   path disambiguates with [checktid] and gives up explicitly when the
+   swap landed but its reply (carrying the old value) was lost. *)
+
+let backoff_retry t call =
+  let cfg = t.cfg in
+  let rec go attempt backoff =
+    match call () with
+    | Error `Timeout when attempt < cfg.Config.rpc_retry_limit ->
+      t.env.note "rpc.retry";
+      t.env.sleep backoff;
+      go (attempt + 1) (Float.min (2. *. backoff) cfg.Config.rpc_backoff_max)
+    | r -> r
+  in
+  go 0 cfg.Config.rpc_backoff
+
+let call_retry t ~slot ~pos req =
+  backoff_retry t (fun () -> t.env.call ~slot ~pos req)
+
+let call_node_retry t ~node req =
+  backoff_retry t (fun () -> t.env.call_node ~node req)
 
 let all_positions t = List.init t.cfg.Config.n Fun.id
 
@@ -138,10 +167,10 @@ let find_consistent t (states : state_view option array) =
 type recover_outcome = Recovered | Backed_off
 
 let call_state t ~slot pos =
-  match t.env.call ~slot ~pos Get_state with
+  match call_retry t ~slot ~pos Get_state with
   | Ok (R_state v) -> Some v
   | Ok _ -> None
-  | Error `Node_down -> None
+  | Error _ -> None
 
 let recover t ~slot =
   let cfg = t.cfg in
@@ -155,7 +184,7 @@ let recover t ~slot =
   let rec lock_from pos =
     if pos >= n || !backed_off then ()
     else begin
-      (match env.call ~slot ~pos (Trylock L1) with
+      (match call_retry t ~slot ~pos (Trylock L1) with
       | Ok (R_trylock { ok = true; oldlmode }) ->
         acquired := (pos, oldlmode) :: !acquired
       | Ok (R_trylock { ok = false; _ }) -> backed_off := true
@@ -163,7 +192,12 @@ let recover t ~slot =
       | Error `Node_down ->
         (* A dead node can neither serve writes nor needs locking; skip
            it — it will show up as unavailable in phase 2. *)
-        ());
+        ()
+      | Error `Timeout ->
+        (* Retries exhausted on a live link: we cannot tell whether the
+           lock was granted, so back off — trylock is idempotent for
+           the same holder, and the next attempt resolves it. *)
+        backed_off := true);
       if not !backed_off then lock_from (pos + 1)
     end
   in
@@ -172,7 +206,7 @@ let recover t ~slot =
     (* Release what we took, restoring the previous lock modes. *)
     env.pfor
       (List.map
-         (fun (pos, old) () -> ignore (env.call ~slot ~pos (Setlock old)))
+         (fun (pos, old) () -> ignore (call_retry t ~slot ~pos (Setlock old)))
          !acquired);
     env.sleep cfg.Config.retry_delay;
     env.note "recovery.backoff";
@@ -230,7 +264,7 @@ let recover t ~slot =
              complete. *)
           env.pfor
             (List.map
-               (fun pos () -> ignore (env.call ~slot ~pos (Setlock L0)))
+               (fun pos () -> ignore (call_retry t ~slot ~pos (Setlock L0)))
                reds);
           let inner = ref 0 in
           while not (enough ()) && !inner <= cfg.Config.recovery_retry_limit do
@@ -246,7 +280,7 @@ let recover t ~slot =
           let changed = ref [] in
           List.iter
             (fun pos ->
-              match env.call ~slot ~pos (Getrecent L1) with
+              match call_retry t ~slot ~pos (Getrecent L1) with
               | Ok (R_recent current) ->
                 let seen =
                   match states.(pos) with
@@ -259,7 +293,7 @@ let recover t ~slot =
                        (Tid_set.of_list seen))
                 then changed := pos :: !changed
               | Ok _ -> ()
-              | Error `Node_down -> changed := pos :: !changed)
+              | Error _ -> changed := pos :: !changed)
             reds;
           cset := List.filter (fun posn -> not (List.mem posn !changed)) !cset
         done;
@@ -293,16 +327,16 @@ let recover t ~slot =
       (List.map
          (fun pos () ->
            match
-             env.call ~slot ~pos (Reconstruct { cset; blk = stripe.(pos) })
+             call_retry t ~slot ~pos (Reconstruct { cset; blk = stripe.(pos) })
            with
            | Ok (R_reconstruct { epoch }) -> epochs.(pos) <- epoch
-           | Ok _ | Error `Node_down -> ())
+           | Ok _ | Error _ -> ())
          (all_positions t));
     let new_epoch = Array.fold_left max 0 epochs + 1 in
     env.pfor
       (List.map
          (fun pos () ->
-           ignore (env.call ~slot ~pos (Finalize { epoch = new_epoch })))
+           ignore (call_retry t ~slot ~pos (Finalize { epoch = new_epoch })))
          (all_positions t));
     t.recoveries_run <- t.recoveries_run + 1;
     env.note "recovery.done";
@@ -314,15 +348,14 @@ let recover t ~slot =
    operations of the same client wait for it instead of starting a
    duplicate. *)
 let start_recovery t ~slot =
-  if Hashtbl.mem t.recovering slot then begin
-    let waited = ref 0 in
+  if Hashtbl.mem t.recovering slot then
+    (* The running recovery fiber removes the entry in a [finally], and
+       its own retry loops are bounded, so this wait always terminates —
+       no poll budget.  Under message faults a recovery can legitimately
+       take many timeout-plus-backoff cycles. *)
     while Hashtbl.mem t.recovering slot do
-      incr waited;
-      if !waited > t.cfg.Config.recovery_retry_limit then
-        raise (Stuck "waiting for local recovery");
       t.env.sleep t.cfg.Config.retry_delay
     done
-  end
   else begin
     Hashtbl.add t.recovering slot ();
     Fun.protect
@@ -340,18 +373,29 @@ let read t ~slot ~i =
   let rec loop attempts =
     if attempts > t.cfg.Config.recovery_retry_limit then
       raise (Stuck (Printf.sprintf "read slot %d block %d" slot i));
-    match t.env.call ~slot ~pos:i Read with
+    match call_retry t ~slot ~pos:i Read with
     | Ok (R_read { block = Some v; _ }) ->
       t.reads_completed <- t.reads_completed + 1;
       v
     | Ok (R_read { block = None; lmode }) ->
-      if lmode = Unl || lmode = Exp then start_recovery t ~slot
-      else t.env.sleep t.cfg.Config.retry_delay;
-      loop (attempts + 1)
+      if lmode = Unl || lmode = Exp then begin
+        start_recovery t ~slot;
+        loop (attempts + 1)
+      end
+      else begin
+        (* Locked by a live recoverer: its recovery terminates (bounded
+           retries) or its crash expires the lock, so waiting here makes
+           progress eventually — don't charge the watchdog.  Under
+           message faults a recovery can hold locks for many
+           timeout-plus-backoff cycles. *)
+        t.env.sleep t.cfg.Config.retry_delay;
+        loop attempts
+      end
     | Ok _ -> raise (Stuck "read: unexpected response")
-    | Error `Node_down ->
-      (* Unavailable and not yet remapped: recovery cannot restore the
-         block either, so wait for the directory to remap. *)
+    | Error _ ->
+      (* Dead and not yet remapped (recovery cannot restore the block
+         either, wait for the directory), or a link so lossy the retry
+         budget ran out: reads are idempotent, keep trying. *)
       t.env.sleep t.cfg.Config.retry_delay;
       loop (attempts + 1)
   in
@@ -365,6 +409,12 @@ type add_result = { ar_status : add_status; ar_opmode : opmode; ar_lmode : lmode
 let add_result_of_call = function
   | Ok (R_add { status; opmode; lmode }) ->
     { ar_status = status; ar_opmode = opmode; ar_lmode = lmode }
+  | Error `Timeout ->
+    (* Retry budget exhausted but the node is (as far as we know) alive:
+       adds are deduplicated by tid, so present this as a transient
+       lock-like refusal — the writer keeps the position in its retry
+       set without forcing a recovery. *)
+    { ar_status = Add_fail; ar_opmode = Norm; ar_lmode = L1 }
   | Ok _ | Error `Node_down ->
     (* A dead or freshly remapped node behaves like INIT-and-unlocked,
        which routes the writer into recovery (Fig 5 line 13). *)
@@ -382,7 +432,7 @@ let dispatch_adds t ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
     t.env.compute (block_cost t costs.Config.delta_per_byte);
     let dv = Rs_code.update_delta t.code ~j:pos ~i ~v ~w:blk in
     let req = Add { dv; ntid; otid; epoch } in
-    record pos (add_result_of_call (t.env.call ~slot ~pos req))
+    record pos (add_result_of_call (call_retry t ~slot ~pos req))
   in
   (match cfg.Config.strategy with
   | Config.Serial -> List.iter unicast targets
@@ -433,14 +483,27 @@ let write t ~slot ~i v =
     if !attempts > cfg.Config.recovery_retry_limit then
       raise (Stuck (Printf.sprintf "write slot %d block %d" slot i));
     let ntid = fresh_tid t ~i in
-    (* Swap the new value into the data node (Fig 5 lines 2-6). *)
+    (* Swap the new value into the data node (Fig 5 lines 2-6).  The
+       data node remembers the pre-swap value per recentlist entry, so a
+       swap whose reply was lost is safely resent: the retry is answered
+       from the saved value instead of re-applying (and if a concurrent
+       recovery finalized the slot in between, the resend either applies
+       freshly after a rollback or degenerates to a zero-delta no-op
+       after a roll-forward).  Only when the whole retry budget drains
+       on one live link does the writer give up explicitly. *)
     let swap_tries = ref 0 in
     let swap_result = ref None in
+    let give_up reason =
+      t.env.note "write.giveup";
+      raise
+        (Write_abandoned
+           (Printf.sprintf "write slot %d block %d: %s" slot i reason))
+    in
     while !swap_result = None do
       incr swap_tries;
       if !swap_tries > cfg.Config.recovery_retry_limit then
         raise (Stuck (Printf.sprintf "swap on slot %d block %d" slot i));
-      match t.env.call ~slot ~pos:i (Swap { v; ntid }) with
+      match call_retry t ~slot ~pos:i (Swap { v; ntid }) with
       | Ok (R_swap { block = Some blk; epoch; otid; _ }) ->
         swap_result := Some (blk, epoch, otid)
       | Ok (R_swap { block = None; lmode; _ }) ->
@@ -448,6 +511,14 @@ let write t ~slot ~i v =
         else t.env.sleep cfg.Config.retry_delay
       | Ok _ -> raise (Stuck "swap: unexpected response")
       | Error `Node_down -> t.env.sleep cfg.Config.retry_delay
+      | Error `Timeout ->
+        (* Retry budget exhausted: we cannot learn whether the swap (or
+           which resend of it) landed, and the write may be half-applied.
+           Report the give-up; the stale recentlist entry flags the
+           half-done write to the monitor, whose recovery either
+           completes it into the stripe or rolls it back — both legal
+           outcomes for an unfinished write. *)
+        give_up "swap retry budget exhausted on a live link"
     done;
     let blk, epoch, otid0 =
       match !swap_result with Some r -> r | None -> assert false
@@ -457,7 +528,11 @@ let write t ~slot ~i v =
     let d = ref [ i ] in
     let targets = ref (List.init (n - k) (fun r -> k + r)) in
     let order_rounds = ref 0 in
+    let add_rounds = ref 0 in
     while !targets <> [] && !d <> [] do
+      incr add_rounds;
+      if !add_rounds > cfg.Config.recovery_retry_limit then
+        raise (Stuck (Printf.sprintf "adds on slot %d block %d" slot i));
       let results =
         dispatch_adds t ~slot ~i ~ntid ~v ~blk ~otid:!otid ~epoch
           ~targets:!targets
@@ -496,14 +571,12 @@ let write t ~slot ~i v =
           let checks =
             List.map
               (fun pos () ->
-                match
-                  t.env.call ~slot ~pos (Checktid { ntid; otid = o })
-                with
+                match call_retry t ~slot ~pos (Checktid { ntid; otid = o }) with
                 | Ok (R_check Ck_gc) -> otid := None
                 | Ok (R_check Ck_init) -> drop := pos :: !drop
                 | Ok (R_check Ck_nochange) -> ()
                 | Ok _ -> ()
-                | Error `Node_down -> drop := pos :: !drop)
+                | Error _ -> drop := pos :: !drop)
               !d
           in
           t.env.pfor checks;
@@ -616,11 +689,12 @@ let gc_round t ~make_req entries =
           let relevant =
             List.filter (fun tid -> List.mem pos (positions_of_tid t tid)) tids
           in
-          match t.env.call ~slot ~pos (make_req relevant) with
+          match call_retry t ~slot ~pos (make_req relevant) with
           | Ok (R_gc { ok = true }) -> ()
-          | Ok (R_gc { ok = false }) ->
-            (* Node busy (locked / recovering): keep these tids for the
-               next round. *)
+          | Ok (R_gc { ok = false }) | Error `Timeout ->
+            (* Node busy (locked / recovering) or unreachable through a
+               lossy link: GC requests are idempotent, keep these tids
+               for the next round. *)
             List.iter
               (fun tid -> Hashtbl.replace ok_tbl (slot, tid) false)
               relevant
@@ -654,13 +728,14 @@ let monitor_once t ~slots =
   let flagged = Hashtbl.create 8 in
   for node = 0 to n - 1 do
     match
-      t.env.call_node ~node (Probe { older_than = t.cfg.Config.stale_write_age })
+      call_node_retry t ~node
+        (Probe { older_than = t.cfg.Config.stale_write_age })
     with
     | Ok (R_probe { stale; init }) ->
       List.iter (fun s -> Hashtbl.replace flagged s ()) stale;
       List.iter (fun s -> Hashtbl.replace flagged s ()) init
     | Ok _ -> ()
-    | Error `Node_down -> ()
+    | Error _ -> ()
   done;
   let universe = List.sort_uniq compare slots in
   Hashtbl.iter

@@ -14,7 +14,17 @@
     redundant node (batched according to the configured strategy), with
     no locks taken. *)
 
-type call_result = (Proto.response, [ `Node_down ]) result
+(** Result of one environment RPC.  [`Node_down] is fail-stop (reliably
+    detected); [`Timeout] means a request or reply was lost on a faulty
+    link — the callee {e may have executed} the request.  Every
+    operation is made idempotent at the storage node (adds and swaps are
+    deduplicated by tid, with the data node remembering each in-flight
+    swap's pre-swap value so a retried swap is answered rather than
+    re-applied), so timed-out calls are transparently resent under
+    bounded exponential backoff ([Config.rpc_retry_limit] /
+    [rpc_backoff]).  A swap that drains the whole budget is abandoned
+    with an explicit {!Write_abandoned}. *)
+type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
 
 type env = {
   client_id : int;
@@ -49,6 +59,15 @@ exception Stuck of string
 (** A retry limit was exhausted — the system is outside its configured
     operating envelope (e.g. a dead node that is never remapped). *)
 
+exception Write_abandoned of string
+(** A write gave up because its [swap] drained the whole retry budget on
+    a live-but-lossy link, so the client never learned the old value
+    (the base of the redundant-block deltas).  The write is reported as
+    unfinished; if it did land, the stale recentlist entry routes it to
+    monitor-driven recovery, which either completes it into the stripe
+    or rolls it back — both legal for an unfinished write (Sec 3.1
+    regular semantics). *)
+
 val create : Config.t -> Rs_code.t -> env -> t
 (** The code must satisfy [Rs_code.k code = cfg.k] and
     [Rs_code.n code = cfg.n].  @raise Invalid_argument otherwise. *)
@@ -63,7 +82,8 @@ val read : t -> slot:int -> i:int -> bytes
 val write : t -> slot:int -> i:int -> bytes -> unit
 (** WRITE (Fig 5): swap the new value into the data node, then update
     every redundant node with a commutative add.  Safe under concurrent
-    writers to the same stripe, including to the same block. *)
+    writers to the same stripe, including to the same block.
+    @raise Write_abandoned on an ambiguous swap timeout (see above). *)
 
 val recover_slot : t -> slot:int -> unit
 (** Run the recovery procedure (Fig 6) on a stripe.  Idempotent; safe

@@ -32,6 +32,9 @@ type t = {
   recovery_retry_limit : int;
   monitor_interval : float;
   stale_write_age : float;
+  rpc_retry_limit : int;
+  rpc_backoff : float;
+  rpc_backoff_max : float;
 }
 
 let t_d_for strategy ~t_p ~p =
@@ -52,7 +55,8 @@ let strategy_to_string = function
 let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     ?(costs = default_costs) ?(retry_delay = 200e-6) ?(order_retry_limit = 8)
     ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
-    ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ~k ~n () =
+    ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ?(rpc_retry_limit = 8)
+    ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3) ~k ~n () =
   if k < 2 then invalid_arg "Config.make: need k >= 2 (Sec 4)";
   if n <= k then invalid_arg "Config.make: need n > k";
   if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
@@ -61,6 +65,9 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
   (match strategy with
   | Hybrid g when g <= 0 -> invalid_arg "Config.make: hybrid group size"
   | _ -> ());
+  if rpc_retry_limit < 0 then invalid_arg "Config.make: rpc_retry_limit";
+  if rpc_backoff <= 0. || rpc_backoff_max < rpc_backoff then
+    invalid_arg "Config.make: rpc backoff bounds";
   {
     k;
     n;
@@ -75,6 +82,9 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     recovery_retry_limit;
     monitor_interval;
     stale_write_age;
+    rpc_retry_limit;
+    rpc_backoff;
+    rpc_backoff_max;
   }
 
 let p t = t.n - t.k

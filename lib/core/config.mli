@@ -40,6 +40,11 @@ type t = {
   monitor_interval : float;   (** period of the Sec 3.10 monitor *)
   stale_write_age : float;    (** recentlist age that flags a write as
                                   stuck *)
+  rpc_retry_limit : int;      (** timed-out idempotent RPC resends before
+                                  the caller treats the node as gone *)
+  rpc_backoff : float;        (** initial retry backoff, doubled per
+                                  attempt *)
+  rpc_backoff_max : float;    (** backoff ceiling *)
 }
 
 val make :
@@ -53,6 +58,9 @@ val make :
   ?recovery_retry_limit:int ->
   ?monitor_interval:float ->
   ?stale_write_age:float ->
+  ?rpc_retry_limit:int ->
+  ?rpc_backoff:float ->
+  ?rpc_backoff_max:float ->
   k:int ->
   n:int ->
   unit ->

@@ -4,12 +4,16 @@ type config = {
   fabric_bandwidth : float;
   header_bytes : int;
   rpc_cpu_overhead : float;
+  rpc_timeout : float;
 }
 
 (* Paper Sec 5.1: 50 us ping, 500 Mbit/s Netperf per node.  The fabric is
    a switched gigabit LAN, so we give it several times the node rate.
    The 10 us CPU overhead per message approximates the user-mode RPC and
-   TCP costs the paper reports dominate latency (Sec 6.3). *)
+   TCP costs the paper reports dominate latency (Sec 6.3).  The RPC
+   timeout is the sender-side timer armed per call; it only fires when a
+   message is actually lost (see fate below), so on a fault-free network
+   it never shows up. *)
 let default_config =
   {
     latency = 25e-6 (* one-way; 50 us round trip *);
@@ -17,10 +21,21 @@ let default_config =
     fabric_bandwidth = 500e6;
     header_bytes = 64;
     rpc_cpu_overhead = 10e-6;
+    rpc_timeout = 1e-3;
   }
+
+type faults = {
+  drop : float;
+  dup : float;
+  delay : float;
+  jitter : float;
+}
+
+let no_faults = { drop = 0.; dup = 0.; delay = 0.; jitter = 0. }
 
 type node = {
   name : string;
+  mutable site : string;
   nic : Resource.t;
   cpu : Resource.t;
   mutable alive : bool;
@@ -33,9 +48,12 @@ type t = {
   cfg : config;
   fabric : Resource.t;
   stats : Stats.t;
+  mutable default_faults : faults;
+  link_faults : (string * string, faults) Hashtbl.t;
+  partitions : (string * string, unit) Hashtbl.t;
 }
 
-type error = Node_down
+type error = Node_down | Timeout
 
 let create engine ?(config = default_config) stats =
   {
@@ -43,6 +61,9 @@ let create engine ?(config = default_config) stats =
     cfg = config;
     fabric = Resource.create engine ~rate:config.fabric_bandwidth;
     stats;
+    default_faults = no_faults;
+    link_faults = Hashtbl.create 8;
+    partitions = Hashtbl.create 8;
   }
 
 let engine t = t.engine
@@ -52,6 +73,7 @@ let config t = t.cfg
 let add_node t ~name =
   {
     name;
+    site = name;
     nic = Resource.create t.engine ~rate:t.cfg.node_bandwidth;
     cpu = Resource.create t.engine ~rate:1.0;
     alive = true;
@@ -60,12 +82,71 @@ let add_node t ~name =
   }
 
 let node_name n = n.name
+let node_site n = n.site
+let set_site n site = n.site <- site
 let is_alive n = n.alive
 let crash n = n.alive <- false
 let bytes_out n = n.out_bytes
 let bytes_in n = n.in_bytes
 
 let cpu_use n seconds = ignore (Resource.use n.cpu seconds)
+
+(* ------------------------------------------------------------------ *)
+(* Fault policies.  Links are identified by (source site, destination
+   site) pairs; sites are stable labels that survive fail-remap (a
+   replacement storage node keeps the site of the node it replaces), so
+   a lossy or partitioned link stays lossy across restarts. *)
+
+let set_faults t f = t.default_faults <- f
+
+let set_link_faults t ~src ~dst f =
+  match f with
+  | Some f -> Hashtbl.replace t.link_faults (src, dst) f
+  | None -> Hashtbl.remove t.link_faults (src, dst)
+
+let partition t ~src ~dst = Hashtbl.replace t.partitions (src, dst) ()
+let heal t ~src ~dst = Hashtbl.remove t.partitions (src, dst)
+let heal_all t = Hashtbl.reset t.partitions
+
+let faults_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (src.site, dst.site) with
+  | Some f -> f
+  | None -> t.default_faults
+
+(* The fate of one message on the directed link src -> dst.  All
+   randomness comes from the engine's seeded RNG, so a run replays
+   exactly from its seed. *)
+type fate = Lost | Delivered of { extra : float; dup : bool }
+
+let fate t ~src ~dst =
+  if Hashtbl.mem t.partitions (src.site, dst.site) then begin
+    Stats.incr t.stats "faults.dropped";
+    Lost
+  end
+  else
+    let f = faults_for t ~src ~dst in
+    let rng = Engine.random t.engine in
+    if f.drop > 0. && Random.State.float rng 1.0 < f.drop then begin
+      Stats.incr t.stats "faults.dropped";
+      Lost
+    end
+    else begin
+      let extra =
+        f.delay
+        +. (if f.jitter > 0. then Random.State.float rng f.jitter else 0.)
+      in
+      let dup = f.dup > 0. && Random.State.float rng 1.0 < f.dup in
+      if dup then Stats.incr t.stats "faults.duplicated";
+      if extra > 0. then Stats.incr t.stats "faults.delayed";
+      Delivered { extra; dup }
+    end
+
+(* A lost message manifests at the caller as its timer expiring: charge
+   the full timeout and report it. *)
+let lose t =
+  Stats.incr t.stats "rpc.timeout";
+  Fiber.sleep t.cfg.rpc_timeout;
+  Error Timeout
 
 let count_msg t ~tag ~bytes =
   Stats.incr t.stats "msgs";
@@ -88,41 +169,75 @@ let receive_side t dst ~bytes =
   dst.in_bytes <- dst.in_bytes +. float_of_int bytes;
   ignore (Resource.use dst.cpu t.cfg.rpc_cpu_overhead)
 
+(* Request delivery at [dst]: pay the receive path and run [serve]; a
+   duplicated message is processed twice (receive costs and state
+   transition both), with the second response discarded — this is what
+   exercises the tid-based idempotence of the storage nodes. *)
+let deliver_request t dst ~bytes ~dup ~serve =
+  receive_side t dst ~bytes;
+  let resp = serve () in
+  if dup && dst.alive then begin
+    receive_side t dst ~bytes;
+    ignore (serve ())
+  end;
+  resp
+
 let rpc t ~src ~dst ~tag ~req_bytes ~serve =
   let req_total = req_bytes + t.cfg.header_bytes in
   count_msg t ~tag ~bytes:req_total;
   send_side t src ~bytes:req_total;
-  if not dst.alive then Error Node_down
-  else begin
-    receive_side t dst ~bytes:req_total;
-    let resp, resp_bytes = serve () in
-    let resp_total = resp_bytes + t.cfg.header_bytes in
-    count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
-    send_side t dst ~bytes:resp_total;
-    if not src.alive then Error Node_down
+  match fate t ~src ~dst with
+  | Lost -> lose t
+  | Delivered { extra; dup } ->
+    if extra > 0. then Fiber.sleep extra;
+    if not dst.alive then Error Node_down
     else begin
-      receive_side t src ~bytes:resp_total;
-      Ok resp
+      let resp, resp_bytes =
+        deliver_request t dst ~bytes:req_total ~dup ~serve
+      in
+      let resp_total = resp_bytes + t.cfg.header_bytes in
+      count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
+      send_side t dst ~bytes:resp_total;
+      match fate t ~src:dst ~dst:src with
+      | Lost -> lose t
+      | Delivered { extra; dup = _ } ->
+        (* A duplicated reply is discarded by the caller's RPC layer;
+           only the delay matters. *)
+        if extra > 0. then Fiber.sleep extra;
+        if not src.alive then Error Node_down
+        else begin
+          receive_side t src ~bytes:resp_total;
+          Ok resp
+        end
     end
-  end
 
 let broadcast t ~src ~dsts ~tag ~req_bytes ~serve =
   let req_total = req_bytes + t.cfg.header_bytes in
   count_msg t ~tag ~bytes:req_total;
   send_side t src ~bytes:req_total;
   let deliver dst () =
-    if not dst.alive then (dst, Error Node_down)
-    else begin
-      receive_side t dst ~bytes:req_total;
-      let resp, resp_bytes = serve dst in
-      let resp_total = resp_bytes + t.cfg.header_bytes in
-      count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
-      send_side t dst ~bytes:resp_total;
-      if not src.alive then (dst, Error Node_down)
+    match fate t ~src ~dst with
+    | Lost -> (dst, lose t)
+    | Delivered { extra; dup } ->
+      if extra > 0. then Fiber.sleep extra;
+      if not dst.alive then (dst, Error Node_down)
       else begin
-        receive_side t src ~bytes:resp_total;
-        (dst, Ok resp)
+        let resp, resp_bytes =
+          deliver_request t dst ~bytes:req_total ~dup ~serve:(fun () ->
+              serve dst)
+        in
+        let resp_total = resp_bytes + t.cfg.header_bytes in
+        count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
+        send_side t dst ~bytes:resp_total;
+        match fate t ~src:dst ~dst:src with
+        | Lost -> (dst, lose t)
+        | Delivered { extra; dup = _ } ->
+          if extra > 0. then Fiber.sleep extra;
+          if not src.alive then (dst, Error Node_down)
+          else begin
+            receive_side t src ~bytes:resp_total;
+            (dst, Ok resp)
+          end
       end
-    end
   in
   Fiber.fork_all (List.map deliver dsts)

@@ -8,12 +8,24 @@
     network latency, modelling reliable failure detection.  Per-message
     and per-byte accounting flows into a {!Stats.t} plus per-node in/out
     byte counters, which is what the Fig 1 message/bandwidth rows are
-    measured from. *)
+    measured from.
+
+    {b Fault injection.}  Beyond clean fail-stop, each directed link can
+    be given a {!faults} policy — message loss, duplicate delivery,
+    extra delay and jitter — and one-way partitions can be installed and
+    healed at runtime.  All randomness is drawn from the engine's seeded
+    RNG, so a failing run replays identically from its seed.  A lost
+    message surfaces at the caller as [Error Timeout] after
+    [config.rpc_timeout] simulated seconds (the per-call timer the
+    paper's clients would arm); a duplicated request is {e processed
+    twice} at the receiver, which is what exercises the storage nodes'
+    tid-based idempotence.  Faults are keyed by {e site} labels (stable
+    across fail-remap, see {!set_site}), not physical node names. *)
 
 type t
 type node
 
-type error = Node_down
+type error = Node_down | Timeout
 
 (** Static configuration; defaults reproduce the paper's testbed
     constants (Sec 5.1): 50 us inter-node latency, 500 Mbit/s ~ 62.5 MB/s
@@ -24,9 +36,22 @@ type config = {
   fabric_bandwidth : float; (** shared network rate, bytes/second *)
   header_bytes : int;       (** fixed per-message overhead *)
   rpc_cpu_overhead : float; (** sender/receiver CPU seconds per message *)
+  rpc_timeout : float;      (** sender-side per-call timer; fires only
+                                when a message is lost *)
 }
 
 val default_config : config
+
+(** Per-link fault policy.  Probabilities are per message and
+    per direction; delays are in simulated seconds. *)
+type faults = {
+  drop : float;   (** message loss probability *)
+  dup : float;    (** duplicate-delivery probability *)
+  delay : float;  (** fixed extra one-way delay (slow link) *)
+  jitter : float; (** max additional uniform random delay *)
+}
+
+val no_faults : faults
 
 val create : Engine.t -> ?config:config -> Stats.t -> t
 
@@ -35,9 +60,17 @@ val stats : t -> Stats.t
 val config : t -> config
 
 val add_node : t -> name:string -> node
-(** Register a node with its own NIC and CPU. *)
+(** Register a node with its own NIC and CPU.  Its site label defaults
+    to [name]; override with {!set_site}. *)
 
 val node_name : node -> string
+val node_site : node -> string
+
+val set_site : node -> string -> unit
+(** Relabel the node's site.  Fault policies and partitions are keyed by
+    site, so giving a replacement node its predecessor's site keeps the
+    link's faults in force across fail-remap. *)
+
 val is_alive : node -> bool
 
 val crash : node -> unit
@@ -53,6 +86,20 @@ val cpu_use : node -> float -> unit
     calling fiber).  Used for local computation such as erasure-code
     arithmetic. *)
 
+val set_faults : t -> faults -> unit
+(** Default policy for every link without a per-link override. *)
+
+val set_link_faults : t -> src:string -> dst:string -> faults option -> unit
+(** Override (or clear, with [None]) the policy of the directed link
+    between two sites. *)
+
+val partition : t -> src:string -> dst:string -> unit
+(** Block the directed link: every message from [src] to [dst] is
+    dropped until {!heal}.  Install both directions for a full cut. *)
+
+val heal : t -> src:string -> dst:string -> unit
+val heal_all : t -> unit
+
 val rpc :
   t ->
   src:node ->
@@ -65,7 +112,12 @@ val rpc :
     call.  [serve] runs at the destination when the request arrives and
     returns the response plus its payload size in bytes.  [tag] names the
     operation for stats ("swap", "add", ...).  Fails with [Node_down] if
-    the destination is crashed at delivery or reply time. *)
+    the destination is crashed at delivery or reply time, and with
+    [Timeout] if either the request or the reply is lost to link faults
+    — in the latter case [serve] {e has already run}, which is the
+    retry ambiguity the protocol layer must absorb.  Counters:
+    ["rpc.timeout"], ["faults.dropped"], ["faults.duplicated"],
+    ["faults.delayed"]. *)
 
 val broadcast :
   t ->
@@ -77,4 +129,5 @@ val broadcast :
   (node * ('resp, error) result) list
 (** One-send/many-receive primitive (Sec 3.11 broadcast optimization): the
     sender pays CPU, NIC and fabric once; each destination pays its own
-    receive path and replies unicast.  Results are in [dsts] order. *)
+    receive path and replies unicast.  Results are in [dsts] order.
+    Link faults apply per destination. *)

@@ -2,14 +2,25 @@ open Proto
 
 (* recentlist/oldlist entries carry the node-local arrival time: swap uses
    the largest time to find the previous write's tid, and the monitor uses
-   ages to detect stuck writes.  Lists are kept newest-first. *)
-type entry = { e_tid : tid; e_time : float }
+   ages to detect stuck writes.  Lists are kept newest-first.
+
+   Swap entries at the data node additionally remember the pre-swap block
+   and the otid of the original response, so a retried swap (lost reply)
+   can be answered without re-applying — this is what makes swap
+   resendable under message loss.  The memory is reclaimed when the
+   completed write moves to the oldlist. *)
+type entry = {
+  e_tid : tid;
+  e_time : float;
+  e_swap : (bytes * tid option) option;
+}
 
 type slot = {
   mutable block : bytes;
   mutable opmode : opmode;
   mutable lmode : lmode;
   mutable lid : int option; (* client holding the lock, if any *)
+  mutable l_prev : lmode; (* mode before the current holder acquired *)
   mutable epoch : int;
   mutable recentlist : entry list;
   mutable oldlist : entry list;
@@ -53,6 +64,7 @@ let fresh_slot t =
       opmode = Norm;
       lmode = Unl;
       lid = None;
+      l_prev = Unl;
       epoch = 0;
       recentlist = [];
       oldlist = [];
@@ -64,6 +76,7 @@ let fresh_slot t =
       opmode = Init;
       lmode = Unl;
       lid = None;
+      l_prev = Unl;
       epoch = 0;
       recentlist = [];
       oldlist = [];
@@ -97,19 +110,45 @@ let do_read s =
 let do_swap t s ~v ~ntid =
   if s.opmode <> Norm || s.lmode <> Unl then
     R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
-  else begin
-    let retblk = s.block in
-    s.block <- Bytes.copy v;
-    (* Previous write = recentlist entry with the largest time; the list
-       is newest-first so that is the head. *)
-    let otid = match s.recentlist with [] -> None | e :: _ -> Some e.e_tid in
-    s.recentlist <- { e_tid = ntid; e_time = t.now () } :: s.recentlist;
-    R_swap { block = Some retblk; epoch = s.epoch; otid; lmode = s.lmode }
-  end
+  else
+    match
+      List.find_opt (fun e -> tid_compare e.e_tid ntid = 0) s.recentlist
+    with
+    | Some { e_swap = Some (old, otid); _ } ->
+      (* Retry (or duplicate delivery) of an already-applied swap.
+         Re-applying would clobber any successor write, so answer from
+         the remembered pre-swap value instead; the current epoch is the
+         conservative one for the adds that follow. *)
+      R_swap
+        { block = Some (Bytes.copy old); epoch = s.epoch; otid; lmode = s.lmode }
+    | Some { e_swap = None; _ } ->
+      R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
+    | None ->
+      if mem_tid ntid s.oldlist then
+        (* Completed and garbage-collected: the saved value is gone. *)
+        R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
+      else begin
+        let retblk = s.block in
+        s.block <- Bytes.copy v;
+        (* Previous write = recentlist entry with the largest time; the
+           list is newest-first so that is the head. *)
+        let otid =
+          match s.recentlist with [] -> None | e :: _ -> Some e.e_tid
+        in
+        s.recentlist <-
+          { e_tid = ntid; e_time = t.now (); e_swap = Some (Bytes.copy retblk, otid) }
+          :: s.recentlist;
+        R_swap { block = Some retblk; epoch = s.epoch; otid; lmode = s.lmode }
+      end
 
 let apply_add t s ~dv ~ntid ~otid ~epoch =
   if s.opmode <> Norm || not (s.lmode = Unl || s.lmode = L0) || epoch < s.epoch
   then R_add { status = Add_fail; opmode = s.opmode; lmode = s.lmode }
+  else if mem_tid ntid s.recentlist || mem_tid ntid s.oldlist then
+    (* Fig 7: the recentlist doubles as a duplicate filter.  A re-applied
+       add (duplicate delivery, or a client retry after a lost reply)
+       must not be XORed in twice; it already took effect, so ack it. *)
+    R_add { status = Add_ok; opmode = s.opmode; lmode = s.lmode }
   else
     let order_ok =
       match otid with
@@ -120,7 +159,8 @@ let apply_add t s ~dv ~ntid ~otid ~epoch =
       R_add { status = Add_order; opmode = s.opmode; lmode = s.lmode }
     else begin
       Block_ops.xor_into ~dst:s.block ~src:dv;
-      s.recentlist <- { e_tid = ntid; e_time = t.now () } :: s.recentlist;
+      s.recentlist <-
+        { e_tid = ntid; e_time = t.now (); e_swap = None } :: s.recentlist;
       R_add { status = Add_ok; opmode = s.opmode; lmode = s.lmode }
     end
 
@@ -131,9 +171,17 @@ let do_checktid s ~ntid ~otid =
 
 let do_trylock s ~caller lm =
   match s.lmode with
+  | (L0 | L1) when s.lid = Some caller ->
+    (* The caller already holds the lock: a duplicate delivery or a
+       retry after a lost grant.  Re-granting with the remembered
+       pre-acquisition mode keeps trylock idempotent, so the holder's
+       backoff path still restores the right mode. *)
+    s.lmode <- lm;
+    R_trylock { ok = true; oldlmode = s.l_prev }
   | L0 | L1 -> R_trylock { ok = false; oldlmode = s.lmode }
   | Unl | Exp ->
     let old = s.lmode in
+    s.l_prev <- old;
     s.lmode <- lm;
     s.lid <- Some caller;
     R_trylock { ok = true; oldlmode = old }
@@ -199,7 +247,8 @@ let do_gc_recent s tids_to_move =
         s.recentlist
     in
     s.recentlist <- kept;
-    s.oldlist <- moved @ s.oldlist;
+    (* The write completed everywhere: its saved pre-swap value can go. *)
+    s.oldlist <- List.map (fun e -> { e with e_swap = None }) moved @ s.oldlist;
     R_gc { ok = true }
   end
 
@@ -258,13 +307,22 @@ let slot_count t = Hashtbl.length t.slots
 
 (* Sec 6.5 accounting: opmode and lmode packed in 1 byte, lid 2, epoch 4,
    list lengths 2 bytes each, plus 12 bytes per retained tid and 4 for
-   its timestamp; recons_set only while recovery is in flight. *)
+   its timestamp; recons_set only while recovery is in flight.  An
+   in-flight swap entry also pins its saved pre-swap block until the
+   write completes. *)
 let overhead_bytes t =
   Hashtbl.fold
     (fun _ s acc ->
       let per_entry = tid_bytes + 4 in
+      let saved =
+        List.fold_left
+          (fun a e ->
+            match e.e_swap with Some (b, _) -> a + Bytes.length b | None -> a)
+          0 s.recentlist
+      in
       let lists =
         per_entry * (List.length s.recentlist + List.length s.oldlist)
+        + saved
       in
       let recons =
         match s.recons_set with None -> 0 | Some l -> 4 * List.length l

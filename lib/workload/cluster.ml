@@ -39,11 +39,15 @@ let serve_cost cfg (req : Proto.request) =
   | Proto.Probe _ ->
     control
 
+let storage_site i = Printf.sprintf "s%d" i
+let client_site id = Printf.sprintf "c%d" id
+
 let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
-    ?(remap_policy = `Auto) cfg =
+    ?(remap_policy = `Auto) ?faults cfg =
   let engine = Engine.create ~seed () in
   let stats = Stats.create () in
   let net = Net.create engine ~config:net_config stats in
+  (match faults with Some f -> Net.set_faults net f | None -> ());
   let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
   let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
   let crashed_clients = Hashtbl.create 8 in
@@ -51,8 +55,12 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
   let factory ~index ~generation =
     let name = Printf.sprintf "s%d.g%d" index generation in
     let init = if generation = 0 then `Zeroed else `Garbage in
+    (* The replacement keeps the site label, so per-link fault policies
+       and partitions survive fail-remap. *)
+    let net_node = Net.add_node net ~name in
+    Net.set_site net_node (storage_site index);
     {
-      Directory.net_node = Net.add_node net ~name;
+      Directory.net_node;
       store =
         Storage_node.create
           ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
@@ -99,6 +107,33 @@ let remap_storage t i = ignore (Directory.remap t.dir i)
 
 let crash_and_remap_storage t i = ignore (Directory.crash_and_remap t.dir i)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection controls (see Net).  Storage nodes are addressed by
+   logical index, clients by id; sites are stable across remap. *)
+
+let set_faults t f = Net.set_faults t.net f
+
+let set_storage_link_faults t ~client ~node f =
+  Net.set_link_faults t.net ~src:(client_site client) ~dst:(storage_site node)
+    f;
+  Net.set_link_faults t.net ~src:(storage_site node) ~dst:(client_site client)
+    f
+
+let partition_oneway t ~src ~dst = Net.partition t.net ~src ~dst
+let heal_oneway t ~src ~dst = Net.heal t.net ~src ~dst
+let heal_all_partitions t = Net.heal_all t.net
+
+(* Crash at [at], restart [down_for] later.  The restart installs a
+   fresh INIT instance (unless a client already tripped over the corpse
+   and remapped it under the [`Auto] policy), which re-enters service
+   through the INIT/monitoring path of Sec 3.10. *)
+let schedule_outage t ~at ~node ~down_for =
+  Engine.schedule t.engine ~at (fun () -> Directory.crash t.dir node);
+  Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
+      let entry = Directory.lookup t.dir node in
+      if not (Net.is_alive entry.Directory.net_node) then
+        ignore (Directory.remap t.dir node))
+
 let storage_entry t i = Directory.lookup t.dir i
 
 let on_note t hook = t.note_hooks <- hook :: t.note_hooks
@@ -130,6 +165,10 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
   if client_crashed t id then raise (Client_crashed id);
   match result with
   | Ok resp -> Ok resp
+  | Error Net.Timeout ->
+    (* Lost message, not a detected failure: no remap — the client's
+       retry/backoff layer decides what to do. *)
+    Error `Timeout
   | Error Net.Node_down -> (
     match t.remap_policy with
     | `Manual -> Error `Node_down
@@ -184,7 +223,8 @@ let client_env t ~id =
         ( pos,
           match r with
           | Ok resp -> Ok resp
-          | Error Net.Node_down -> Error `Node_down ))
+          | Error Net.Node_down -> Error `Node_down
+          | Error Net.Timeout -> Error `Timeout ))
       lnodes results
   in
   let pfor thunks =
@@ -200,7 +240,14 @@ let client_env t ~id =
     check_alive ()
   in
   let note event =
-    Stats.incr t.stats ("note." ^ event);
+    (* Protocol-layer RPC accounting ("rpc.retry") shares the namespace
+       of the network's own counters; everything else stays under the
+       "note." prefix. *)
+    let key =
+      if String.starts_with ~prefix:"rpc." event then event
+      else "note." ^ event
+    in
+    Stats.incr t.stats key;
     List.iter (fun hook -> hook (Engine.now t.engine) event) t.note_hooks
   in
   {

@@ -10,7 +10,13 @@
     - {!crash_client} fail-stops a client: its in-flight fibers die at
       their next environment interaction, and storage nodes' failure
       detectors observe it (lock expiry).  {!run} absorbs the resulting
-      [Client_crashed] unwinds and keeps the simulation going. *)
+      [Client_crashed] unwinds and keeps the simulation going.
+
+    Fault injection (see {!Net}): message loss, duplication, delay and
+    jitter via {!set_faults} / {!set_storage_link_faults}, one-way
+    partitions via {!partition_oneway}, and crash/restart schedules via
+    {!schedule_outage}.  All randomness draws from the cluster's seeded
+    engine, so a failing run replays exactly from its seed. *)
 
 exception Client_crashed of int
 
@@ -23,8 +29,11 @@ val create :
   ?rotate:bool ->
   ?seed:int ->
   ?remap_policy:remap_policy ->
+  ?faults:Net.faults ->
   Config.t ->
   t
+(** [faults], when given, becomes the default policy of every network
+    link from time 0 (equivalent to calling {!set_faults} first). *)
 
 val engine : t -> Engine.t
 val net : t -> Net.t
@@ -60,6 +69,34 @@ val remap_storage : t -> int -> unit
 (** Install a fresh INIT replacement for logical node [i]. *)
 
 val crash_and_remap_storage : t -> int -> unit
+
+val storage_site : int -> string
+(** Stable site label of logical storage node [i] ("s<i>"), the key for
+    per-link fault policies and partitions; survives fail-remap. *)
+
+val client_site : int -> string
+(** Site label of client [id] ("c<id>"). *)
+
+val set_faults : t -> Net.faults -> unit
+(** Default fault policy for every link. *)
+
+val set_storage_link_faults : t -> client:int -> node:int -> Net.faults option -> unit
+(** Override (or clear) the policy of both directions between a client
+    and a logical storage node. *)
+
+val partition_oneway : t -> src:string -> dst:string -> unit
+(** Block all messages from site [src] to site [dst] (see
+    {!storage_site} / {!client_site}) until healed. *)
+
+val heal_oneway : t -> src:string -> dst:string -> unit
+val heal_all_partitions : t -> unit
+
+val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
+(** Crash logical storage node [node] at absolute time [at] and restart
+    it [down_for] seconds later as a fresh INIT replacement that
+    re-enters service through the monitoring path (Sec 3.10).  If a
+    client already remapped the corpse in the meantime, the restart is a
+    no-op. *)
 
 val storage_entry : t -> int -> Directory.entry
 (** Current physical node behind logical index [i] (tests/inspection). *)

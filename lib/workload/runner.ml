@@ -29,9 +29,10 @@ let fresh_tag () =
   incr next_tag;
   !next_tag
 
-let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?on_sample
+let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
     ?(sample_every = 1.0) ?(gc_every = Some 0.05) ?check ~cluster ~clients
     ~duration ~workload () =
+  (match faults with Some f -> Cluster.set_faults cluster f | None -> ());
   let cfg = Cluster.config cluster in
   let block_size = cfg.Config.block_size in
   let start = Cluster.now cluster in
@@ -88,18 +89,25 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?on_sample
             ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
             ctr.w_write_ops <- ctr.w_write_ops + 1
           end
-        with Cluster.Client_crashed _ as e ->
+        with
+        | Cluster.Client_crashed _ as e ->
           Checker.record_write ck ~block ~tag ~start:t0 ~finish:None;
-          raise e)
-      | None ->
+          raise e
+        | Client.Write_abandoned _ ->
+          (* Ambiguous swap timeout: the value may or may not become
+             visible — exactly an unfinished write for the checker. *)
+          Checker.record_write ck ~block ~tag ~start:t0 ~finish:None)
+      | None -> (
         let v = Bytes.make block_size (Char.chr (block land 0xff)) in
-        Volume.write volume block v;
-        let t1 = Cluster.now cluster in
-        if in_window t1 then begin
-          ctr.c_write_ops <- ctr.c_write_ops + 1;
-          ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
-          ctr.w_write_ops <- ctr.w_write_ops + 1
-        end
+        try
+          Volume.write volume block v;
+          let t1 = Cluster.now cluster in
+          if in_window t1 then begin
+            ctr.c_write_ops <- ctr.c_write_ops + 1;
+            ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
+            ctr.w_write_ops <- ctr.w_write_ops + 1
+          end
+        with Client.Write_abandoned _ -> ())
     in
     let request_loop () =
       let rec go () =

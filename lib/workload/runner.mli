@@ -22,6 +22,7 @@ val run :
   ?outstanding:int ->
   ?warmup:float ->
   ?events:(float * (Cluster.t -> unit)) list ->
+  ?faults:Net.faults ->
   ?on_sample:(float -> read_mbs:float -> write_mbs:float -> unit) ->
   ?sample_every:float ->
   ?gc_every:float option ->
@@ -35,10 +36,13 @@ val run :
 (** Run [clients] clients, each with [outstanding] request fibers, for
     [duration] simulated seconds after a [warmup] (default 0.05 s, its
     operations are excluded from counts).  [events] are scheduled
-    actions (crash injection).  [sample_every]/[on_sample] stream
-    windowed throughput for timeline figures.  [check], when given,
-    records every operation for the regular-register checker: writes
-    stamp blocks with fresh tags. *)
+    actions (crash injection).  [faults] installs a default network
+    fault policy before the run ({!Cluster.set_faults}).  Writes
+    abandoned after an ambiguous swap timeout ({!Client.Write_abandoned})
+    are recorded as unfinished and the client moves on.
+    [sample_every]/[on_sample] stream windowed throughput for timeline
+    figures.  [check], when given, records every operation for the
+    regular-register checker: writes stamp blocks with fresh tags. *)
 
 val print_result : string -> result -> unit
 (** One-line summary to stdout. *)

@@ -17,6 +17,7 @@ let () =
       Test_workload.suite;
       Test_proto.suite;
       Test_scrub.suite;
+      Test_faults.suite;
       Test_torture.suite;
       Test_direct.suite;
       Test_model.suite;

@@ -1,13 +1,18 @@
 (* Torture tests: randomized crash schedules (storage nodes and clients)
-   over a running workload, across seeds, codes and strategies.  After
-   each run the scrubber repairs residual damage and we assert:
+   and network-fault cocktails (loss, duplication, jitter, one-way
+   partitions, crash/restart outages) over a running workload, across
+   seeds, codes and strategies.  After each run the scrubber repairs
+   residual damage and we assert:
    - the recorded history satisfies regular-register semantics,
    - every stripe is white-box consistent with the erasure code,
    - the scrubber reports nothing unrepairable.
 
    These runs stay within the Sec 4 failure envelope (at most t_p client
    crashes and t_d concurrent storage crashes), which is the regime the
-   paper's theorems promise to survive. *)
+   paper's theorems promise to survive.  Message faults are outside the
+   paper's fail-stop model; the retry/backoff layer reduces them to
+   crashes-or-delays, so the same assertions must hold.  Every run is
+   deterministic in its seed: a failure replays exactly. *)
 
 let stripe_consistent cluster ~slot =
   let cfg = Cluster.config cluster in
@@ -20,11 +25,17 @@ let stripe_consistent cluster ~slot =
   in
   Rs_code.verify_stripe (Cluster.code cluster) blocks
 
-let torture ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
+(* [faults] installs a default link policy for the whole run.
+   [partitions] are (at, src_site, dst_site, heal_after) one-way cuts.
+   [outages] are (at, node, down_for) crash/restart schedules.
+   [min_ops] lowers the progress bar for runs where timeouts legitimately
+   eat throughput. *)
+let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~seed
+    ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
   let cfg =
     Config.make ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01 ()
   in
-  let cluster = Cluster.create ~seed cfg in
+  let cluster = Cluster.create ~seed ?faults cfg in
   let ck = Checker.create () in
   let rng = Random.State.make [| seed |] in
   let clients = 3 in
@@ -44,13 +55,28 @@ let torture ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
     ignore c;
     events := (at, fun cl -> Cluster.crash_client cl victim) :: !events
   done;
+  List.iter
+    (fun (at, src, dst, heal_after) ->
+      events := (at, fun cl -> Cluster.partition_oneway cl ~src ~dst) :: !events;
+      events :=
+        (at +. heal_after, fun cl -> Cluster.heal_oneway cl ~src ~dst)
+        :: !events)
+    partitions;
+  List.iter
+    (fun (at, node, down_for) ->
+      Cluster.schedule_outage cluster ~at ~node ~down_for)
+    outages;
   let result =
     Runner.run ~outstanding:2 ~warmup:0.0 ~events:!events ~check:ck ~cluster
       ~clients ~duration:0.15
       ~workload:(Generator.Random_mix { blocks; write_frac = 0.5 })
       ()
   in
-  (* Post-run repair pass from a fresh client, then verify everything. *)
+  (* Post-run repair pass from a fresh client, then verify everything.
+     Any still-open partition would wrongly read as an unrepairable
+     stripe, so heal first; probabilistic faults stay on — the repair
+     path must work through them too. *)
+  Cluster.heal_all_partitions cluster;
   let fixer = Cluster.make_client cluster ~id:50 in
   let report = ref None in
   Cluster.spawn cluster (fun () ->
@@ -79,7 +105,7 @@ let torture ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
   Alcotest.(check bool)
     (Printf.sprintf "seed %d made progress" seed)
     true
-    (result.Runner.read_ops + result.Runner.write_ops > 50)
+    (result.Runner.read_ops + result.Runner.write_ops > min_ops)
 
 let test_storage_crash_seeds () =
   List.iter
@@ -128,6 +154,60 @@ let test_hybrid_strategy_crashes () =
   torture ~seed:701 ~strategy:(Config.Hybrid 2) ~k:4 ~n:8 ~t_p:1
     ~storage_crashes:1 ~client_crashes:1 ()
 
+(* ------------------------------------------------------------------ *)
+(* Network-fault matrix: 5% loss + 5% duplication + jitter on every
+   link, across update strategies, optionally combined with crashes,
+   one-way partitions and crash/restart outages.  Timeouts slow the run
+   down, hence the lower progress bars. *)
+
+let lossy = { Net.drop = 0.05; dup = 0.05; delay = 0.; jitter = 30e-6 }
+
+let test_faults_parallel () =
+  List.iter
+    (fun seed ->
+      torture ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Parallel ~k:3
+        ~n:5 ~t_p:1 ~storage_crashes:0 ~client_crashes:0 ())
+    [ 801; 802; 803 ]
+
+let test_faults_serial () =
+  List.iter
+    (fun seed ->
+      torture ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Serial ~k:3 ~n:5
+        ~t_p:1 ~storage_crashes:0 ~client_crashes:0 ())
+    [ 811; 812 ]
+
+let test_faults_with_crashes () =
+  List.iter
+    (fun seed ->
+      torture ~faults:lossy ~min_ops:20 ~seed ~strategy:Config.Parallel ~k:3
+        ~n:5 ~t_p:1 ~storage_crashes:1 ~client_crashes:1 ())
+    [ 821; 822 ]
+
+let test_partition_heal () =
+  (* One-way cuts between a client and a storage node, both directions
+     in turn: lost requests (serve never runs) and lost replies (serve
+     runs, caller times out).  Healed well before the run ends. *)
+  List.iter
+    (fun seed ->
+      torture ~min_ops:40 ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+        ~storage_crashes:0 ~client_crashes:0
+        ~partitions:
+          [
+            (0.03, Cluster.client_site 0, Cluster.storage_site 0, 0.02);
+            (0.06, Cluster.storage_site 1, Cluster.client_site 1, 0.02);
+          ]
+        ())
+    [ 831; 832 ]
+
+let test_outage_restart () =
+  (* Crash/restart schedule under background loss: the node comes back
+     (or is remapped first under the `Auto policy) as a fresh INIT
+     replacement that re-enters service via the monitoring path. *)
+  torture ~faults:lossy ~min_ops:20 ~seed:841 ~strategy:Config.Parallel ~k:3
+    ~n:5 ~t_p:1 ~storage_crashes:0 ~client_crashes:0
+    ~outages:[ (0.03, 2, 0.03) ]
+    ()
+
 let suite =
   let t name f = Alcotest.test_case name `Slow f in
   ( "torture",
@@ -139,4 +219,9 @@ let suite =
       t "bcast strategy under crashes x2" test_bcast_strategy_crashes;
       t "6-of-10, two storage crashes x2" test_larger_code_crashes;
       t "hybrid strategy under crashes" test_hybrid_strategy_crashes;
+      t "5% loss+dup+jitter, parallel x3 seeds" test_faults_parallel;
+      t "5% loss+dup+jitter, serial x2 seeds" test_faults_serial;
+      t "faults combined with crashes x2 seeds" test_faults_with_crashes;
+      t "one-way partitions with heal x2 seeds" test_partition_heal;
+      t "crash/restart outage under loss" test_outage_restart;
     ] )
