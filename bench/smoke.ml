@@ -43,7 +43,8 @@ let run ?json () =
       \  \"rpc_retries\": %.0f,\n\
       \  \"faults_dropped\": %.0f,\n\
       \  \"faults_duplicated\": %.0f,\n\
-      \  \"history_consistent\": %b\n\
+      \  \"history_consistent\": %b,\n\
+      \  \"metrics\": %s\n\
        }\n"
       cfg.Config.k cfg.Config.n cfg.Config.block_size result.Runner.clients
       result.Runner.outstanding result.Runner.duration result.Runner.read_ops
@@ -51,7 +52,8 @@ let run ?json () =
       (1000. *. result.Runner.read_latency)
       (1000. *. result.Runner.write_latency)
       result.Runner.msgs (c "rpc.timeout") (c "rpc.retry")
-      (c "faults.dropped") (c "faults.duplicated") consistent;
+      (c "faults.dropped") (c "faults.duplicated") consistent
+      (String.trim (Metrics.to_json ~indent:"  " (Cluster.metrics cluster)));
     close_out oc;
     Printf.printf "wrote %s\n%!" path);
   if not consistent then exit 1

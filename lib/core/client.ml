@@ -1,6 +1,10 @@
-open Proto
+(* Thin facade over the layered protocol stack: Session (RPC policy),
+   Write_path (Fig 5), Read_path (Fig 4 + extensions), Recovery (Fig 6),
+   Gc (Fig 7 + Sec 3.10).  All protocol logic lives in those modules;
+   this file only wires them together and preserves the historical
+   [env]-based API. *)
 
-type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
+type call_result = Transport.call_result
 
 type env = {
   client_id : int;
@@ -16,733 +20,102 @@ type env = {
   note : string -> unit;
 }
 
-module Tid_set = Set.Make (struct
-  type t = tid
-
-  let compare = tid_compare
-end)
+exception Data_loss = Session.Data_loss
+exception Stuck = Session.Stuck
+exception Write_abandoned = Session.Write_abandoned
 
 type t = {
   cfg : Config.t;
-  code : Rs_code.t;
   env : env;
-  mutable seq : int;
-  recovering : (int, unit) Hashtbl.t; (* slots with local recovery running *)
-  mutable pending_gc : (int * tid) list; (* completed writes awaiting phase 2 *)
-  mutable old_gc : (int * tid) list; (* moved to oldlist, awaiting phase 1 *)
-  mutable writes_completed : int;
-  mutable reads_completed : int;
-  mutable recoveries_run : int;
+  metrics : Metrics.t;
+  recovery : Recovery.t;
+  write_path : Write_path.t;
+  read_path : Read_path.t;
+  gc : Gc.t;
 }
 
-exception Data_loss of string
-exception Stuck of string
-exception Write_abandoned of string
+let transport_of_env (e : env) : Transport.t =
+  (module struct
+    let client_id = e.client_id
+    let call = e.call
+    let call_node = e.call_node
+    let broadcast = e.broadcast
+    let pfor = e.pfor
+    let sleep = e.sleep
+    let now = e.now
+    let compute = e.compute
+  end : Transport.S)
 
-let create cfg code env =
+let env_of_transport ?(note = fun _ -> ()) (tr : Transport.t) : env =
+  let (module T : Transport.S) = tr in
+  {
+    client_id = T.client_id;
+    call = T.call;
+    call_node = T.call_node;
+    broadcast = T.broadcast;
+    pfor = T.pfor;
+    sleep = T.sleep;
+    now = T.now;
+    compute = T.compute;
+    note;
+  }
+
+let of_transport ?(sink = Trace.null_sink) cfg code transport =
   if Rs_code.k code <> cfg.Config.k || Rs_code.n code <> cfg.Config.n then
     invalid_arg "Client.create: code does not match configuration";
+  let metrics = Metrics.create () in
+  let session =
+    Session.create ~cfg
+      ~sink:(Trace.compose [ Metrics.sink metrics; sink ])
+      transport
+  in
+  let recovery = Recovery.create ~code session in
   {
     cfg;
-    code;
-    env;
-    seq = 0;
-    recovering = Hashtbl.create 8;
-    pending_gc = [];
-    old_gc = [];
-    writes_completed = 0;
-    reads_completed = 0;
-    recoveries_run = 0;
+    env = env_of_transport transport;
+    metrics;
+    recovery;
+    write_path = Write_path.create ~code ~recovery session;
+    read_path = Read_path.create ~code ~recovery session;
+    gc = Gc.create ~recovery session;
   }
+
+let create cfg code env =
+  (* Legacy instrumentation: replay the note strings the pre-stack
+     client emitted, derived from the structured trace events. *)
+  let note_sink ctx event =
+    match Trace.legacy_note ctx event with Some s -> env.note s | None -> ()
+  in
+  let t = of_transport ~sink:note_sink cfg code (transport_of_env env) in
+  { t with env }
 
 let config t = t.cfg
 let env t = t.env
-
-let fresh_tid t ~i =
-  let s = t.seq in
-  t.seq <- s + 1;
-  { seq = s; blk = i; client = t.env.client_id }
-
-let redundant_positions t =
-  List.init (Config.p t.cfg) (fun r -> t.cfg.Config.k + r)
-
-(* ------------------------------------------------------------------ *)
-(* Timeout handling.  A [`Timeout] means a request or reply was lost on
-   a faulty link; the callee may or may not have executed the request.
-   Every protocol message except [swap] is idempotent at the storage
-   node (adds and swaps are deduplicated by tid, lock/GC/recovery ops
-   are absolute state writes), so those are resent under bounded
-   exponential backoff.  [swap] is the one ambiguous case; the write
-   path disambiguates with [checktid] and gives up explicitly when the
-   swap landed but its reply (carrying the old value) was lost. *)
-
-let backoff_retry t call =
-  let cfg = t.cfg in
-  let rec go attempt backoff =
-    match call () with
-    | Error `Timeout when attempt < cfg.Config.rpc_retry_limit ->
-      t.env.note "rpc.retry";
-      t.env.sleep backoff;
-      go (attempt + 1) (Float.min (2. *. backoff) cfg.Config.rpc_backoff_max)
-    | r -> r
-  in
-  go 0 cfg.Config.rpc_backoff
-
-let call_retry t ~slot ~pos req =
-  backoff_retry t (fun () -> t.env.call ~slot ~pos req)
-
-let call_node_retry t ~node req =
-  backoff_retry t (fun () -> t.env.call_node ~node req)
-
-let all_positions t = List.init t.cfg.Config.n Fun.id
-
-let block_cost t per_byte = per_byte *. float_of_int t.cfg.Config.block_size
-
-(* ------------------------------------------------------------------ *)
-(* find_consistent (Fig 6): maximal set S of non-INIT positions whose
-   recentlists (minus globally garbage-collected tids) agree with each
-   other under the paper's conditions (1)-(3).
-
-   Structure used to stay polynomial: redundant members of S must share
-   one recentlist signature, so the maximal S is the best of
-   - the all-data candidate (conditions (2),(3) vacuous), and
-   - one candidate per distinct redundant signature sigma: the
-     redundants carrying sigma plus every data position j whose own
-     signature equals sigma's tids originated at j (H-hat test).
-
-   G-hat is taken as the union of oldlists over all polled nodes rather
-   than over S; by the two-phase GC invariant a tid reaches any oldlist
-   only after its write completed at all nodes, so the widened union is
-   sound (see DESIGN.md). *)
-let find_consistent t (states : state_view option array) =
-  let k = t.cfg.Config.k and n = t.cfg.Config.n in
-  let g_hat =
-    Array.fold_left
-      (fun acc st ->
-        match st with
-        | Some v -> Tid_set.union acc (Tid_set.of_list v.st_oldlist)
-        | None -> acc)
-      Tid_set.empty states
-  in
-  let f_hat = Array.make n Tid_set.empty in
-  let norm = Array.make n false in
-  Array.iteri
-    (fun pos st ->
-      match st with
-      | Some v when v.st_opmode = Norm ->
-        norm.(pos) <- true;
-        f_hat.(pos) <- Tid_set.diff (Tid_set.of_list v.st_recentlist) g_hat
-      | _ -> ())
-    states;
-  let data_norm = List.filter (fun j -> norm.(j)) (List.init k Fun.id) in
-  let red_norm =
-    List.filter (fun r -> norm.(r)) (List.init (n - k) (fun i -> k + i))
-  in
-  let candidate_for sigma =
-    let reds = List.filter (fun r -> Tid_set.equal f_hat.(r) sigma) red_norm in
-    let datas =
-      List.filter
-        (fun j ->
-          let h_hat = Tid_set.filter (fun x -> x.blk = j) sigma in
-          Tid_set.equal h_hat f_hat.(j))
-        data_norm
-    in
-    datas @ reds
-  in
-  let signatures =
-    List.fold_left
-      (fun acc r ->
-        if List.exists (Tid_set.equal f_hat.(r)) acc then acc
-        else f_hat.(r) :: acc)
-      [] red_norm
-  in
-  let candidates = data_norm :: List.map candidate_for signatures in
-  List.fold_left
-    (fun best c -> if List.length c > List.length best then c else best)
-    [] candidates
-
-(* ------------------------------------------------------------------ *)
-(* Recovery (Fig 6). *)
-
-type recover_outcome = Recovered | Backed_off
-
-let call_state t ~slot pos =
-  match call_retry t ~slot ~pos Get_state with
-  | Ok (R_state v) -> Some v
-  | Ok _ -> None
-  | Error _ -> None
-
-let recover t ~slot =
-  let cfg = t.cfg in
-  let n = cfg.Config.n and k = cfg.Config.k in
-  let env = t.env in
-  env.note "recovery.start";
-  (* Phase 1: lock all blocks in position order; back off if anybody
-     else holds a recovery lock. *)
-  let acquired = ref [] in
-  let backed_off = ref false in
-  let rec lock_from pos =
-    if pos >= n || !backed_off then ()
-    else begin
-      (match call_retry t ~slot ~pos (Trylock L1) with
-      | Ok (R_trylock { ok = true; oldlmode }) ->
-        acquired := (pos, oldlmode) :: !acquired
-      | Ok (R_trylock { ok = false; _ }) -> backed_off := true
-      | Ok _ -> ()
-      | Error `Node_down ->
-        (* A dead node can neither serve writes nor needs locking; skip
-           it — it will show up as unavailable in phase 2. *)
-        ()
-      | Error `Timeout ->
-        (* Retries exhausted on a live link: we cannot tell whether the
-           lock was granted, so back off — trylock is idempotent for
-           the same holder, and the next attempt resolves it. *)
-        backed_off := true);
-      if not !backed_off then lock_from (pos + 1)
-    end
-  in
-  lock_from 0;
-  if !backed_off then begin
-    (* Release what we took, restoring the previous lock modes. *)
-    env.pfor
-      (List.map
-         (fun (pos, old) () -> ignore (call_retry t ~slot ~pos (Setlock old)))
-         !acquired);
-    env.sleep cfg.Config.retry_delay;
-    env.note "recovery.backoff";
-    Backed_off
-  end
-  else begin
-    (* Phase 2: running solo now. *)
-    let states = Array.init n (fun pos -> call_state t ~slot pos) in
-    let init_count st =
-      Array.fold_left
-        (fun acc s ->
-          match s with
-          | Some v when v.st_opmode <> Init -> acc
-          | _ -> acc + 1)
-        0 st
-    in
-    let adopt =
-      (* A previous recoverer crashed in phase 3: adopt its consistent
-         set (Fig 6 lines 8-9). *)
-      Array.to_list states
-      |> List.find_map (fun st ->
-             match st with
-             | Some { st_opmode = Recons; st_recons_set = Some set; _ } ->
-               Some set
-             | _ -> None)
-    in
-    let cset =
-      match adopt with
-      | Some set ->
-        env.note "recovery.adopt";
-        List.filter
-          (fun pos ->
-            match states.(pos) with
-            | Some v -> v.st_opmode <> Init
-            | None -> false)
-          set
-      | None ->
-        (* Find a large-enough consistent set, weakening locks to let
-           outstanding adds drain (Fig 6 lines 11-20). *)
-        let cset = ref (find_consistent t states) in
-        let slack () = max 0 (cfg.Config.t_d - init_count states) in
-        let enough () = List.length !cset >= k + slack () in
-        let rounds = ref 0 in
-        let reds = List.init (n - k) (fun i -> k + i) in
-        while not (enough ()) do
-          incr rounds;
-          if !rounds > cfg.Config.recovery_retry_limit then
-            raise
-              (Stuck
-                 (Printf.sprintf
-                    "recovery of slot %d cannot gather %d consistent blocks"
-                    slot
-                    (k + slack ())));
-          (* Weaken locks on redundant nodes so outstanding adds can
-             complete. *)
-          env.pfor
-            (List.map
-               (fun pos () -> ignore (call_retry t ~slot ~pos (Setlock L0)))
-               reds);
-          let inner = ref 0 in
-          while not (enough ()) && !inner <= cfg.Config.recovery_retry_limit do
-            incr inner;
-            env.sleep cfg.Config.recovery_poll_delay;
-            List.iter (fun pos -> states.(pos) <- call_state t ~slot pos) reds;
-            cset := find_consistent t states
-          done;
-          if !inner > cfg.Config.recovery_retry_limit then
-            raise (Stuck (Printf.sprintf "recovery of slot %d stalled" slot));
-          (* Re-take full locks before new adds slip in; drop any block
-             whose recentlist moved in the meantime. *)
-          let changed = ref [] in
-          List.iter
-            (fun pos ->
-              match call_retry t ~slot ~pos (Getrecent L1) with
-              | Ok (R_recent current) ->
-                let seen =
-                  match states.(pos) with
-                  | Some v -> v.st_recentlist
-                  | None -> []
-                in
-                if
-                  not
-                    (Tid_set.equal (Tid_set.of_list current)
-                       (Tid_set.of_list seen))
-                then changed := pos :: !changed
-              | Ok _ -> ()
-              | Error _ -> changed := pos :: !changed)
-            reds;
-          cset := List.filter (fun posn -> not (List.mem posn !changed)) !cset
-        done;
-        !cset
-    in
-    if List.length cset < k then
-      raise
-        (Data_loss
-           (Printf.sprintf "slot %d: only %d consistent blocks, need %d" slot
-              (List.length cset) k));
-    (* Phase 3: decode, rewrite every block, bump the epoch, unlock. *)
-    let avail =
-      List.filter_map
-        (fun pos ->
-          match states.(pos) with
-          | Some { st_block = Some b; _ } -> Some (pos, b)
-          | _ -> None)
-        cset
-    in
-    if List.length avail < k then
-      raise
-        (Data_loss
-           (Printf.sprintf "slot %d: consistent blocks lost mid-recovery" slot));
-    env.compute
-      (float_of_int k
-      *. (block_cost t cfg.Config.costs.Config.decode_per_byte
-         +. block_cost t cfg.Config.costs.Config.encode_per_byte));
-    let stripe = Rs_code.reconstruct_stripe t.code avail in
-    let epochs = Array.make n 0 in
-    env.pfor
-      (List.map
-         (fun pos () ->
-           match
-             call_retry t ~slot ~pos (Reconstruct { cset; blk = stripe.(pos) })
-           with
-           | Ok (R_reconstruct { epoch }) -> epochs.(pos) <- epoch
-           | Ok _ | Error _ -> ())
-         (all_positions t));
-    let new_epoch = Array.fold_left max 0 epochs + 1 in
-    env.pfor
-      (List.map
-         (fun pos () ->
-           ignore (call_retry t ~slot ~pos (Finalize { epoch = new_epoch })))
-         (all_positions t));
-    t.recoveries_run <- t.recoveries_run + 1;
-    env.note "recovery.done";
-    Recovered
-  end
-
-(* start_recovery (Fig 6): fork-if-not-running-locally.  In our
-   cooperative setting the caller runs recovery inline; concurrent
-   operations of the same client wait for it instead of starting a
-   duplicate. *)
-let start_recovery t ~slot =
-  if Hashtbl.mem t.recovering slot then
-    (* The running recovery fiber removes the entry in a [finally], and
-       its own retry loops are bounded, so this wait always terminates —
-       no poll budget.  Under message faults a recovery can legitimately
-       take many timeout-plus-backoff cycles. *)
-    while Hashtbl.mem t.recovering slot do
-      t.env.sleep t.cfg.Config.retry_delay
-    done
-  else begin
-    Hashtbl.add t.recovering slot ();
-    Fun.protect
-      ~finally:(fun () -> Hashtbl.remove t.recovering slot)
-      (fun () -> ignore (recover t ~slot))
-  end
-
-let recover_slot t ~slot = start_recovery t ~slot
-
-(* ------------------------------------------------------------------ *)
-(* READ (Fig 4). *)
-
-let read t ~slot ~i =
-  if i < 0 || i >= t.cfg.Config.k then invalid_arg "Client.read: bad data index";
-  let rec loop attempts =
-    if attempts > t.cfg.Config.recovery_retry_limit then
-      raise (Stuck (Printf.sprintf "read slot %d block %d" slot i));
-    match call_retry t ~slot ~pos:i Read with
-    | Ok (R_read { block = Some v; _ }) ->
-      t.reads_completed <- t.reads_completed + 1;
-      v
-    | Ok (R_read { block = None; lmode }) ->
-      if lmode = Unl || lmode = Exp then begin
-        start_recovery t ~slot;
-        loop (attempts + 1)
-      end
-      else begin
-        (* Locked by a live recoverer: its recovery terminates (bounded
-           retries) or its crash expires the lock, so waiting here makes
-           progress eventually — don't charge the watchdog.  Under
-           message faults a recovery can hold locks for many
-           timeout-plus-backoff cycles. *)
-        t.env.sleep t.cfg.Config.retry_delay;
-        loop attempts
-      end
-    | Ok _ -> raise (Stuck "read: unexpected response")
-    | Error _ ->
-      (* Dead and not yet remapped (recovery cannot restore the block
-         either, wait for the directory), or a link so lossy the retry
-         budget ran out: reads are idempotent, keep trying. *)
-      t.env.sleep t.cfg.Config.retry_delay;
-      loop (attempts + 1)
-  in
-  loop 0
-
-(* ------------------------------------------------------------------ *)
-(* WRITE (Fig 5). *)
-
-type add_result = { ar_status : add_status; ar_opmode : opmode; ar_lmode : lmode }
-
-let add_result_of_call = function
-  | Ok (R_add { status; opmode; lmode }) ->
-    { ar_status = status; ar_opmode = opmode; ar_lmode = lmode }
-  | Error `Timeout ->
-    (* Retry budget exhausted but the node is (as far as we know) alive:
-       adds are deduplicated by tid, so present this as a transient
-       lock-like refusal — the writer keeps the position in its retry
-       set without forcing a recovery. *)
-    { ar_status = Add_fail; ar_opmode = Norm; ar_lmode = L1 }
-  | Ok _ | Error `Node_down ->
-    (* A dead or freshly remapped node behaves like INIT-and-unlocked,
-       which routes the writer into recovery (Fig 5 line 13). *)
-    { ar_status = Add_fail; ar_opmode = Init; ar_lmode = Unl }
-
-(* One batch of adds over the target positions, honouring the update
-   strategy (Sec 4 serial/parallel/hybrid, Sec 3.11 broadcast).  Returns
-   per-position results. *)
-let dispatch_adds t ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
-  let cfg = t.cfg in
-  let costs = cfg.Config.costs in
-  let results = ref [] in
-  let record pos r = results := (pos, r) :: !results in
-  let unicast pos =
-    t.env.compute (block_cost t costs.Config.delta_per_byte);
-    let dv = Rs_code.update_delta t.code ~j:pos ~i ~v ~w:blk in
-    let req = Add { dv; ntid; otid; epoch } in
-    record pos (add_result_of_call (call_retry t ~slot ~pos req))
-  in
-  (match cfg.Config.strategy with
-  | Config.Serial -> List.iter unicast targets
-  | Config.Parallel -> t.env.pfor (List.map (fun pos () -> unicast pos) targets)
-  | Config.Hybrid g ->
-    let rec groups = function
-      | [] -> []
-      | l ->
-        let take = min g (List.length l) in
-        let rec split n l =
-          if n = 0 then ([], l)
-          else
-            match l with
-            | [] -> ([], [])
-            | x :: rest ->
-              let a, b = split (n - 1) rest in
-              (x :: a, b)
-        in
-        let grp, rest = split take l in
-        grp :: groups rest
-    in
-    List.iter
-      (fun grp -> t.env.pfor (List.map (fun pos () -> unicast pos) grp))
-      (groups targets)
-  | Config.Bcast -> (
-    match t.env.broadcast with
-    | None -> t.env.pfor (List.map (fun pos () -> unicast pos) targets)
-    | Some bcast ->
-      t.env.compute (block_cost t costs.Config.delta_per_byte);
-      let dv = Block_ops.xor v blk in
-      let req = Add_bcast { dv; dblk = i; ntid; otid; epoch } in
-      List.iter
-        (fun (pos, r) -> record pos (add_result_of_call r))
-        (bcast ~slot ~poss:targets req)));
-  !results
+let metrics t = t.metrics
+let read t ~slot ~i = Read_path.read t.read_path ~slot ~i
 
 let write t ~slot ~i v =
-  let cfg = t.cfg in
-  let k = cfg.Config.k and n = cfg.Config.n in
-  if i < 0 || i >= k then invalid_arg "Client.write: bad data index";
-  if Bytes.length v <> cfg.Config.block_size then
-    invalid_arg "Client.write: wrong block size";
-  let full = i :: List.init (n - k) (fun r -> k + r) in
-  let attempts = ref 0 in
-  let finished = ref false in
-  while not !finished do
-    incr attempts;
-    if !attempts > cfg.Config.recovery_retry_limit then
-      raise (Stuck (Printf.sprintf "write slot %d block %d" slot i));
-    let ntid = fresh_tid t ~i in
-    (* Swap the new value into the data node (Fig 5 lines 2-6).  The
-       data node remembers the pre-swap value per recentlist entry, so a
-       swap whose reply was lost is safely resent: the retry is answered
-       from the saved value instead of re-applying (and if a concurrent
-       recovery finalized the slot in between, the resend either applies
-       freshly after a rollback or degenerates to a zero-delta no-op
-       after a roll-forward).  Only when the whole retry budget drains
-       on one live link does the writer give up explicitly. *)
-    let swap_tries = ref 0 in
-    let swap_result = ref None in
-    let give_up reason =
-      t.env.note "write.giveup";
-      raise
-        (Write_abandoned
-           (Printf.sprintf "write slot %d block %d: %s" slot i reason))
-    in
-    while !swap_result = None do
-      incr swap_tries;
-      if !swap_tries > cfg.Config.recovery_retry_limit then
-        raise (Stuck (Printf.sprintf "swap on slot %d block %d" slot i));
-      match call_retry t ~slot ~pos:i (Swap { v; ntid }) with
-      | Ok (R_swap { block = Some blk; epoch; otid; _ }) ->
-        swap_result := Some (blk, epoch, otid)
-      | Ok (R_swap { block = None; lmode; _ }) ->
-        if lmode = Unl || lmode = Exp then start_recovery t ~slot
-        else t.env.sleep cfg.Config.retry_delay
-      | Ok _ -> raise (Stuck "swap: unexpected response")
-      | Error `Node_down -> t.env.sleep cfg.Config.retry_delay
-      | Error `Timeout ->
-        (* Retry budget exhausted: we cannot learn whether the swap (or
-           which resend of it) landed, and the write may be half-applied.
-           Report the give-up; the stale recentlist entry flags the
-           half-done write to the monitor, whose recovery either
-           completes it into the stripe or rolls it back — both legal
-           outcomes for an unfinished write. *)
-        give_up "swap retry budget exhausted on a live link"
-    done;
-    let blk, epoch, otid0 =
-      match !swap_result with Some r -> r | None -> assert false
-    in
-    (* Update the redundant blocks (Fig 5 lines 7-20). *)
-    let otid = ref otid0 in
-    let d = ref [ i ] in
-    let targets = ref (List.init (n - k) (fun r -> k + r)) in
-    let order_rounds = ref 0 in
-    let add_rounds = ref 0 in
-    while !targets <> [] && !d <> [] do
-      incr add_rounds;
-      if !add_rounds > cfg.Config.recovery_retry_limit then
-        raise (Stuck (Printf.sprintf "adds on slot %d block %d" slot i));
-      let results =
-        dispatch_adds t ~slot ~i ~ntid ~v ~blk ~otid:!otid ~epoch
-          ~targets:!targets
-      in
-      let ok = List.filter (fun (_, r) -> r.ar_status = Add_ok) results in
-      d := !d @ List.map fst ok;
-      let retry =
-        List.filter
-          (fun (_, r) ->
-            r.ar_status = Add_order
-            || not (r.ar_lmode = Unl || r.ar_lmode = L0))
-          results
-        |> List.map fst
-      in
-      let saw_order =
-        List.exists (fun (_, r) -> r.ar_status = Add_order) results
-      in
-      if saw_order then incr order_rounds;
-      let needs_recovery =
-        List.exists
-          (fun (_, r) ->
-            r.ar_lmode = Exp
-            || (r.ar_opmode <> Norm && r.ar_lmode = Unl)
-            || (r.ar_status = Add_order
-               && !order_rounds > cfg.Config.order_retry_limit))
-          results
-      in
-      if needs_recovery then start_recovery t ~slot;
-      if saw_order then begin
-        (* Fig 5 lines 15-19: learn whether the predecessor write has
-           been garbage collected or a node lost our update. *)
-        match !otid with
-        | None -> ()
-        | Some o ->
-          let drop = ref [] in
-          let checks =
-            List.map
-              (fun pos () ->
-                match call_retry t ~slot ~pos (Checktid { ntid; otid = o }) with
-                | Ok (R_check Ck_gc) -> otid := None
-                | Ok (R_check Ck_init) -> drop := pos :: !drop
-                | Ok (R_check Ck_nochange) -> ()
-                | Ok _ -> ()
-                | Error _ -> drop := pos :: !drop)
-              !d
-          in
-          t.env.pfor checks;
-          d := List.filter (fun pos -> not (List.mem pos !drop)) !d
-      end;
-      if retry <> [] then t.env.sleep cfg.Config.retry_delay;
-      targets := retry
-    done;
-    let done_set = List.sort_uniq compare !d in
-    if done_set = List.sort compare full then begin
-      t.pending_gc <- (slot, ntid) :: t.pending_gc;
-      t.writes_completed <- t.writes_completed + 1;
-      finished := true
-    end
-  done
+  let tid = Write_path.write t.write_path ~slot ~i v in
+  Gc.completed t.gc ~slot tid
 
-(* ------------------------------------------------------------------ *)
-(* Lock-free health check and degraded read (extensions; see mli). *)
+let recover_slot t ~slot = Recovery.start t.recovery ~slot
+let collect_garbage t = Gc.collect t.gc
+let monitor_once t ~slots = Gc.monitor_once t.gc ~slots
 
-type slot_health = {
+type slot_health = Read_path.slot_health = {
   sh_live : int;
   sh_consistent : int;
   sh_init : int;
   sh_healthy : bool;
 }
 
-(* Parallel state snapshot of all n nodes. *)
-let snapshot_states t ~slot =
-  let n = t.cfg.Config.n in
-  let states = Array.make n None in
-  t.env.pfor
-    (List.init n (fun pos () -> states.(pos) <- call_state t ~slot pos));
-  states
+let verify_slot t ~slot = Read_path.verify_slot t.read_path ~slot
+let read_degraded t ~slot ~i = Read_path.read_degraded t.read_path ~slot ~i
+let pending_gc t = Gc.pending t.gc
+let writes_completed t = Metrics.counter t.metrics "op.write.count"
 
-let verify_slot t ~slot =
-  let n = t.cfg.Config.n in
-  let states = snapshot_states t ~slot in
-  let live =
-    Array.fold_left
-      (fun acc st ->
-        match st with
-        | Some v when v.st_opmode <> Init -> acc + 1
-        | _ -> acc)
-      0 states
-  in
-  let cset = find_consistent t states in
-  let consistent = List.length cset in
-  {
-    sh_live = live;
-    sh_consistent = consistent;
-    sh_init = n - live;
-    sh_healthy = (live = n && consistent = n);
-  }
+let reads_completed t =
+  Metrics.counter t.metrics "op.read.count"
+  + Metrics.counter t.metrics "op.degraded_read.count"
 
-let read_degraded t ~slot ~i =
-  if i < 0 || i >= t.cfg.Config.k then
-    invalid_arg "Client.read_degraded: bad data index";
-  let states = snapshot_states t ~slot in
-  let cset = find_consistent t states in
-  if List.length cset < t.cfg.Config.k then None
-  else if List.mem i cset then
-    (* The data block itself is in the consistent set: no decode needed. *)
-    match states.(i) with
-    | Some { st_block = Some b; _ } -> Some b
-    | _ -> None
-  else begin
-    let avail =
-      List.filter_map
-        (fun pos ->
-          match states.(pos) with
-          | Some { st_block = Some b; _ } -> Some (pos, b)
-          | _ -> None)
-        cset
-    in
-    if List.length avail < t.cfg.Config.k then None
-    else begin
-      t.env.compute
-        (float_of_int t.cfg.Config.k
-        *. block_cost t t.cfg.Config.costs.Config.decode_per_byte);
-      let data = Rs_code.decode t.code avail in
-      t.reads_completed <- t.reads_completed + 1;
-      Some data.(i)
-    end
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Garbage collection (Fig 7). *)
-
-let positions_of_tid t tid =
-  List.sort_uniq compare (tid.blk :: redundant_positions t)
-
-(* Send one GC request per (slot, position) batch; a tid survives to the
-   next round unless every node acknowledged. *)
-let gc_round t ~make_req entries =
-  let ok_tbl = Hashtbl.create 16 in
-  List.iter (fun (slot, tid) -> Hashtbl.replace ok_tbl (slot, tid) true) entries;
-  let by_slot = Hashtbl.create 8 in
-  List.iter
-    (fun (slot, tid) ->
-      let cur = Option.value (Hashtbl.find_opt by_slot slot) ~default:[] in
-      Hashtbl.replace by_slot slot (tid :: cur))
-    entries;
-  Hashtbl.iter
-    (fun slot tids ->
-      let poss =
-        List.sort_uniq compare (List.concat_map (positions_of_tid t) tids)
-      in
-      List.iter
-        (fun pos ->
-          let relevant =
-            List.filter (fun tid -> List.mem pos (positions_of_tid t tid)) tids
-          in
-          match call_retry t ~slot ~pos (make_req relevant) with
-          | Ok (R_gc { ok = true }) -> ()
-          | Ok (R_gc { ok = false }) | Error `Timeout ->
-            (* Node busy (locked / recovering) or unreachable through a
-               lossy link: GC requests are idempotent, keep these tids
-               for the next round. *)
-            List.iter
-              (fun tid -> Hashtbl.replace ok_tbl (slot, tid) false)
-              relevant
-          | Ok _ -> ()
-          | Error `Node_down ->
-            (* Its lists died with it; nothing to collect there. *)
-            ())
-        poss)
-    by_slot;
-  List.partition (fun key -> Hashtbl.find ok_tbl key) entries
-
-let collect_garbage t =
-  (* Phase 1: drop tids (moved to oldlist in a previous round) from
-     oldlists. *)
-  let dropped, kept_old = gc_round t ~make_req:(fun l -> Gc_old l) t.old_gc in
-  ignore dropped;
-  (* Phase 2: move freshly completed tids from recentlist to oldlist. *)
-  let moved, kept_pending =
-    gc_round t ~make_req:(fun l -> Gc_recent l) t.pending_gc
-  in
-  t.old_gc <- moved @ kept_old;
-  t.pending_gc <- kept_pending
-
-let pending_gc t = List.length t.pending_gc + List.length t.old_gc
-
-(* ------------------------------------------------------------------ *)
-(* Monitoring (Sec 3.10). *)
-
-let monitor_once t ~slots =
-  let n = t.cfg.Config.n in
-  let flagged = Hashtbl.create 8 in
-  for node = 0 to n - 1 do
-    match
-      call_node_retry t ~node
-        (Probe { older_than = t.cfg.Config.stale_write_age })
-    with
-    | Ok (R_probe { stale; init }) ->
-      List.iter (fun s -> Hashtbl.replace flagged s ()) stale;
-      List.iter (fun s -> Hashtbl.replace flagged s ()) init
-    | Ok _ -> ()
-    | Error _ -> ()
-  done;
-  let universe = List.sort_uniq compare slots in
-  Hashtbl.iter
-    (fun slot () ->
-      if universe = [] || List.mem slot universe then start_recovery t ~slot)
-    flagged
-
-let writes_completed t = t.writes_completed
-let reads_completed t = t.reads_completed
-let recoveries_run t = t.recoveries_run
+let recoveries_run t = Recovery.runs t.recovery

@@ -2,30 +2,33 @@
     WRITE with lock-free redundant-block updates, online recovery,
     two-phase garbage collection, and the monitoring probe.
 
-    All storage interaction goes through an {!env}, so the same protocol
-    code runs over the discrete-event simulator (see [Ecs_workload]) or
-    immediately in-process for unit tests.  Within one stripe, blocks are
-    addressed by {e stripe position}: data positions [0 .. k-1],
-    redundant positions [k .. n-1]; the environment translates positions
-    to physical nodes (rotation, directory remap).
+    This module is a {e facade}: the protocol itself lives in the layer
+    stack documented in DESIGN.md — {!Session} (RPC retry policy over a
+    {!Transport.S}), {!Write_path} (Fig 5), {!Read_path} (Fig 4 and the
+    degraded-read extension), {!Recovery} (Fig 6), {!Gc} (Fig 7 and the
+    Sec 3.10 monitor) — instrumented through {!Trace} into a
+    {!Metrics.t} registry per client.
+
+    All storage interaction goes through a transport, so the same
+    protocol code runs over the discrete-event simulator (see
+    [Ecs_workload]) or immediately in-process for unit tests.  Within
+    one stripe, blocks are addressed by {e stripe position}: data
+    positions [0 .. k-1], redundant positions [k .. n-1]; the transport
+    translates positions to physical nodes (rotation, directory remap).
 
     Common-case cost (paper Fig 1): a READ is one round trip carrying one
     block; a WRITE is one [swap] round trip plus one [add] round trip per
     redundant node (batched according to the configured strategy), with
     no locks taken. *)
 
-(** Result of one environment RPC.  [`Node_down] is fail-stop (reliably
-    detected); [`Timeout] means a request or reply was lost on a faulty
-    link — the callee {e may have executed} the request.  Every
-    operation is made idempotent at the storage node (adds and swaps are
-    deduplicated by tid, with the data node remembering each in-flight
-    swap's pre-swap value so a retried swap is answered rather than
-    re-applied), so timed-out calls are transparently resent under
-    bounded exponential backoff ([Config.rpc_retry_limit] /
-    [rpc_backoff]).  A swap that drains the whole budget is abandoned
-    with an explicit {!Write_abandoned}. *)
-type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
+type call_result = Transport.call_result
+(** Result of one transport RPC — see {!Transport.call_result} for the
+    timeout/fail-stop semantics and {!Session} for the retry policy
+    applied on top. *)
 
+(** Record form of {!Transport.S} kept for existing callers; [note] is
+    the legacy string event hook ("recovery.start", "rpc.retry", ...),
+    fed from the structured {!Trace} events. *)
 type env = {
   client_id : int;
       (** Identifies this client for tids and lock ownership. *)
@@ -52,28 +55,45 @@ type env = {
 type t
 
 exception Data_loss of string
-(** Recovery could not assemble [k] consistent blocks: the failure
-    bounds of Sec 4 were exceeded. *)
+(** Alias of {!Session.Data_loss}: recovery could not assemble [k]
+    consistent blocks — the failure bounds of Sec 4 were exceeded. *)
 
 exception Stuck of string
-(** A retry limit was exhausted — the system is outside its configured
-    operating envelope (e.g. a dead node that is never remapped). *)
+(** Alias of {!Session.Stuck}: a retry limit was exhausted — the system
+    is outside its configured operating envelope. *)
 
 exception Write_abandoned of string
-(** A write gave up because its [swap] drained the whole retry budget on
-    a live-but-lossy link, so the client never learned the old value
-    (the base of the redundant-block deltas).  The write is reported as
-    unfinished; if it did land, the stale recentlist entry routes it to
-    monitor-driven recovery, which either completes it into the stripe
-    or rolls it back — both legal for an unfinished write (Sec 3.1
-    regular semantics). *)
+(** Alias of {!Session.Write_abandoned}: a write gave up because its
+    [swap] drained the whole retry budget on a live-but-lossy link, so
+    the client never learned the old value (the base of the
+    redundant-block deltas).  The write is reported as unfinished; if it
+    did land, the stale recentlist entry routes it to monitor-driven
+    recovery, which either completes it into the stripe or rolls it back
+    — both legal for an unfinished write (Sec 3.1 regular semantics). *)
 
 val create : Config.t -> Rs_code.t -> env -> t
 (** The code must satisfy [Rs_code.k code = cfg.k] and
     [Rs_code.n code = cfg.n].  @raise Invalid_argument otherwise. *)
 
+val of_transport :
+  ?sink:Trace.sink -> Config.t -> Rs_code.t -> Transport.t -> t
+(** Like {!create} but over a first-class transport module, with an
+    optional structured trace sink (composed with the client's own
+    metrics registry). *)
+
+val transport_of_env : env -> Transport.t
+(** View an [env] record as a transport ([note] is dropped — it is a
+    trace concern, not a transport one). *)
+
+val env_of_transport : ?note:(string -> unit) -> Transport.t -> env
+(** Record view of a transport; [note] defaults to a no-op. *)
+
 val config : t -> Config.t
 val env : t -> env
+
+val metrics : t -> Metrics.t
+(** This client's metrics registry (always present; fed by every
+    operation). *)
 
 val read : t -> slot:int -> i:int -> bytes
 (** READ data block [i] of stripe [slot] (Fig 4).  One round trip in the
@@ -82,7 +102,8 @@ val read : t -> slot:int -> i:int -> bytes
 val write : t -> slot:int -> i:int -> bytes -> unit
 (** WRITE (Fig 5): swap the new value into the data node, then update
     every redundant node with a commutative add.  Safe under concurrent
-    writers to the same stripe, including to the same block.
+    writers to the same stripe, including to the same block.  The
+    completed tid is enqueued for {!collect_garbage}.
     @raise Write_abandoned on an ambiguous swap timeout (see above). *)
 
 val recover_slot : t -> slot:int -> unit
@@ -102,8 +123,9 @@ val monitor_once : t -> slots:int list -> unit
     stripe.  [slots] is the universe of in-use stripes, used only to
     bound probe interpretation. *)
 
-(** Health of one stripe as seen by {!verify_slot}. *)
-type slot_health = {
+(** Health of one stripe as seen by {!verify_slot} (alias of
+    {!Read_path.slot_health}). *)
+type slot_health = Read_path.slot_health = {
   sh_live : int;        (** nodes that answered and are not INIT *)
   sh_consistent : int;  (** size of the maximal consistent set *)
   sh_init : int;        (** INIT (or unreachable) nodes *)
@@ -132,4 +154,8 @@ val pending_gc : t -> int
 
 val writes_completed : t -> int
 val reads_completed : t -> int
+(** Completed top-level operations, from the metrics registry
+    ([op.write.count]; [op.read.count + op.degraded_read.count]). *)
+
 val recoveries_run : t -> int
+(** Recoveries this client completed (phase 3 finished). *)

@@ -65,28 +65,28 @@ let node_store t i = t.nodes.(i).store
 
 let mark_client_failed t id = Hashtbl.replace t.failed_clients id ()
 
-let env t ~id =
+let transport t ~id : Transport.t =
   let call_logical ~node ~slot req =
     t.clock <- t.clock +. tick;
     let ns = t.nodes.(node) in
     if not ns.alive then Error `Node_down
     else Ok (Storage_node.handle ns.store ~caller:id ~slot req)
   in
-  {
-    Client.client_id = id;
-    call =
-      (fun ~slot ~pos req ->
-        let node = Layout.node_of t.layout ~stripe:slot ~pos in
-        call_logical ~node ~slot req);
-    call_node = (fun ~node req -> call_logical ~node ~slot:0 req);
-    broadcast = None;
-    pfor = (fun thunks -> List.iter (fun f -> f ()) thunks);
-    sleep = (fun d -> t.clock <- t.clock +. Float.max d tick);
-    now = (fun () -> t.clock);
-    compute = (fun _ -> t.clock <- t.clock +. tick);
-    note = (fun _ -> ());
-  }
+  (module struct
+    let client_id = id
 
-let make_client t ~id = Client.create t.cfg t.code (env t ~id)
+    let call ~slot ~pos req =
+      let node = Layout.node_of t.layout ~stripe:slot ~pos in
+      call_logical ~node ~slot req
+
+    let call_node ~node req = call_logical ~node ~slot:0 req
+    let broadcast = None
+    let pfor thunks = List.iter (fun f -> f ()) thunks
+    let sleep d = t.clock <- t.clock +. Float.max d tick
+    let now () = t.clock
+    let compute _ = t.clock <- t.clock +. tick
+  end : Transport.S)
+
+let make_client ?sink t ~id = Client.of_transport ?sink t.cfg t.code (transport t ~id)
 
 let make_volume t ~id = Volume.create (make_client t ~id) t.layout

@@ -1,10 +1,11 @@
 (** In-process, simulator-free protocol environment.
 
-    Wires a {!Client.env} straight to [n] local {!Storage_node.t}
+    Implements {!Transport.S} straight over [n] local {!Storage_node.t}
     instances: calls execute immediately, [pfor] is sequential, [sleep]
     advances a synthetic clock.  No concurrency, no failures-in-flight —
     this exists to (a) prove the client protocol is genuinely
-    transport-agnostic and (b) let library users embed the protocol over
+    transport-agnostic (the sim cluster and this module go through the
+    same signature) and (b) let library users embed the protocol over
     their own transport by imitating this module.
 
     Crash injection is still available ([crash_node] / [remap_node]):
@@ -16,7 +17,13 @@ type t
 
 val create : ?rotate:bool -> Config.t -> t
 
-val make_client : t -> id:int -> Client.t
+val transport : t -> id:int -> Transport.t
+(** A transport for client [id] over this environment's nodes. *)
+
+val make_client : ?sink:Trace.sink -> t -> id:int -> Client.t
+(** Client over {!transport}; [sink] taps the structured trace stream
+    (tests assert on event sequences through it). *)
+
 val make_volume : t -> id:int -> Volume.t
 
 val crash_node : t -> int -> unit

@@ -1,0 +1,137 @@
+type latency = { l_count : int; l_total : float; l_max : float }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  latencies : (string, latency ref) Hashtbl.t;
+}
+
+let counter_keys =
+  List.concat_map
+    (fun k ->
+      let k = Trace.op_kind_to_string k in
+      [ Printf.sprintf "op.%s.count" k; Printf.sprintf "op.%s.failed" k ])
+    Trace.all_op_kinds
+  @ List.map
+      (fun p -> "recovery.phase." ^ Trace.recovery_phase_to_string p)
+      Trace.all_recovery_phases
+  @ [
+      "rpc.retries";
+      "rpc.giveups";
+      "write.giveups";
+      "write.order_rejections";
+      "gc.batches";
+      "gc.tids_acked";
+    ]
+
+let create () =
+  let t = { counters = Hashtbl.create 32; latencies = Hashtbl.create 8 } in
+  List.iter (fun key -> Hashtbl.replace t.counters key (ref 0)) counter_keys;
+  List.iter
+    (fun k ->
+      Hashtbl.replace t.latencies (Trace.op_kind_to_string k)
+        (ref { l_count = 0; l_total = 0.; l_max = 0. }))
+    Trace.all_op_kinds;
+  t
+
+(* The schema is fixed at [create]; an unknown key is a programming
+   error upstream, counted under a sentinel rather than crashing the
+   protocol from inside a sink. *)
+let bump t key n =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> r := !r + n
+  | None ->
+    let r = match Hashtbl.find_opt t.counters "unknown" with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.counters "unknown" r;
+        r
+    in
+    r := !r + n
+
+let observe_latency t kind elapsed =
+  match Hashtbl.find_opt t.latencies (Trace.op_kind_to_string kind) with
+  | None -> ()
+  | Some r ->
+    let l = !r in
+    r :=
+      {
+        l_count = l.l_count + 1;
+        l_total = l.l_total +. elapsed;
+        l_max = Float.max l.l_max elapsed;
+      }
+
+let sink t (ctx : Trace.ctx) (event : Trace.event) =
+  let op = Trace.op_kind_to_string ctx.kind in
+  match event with
+  | Trace.Op_begin -> ()
+  | Trace.Op_end { ok = true; elapsed } ->
+    bump t (Printf.sprintf "op.%s.count" op) 1;
+    observe_latency t ctx.kind elapsed
+  | Trace.Op_end { ok = false; _ } -> bump t (Printf.sprintf "op.%s.failed" op) 1
+  | Trace.Rpc_retry _ -> bump t "rpc.retries" 1
+  | Trace.Rpc_give_up _ -> bump t "rpc.giveups" 1
+  | Trace.Swap_result _ -> ()
+  | Trace.Add_order_rejected _ -> bump t "write.order_rejections" 1
+  | Trace.Write_give_up _ -> bump t "write.giveups" 1
+  | Trace.Recovery_phase p ->
+    bump t ("recovery.phase." ^ Trace.recovery_phase_to_string p) 1
+  | Trace.Gc_batch { sent = _; acked; _ } ->
+    bump t "gc.batches" 1;
+    bump t "gc.tids_acked" acked
+  | Trace.Probe_result _ | Trace.Custom _ -> ()
+
+let counter t key =
+  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let latency t kind =
+  match Hashtbl.find_opt t.latencies (Trace.op_kind_to_string kind) with
+  | Some r -> !r
+  | None -> { l_count = 0; l_total = 0.; l_max = 0. }
+
+let latencies t =
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.latencies []
+  |> List.sort compare
+
+let merge_into ~dst t =
+  List.iter (fun (key, v) -> bump dst key v) (counters t);
+  List.iter
+    (fun (key, l) ->
+      match Hashtbl.find_opt dst.latencies key with
+      | Some r ->
+        let d = !r in
+        r :=
+          {
+            l_count = d.l_count + l.l_count;
+            l_total = d.l_total +. l.l_total;
+            l_max = Float.max d.l_max l.l_max;
+          }
+      | None -> Hashtbl.replace dst.latencies key (ref l))
+    (latencies t)
+
+let to_json ?(indent = "") t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (indent ^ s)) fmt in
+  line "{\n";
+  line "  \"counters\": {\n";
+  let cs = counters t in
+  List.iteri
+    (fun i (key, v) ->
+      line "    %S: %d%s\n" key v (if i = List.length cs - 1 then "" else ","))
+    cs;
+  line "  },\n";
+  line "  \"latency_s\": {\n";
+  let ls = latencies t in
+  List.iteri
+    (fun i (key, l) ->
+      line "    %S: { \"count\": %d, \"total\": %.9f, \"max\": %.9f }%s\n" key
+        l.l_count l.l_total l.l_max
+        (if i = List.length ls - 1 then "" else ","))
+    ls;
+  line "  }\n";
+  line "}";
+  Buffer.contents buf

@@ -1,0 +1,117 @@
+type t = { session : Session.t; code : Rs_code.t; recovery : Recovery.t }
+
+let create ~code ~recovery session = { session; code; recovery }
+
+(* READ (Fig 4). *)
+let read t ~slot ~i =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  if i < 0 || i >= cfg.Config.k then invalid_arg "Client.read: bad data index";
+  let ctx = Session.new_ctx s Trace.Op_read ~slot in
+  Session.with_op s ctx (fun () ->
+      let rec loop attempts =
+        if attempts > cfg.Config.recovery_retry_limit then
+          raise (Session.Stuck (Printf.sprintf "read slot %d block %d" slot i));
+        match Session.call s ctx ~slot ~pos:i Proto.Read with
+        | Ok (Proto.R_read { block = Some v; _ }) -> v
+        | Ok (Proto.R_read { block = None; lmode }) ->
+          if lmode = Proto.Unl || lmode = Proto.Exp then begin
+            Recovery.start t.recovery ~parent:ctx ~slot;
+            loop (attempts + 1)
+          end
+          else begin
+            (* Locked by a live recoverer: its recovery terminates
+               (bounded retries) or its crash expires the lock, so
+               waiting here makes progress eventually — don't charge the
+               watchdog.  Under message faults a recovery can hold locks
+               for many timeout-plus-backoff cycles. *)
+            Session.sleep s cfg.Config.retry_delay;
+            loop attempts
+          end
+        | Ok _ -> raise (Session.Stuck "read: unexpected response")
+        | Error _ ->
+          (* Dead and not yet remapped (recovery cannot restore the
+             block either, wait for the directory), or a link so lossy
+             the retry budget ran out: reads are idempotent, keep
+             trying. *)
+          Session.sleep s cfg.Config.retry_delay;
+          loop (attempts + 1)
+      in
+      loop 0)
+
+(* ------------------------------------------------------------------ *)
+(* Lock-free health check and degraded read (extensions; see mli). *)
+
+type slot_health = {
+  sh_live : int;
+  sh_consistent : int;
+  sh_init : int;
+  sh_healthy : bool;
+}
+
+(* Parallel state snapshot of all n nodes. *)
+let snapshot_states t ctx ~slot =
+  let n = (Session.cfg t.session).Config.n in
+  let states = Array.make n None in
+  Session.pfor t.session
+    (List.init n (fun pos () ->
+         states.(pos) <- Recovery.poll_state t.session ctx ~slot ~pos));
+  states
+
+let verify_slot t ~slot =
+  let cfg = Session.cfg t.session in
+  let n = cfg.Config.n in
+  let ctx = Session.new_ctx t.session Trace.Op_verify ~slot in
+  Session.with_op t.session ctx (fun () ->
+      let states = snapshot_states t ctx ~slot in
+      let live =
+        Array.fold_left
+          (fun acc st ->
+            match st with
+            | Some v when v.Proto.st_opmode <> Proto.Init -> acc + 1
+            | _ -> acc)
+          0 states
+      in
+      let cset = Recovery.find_consistent ~k:cfg.Config.k ~n states in
+      let consistent = List.length cset in
+      {
+        sh_live = live;
+        sh_consistent = consistent;
+        sh_init = n - live;
+        sh_healthy = (live = n && consistent = n);
+      })
+
+let read_degraded t ~slot ~i =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let k = cfg.Config.k in
+  if i < 0 || i >= k then invalid_arg "Client.read_degraded: bad data index";
+  let ctx = Session.new_ctx s Trace.Op_degraded_read ~slot in
+  Session.with_op s ctx (fun () ->
+      let states = snapshot_states t ctx ~slot in
+      let cset = Recovery.find_consistent ~k ~n:cfg.Config.n states in
+      if List.length cset < k then None
+      else if List.mem i cset then
+        (* The data block itself is in the consistent set: no decode
+           needed. *)
+        match states.(i) with
+        | Some { Proto.st_block = Some b; _ } -> Some b
+        | _ -> None
+      else begin
+        let avail =
+          List.filter_map
+            (fun pos ->
+              match states.(pos) with
+              | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+              | _ -> None)
+            cset
+        in
+        if List.length avail < k then None
+        else begin
+          Session.compute s
+            (float_of_int k
+            *. Session.block_cost s cfg.Config.costs.Config.decode_per_byte);
+          let data = Rs_code.decode t.code avail in
+          Some data.(i)
+        end
+      end)

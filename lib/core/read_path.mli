@@ -1,0 +1,38 @@
+(** Read path: the one-round-trip READ of Fig 4, plus the lock-free
+    extensions built on state snapshots — degraded decode-from-survivors
+    reads and the stripe health check behind {!Scrub}.
+
+    What this layer owes its users: {!read} returns the committed value
+    in one round trip in the failure-free case, triggers {!Recovery} on
+    an INIT or expired-lock node and waits out live recoverers;
+    {!read_degraded} never decodes a torn stripe (it reuses
+    {!Recovery.find_consistent}); neither takes locks.  Every operation
+    runs under its own trace context with begin/end events. *)
+
+type t
+
+val create : code:Rs_code.t -> recovery:Recovery.t -> Session.t -> t
+
+val read : t -> slot:int -> i:int -> bytes
+(** READ data block [i] of stripe [slot] (Fig 4).
+    @raise Invalid_argument on a non-data index,
+    {!Session.Stuck} past the retry envelope. *)
+
+(** Health of one stripe as seen by {!verify_slot}. *)
+type slot_health = {
+  sh_live : int;  (** nodes that answered and are not INIT *)
+  sh_consistent : int;  (** size of the maximal consistent set *)
+  sh_init : int;  (** INIT (or unreachable) nodes *)
+  sh_healthy : bool;
+      (** all [n] nodes answered, none INIT, and every block is in the
+          consistent set *)
+}
+
+val verify_slot : t -> slot:int -> slot_health
+(** Lock-free health check: snapshot every node's state and run
+    [find_consistent] over it. *)
+
+val read_degraded : t -> slot:int -> i:int -> bytes option
+(** Decode data block [i] from any [k] mutually-consistent blocks
+    without locks and without waiting for recovery; [None] when no
+    [k]-block consistent set is available (see {!Client.read_degraded}). *)

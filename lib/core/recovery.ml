@@ -1,0 +1,300 @@
+module Tid_set = Set.Make (struct
+  type t = Proto.tid
+
+  let compare = Proto.tid_compare
+end)
+
+type t = {
+  session : Session.t;
+  code : Rs_code.t;
+  recovering : (int, unit) Hashtbl.t; (* slots with local recovery running *)
+  mutable runs : int;
+}
+
+let create ~code session =
+  { session; code; recovering = Hashtbl.create 8; runs = 0 }
+
+let runs t = t.runs
+
+(* ------------------------------------------------------------------ *)
+(* find_consistent (Fig 6): maximal set S of non-INIT positions whose
+   recentlists (minus globally garbage-collected tids) agree with each
+   other under the paper's conditions (1)-(3).
+
+   Structure used to stay polynomial: redundant members of S must share
+   one recentlist signature, so the maximal S is the best of
+   - the all-data candidate (conditions (2),(3) vacuous), and
+   - one candidate per distinct redundant signature sigma: the
+     redundants carrying sigma plus every data position j whose own
+     signature equals sigma's tids originated at j (H-hat test).
+
+   G-hat is taken as the union of oldlists over all polled nodes rather
+   than over S; by the two-phase GC invariant a tid reaches any oldlist
+   only after its write completed at all nodes, so the widened union is
+   sound (see DESIGN.md). *)
+let find_consistent ~k ~n (states : Proto.state_view option array) =
+  let g_hat =
+    Array.fold_left
+      (fun acc st ->
+        match st with
+        | Some v -> Tid_set.union acc (Tid_set.of_list v.Proto.st_oldlist)
+        | None -> acc)
+      Tid_set.empty states
+  in
+  let f_hat = Array.make n Tid_set.empty in
+  let norm = Array.make n false in
+  Array.iteri
+    (fun pos st ->
+      match st with
+      | Some v when v.Proto.st_opmode = Proto.Norm ->
+        norm.(pos) <- true;
+        f_hat.(pos) <- Tid_set.diff (Tid_set.of_list v.Proto.st_recentlist) g_hat
+      | _ -> ())
+    states;
+  let data_norm = List.filter (fun j -> norm.(j)) (List.init k Fun.id) in
+  let red_norm =
+    List.filter (fun r -> norm.(r)) (List.init (n - k) (fun i -> k + i))
+  in
+  let candidate_for sigma =
+    let reds = List.filter (fun r -> Tid_set.equal f_hat.(r) sigma) red_norm in
+    let datas =
+      List.filter
+        (fun j ->
+          let h_hat = Tid_set.filter (fun x -> x.Proto.blk = j) sigma in
+          Tid_set.equal h_hat f_hat.(j))
+        data_norm
+    in
+    datas @ reds
+  in
+  let signatures =
+    List.fold_left
+      (fun acc r ->
+        if List.exists (Tid_set.equal f_hat.(r)) acc then acc
+        else f_hat.(r) :: acc)
+      [] red_norm
+  in
+  let candidates = data_norm :: List.map candidate_for signatures in
+  List.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    [] candidates
+
+let poll_state session ctx ~slot ~pos =
+  match Session.call session ctx ~slot ~pos Proto.Get_state with
+  | Ok (Proto.R_state v) -> Some v
+  | Ok _ -> None
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Recovery proper (Fig 6). *)
+
+type outcome = Recovered | Backed_off
+
+let recover_with_ctx t ctx ~slot =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let n = cfg.Config.n and k = cfg.Config.k in
+  let phase p = Session.emit s ctx (Trace.Recovery_phase p) in
+  (* Phase 1: lock all blocks in position order; back off if anybody
+     else holds a recovery lock. *)
+  phase Trace.Ph_lock;
+  let acquired = ref [] in
+  let backed_off = ref false in
+  let rec lock_from pos =
+    if pos >= n || !backed_off then ()
+    else begin
+      (match Session.call s ctx ~slot ~pos (Proto.Trylock Proto.L1) with
+      | Ok (Proto.R_trylock { ok = true; oldlmode }) ->
+        acquired := (pos, oldlmode) :: !acquired
+      | Ok (Proto.R_trylock { ok = false; _ }) -> backed_off := true
+      | Ok _ -> ()
+      | Error `Node_down ->
+        (* A dead node can neither serve writes nor needs locking; skip
+           it — it will show up as unavailable in phase 2. *)
+        ()
+      | Error `Timeout ->
+        (* Retries exhausted on a live link: we cannot tell whether the
+           lock was granted, so back off — trylock is idempotent for
+           the same holder, and the next attempt resolves it. *)
+        backed_off := true);
+      if not !backed_off then lock_from (pos + 1)
+    end
+  in
+  lock_from 0;
+  if !backed_off then begin
+    (* Release what we took, restoring the previous lock modes. *)
+    Session.pfor s
+      (List.map
+         (fun (pos, old) () ->
+           ignore (Session.call s ctx ~slot ~pos (Proto.Setlock old)))
+         !acquired);
+    Session.sleep s cfg.Config.retry_delay;
+    phase Trace.Ph_backoff;
+    Backed_off
+  end
+  else begin
+    (* Phase 2: running solo now. *)
+    phase Trace.Ph_collect;
+    let states = Array.init n (fun pos -> poll_state s ctx ~slot ~pos) in
+    let init_count st =
+      Array.fold_left
+        (fun acc v ->
+          match v with
+          | Some v when v.Proto.st_opmode <> Proto.Init -> acc
+          | _ -> acc + 1)
+        0 st
+    in
+    let adopt =
+      (* A previous recoverer crashed in phase 3: adopt its consistent
+         set (Fig 6 lines 8-9). *)
+      Array.to_list states
+      |> List.find_map (fun st ->
+             match st with
+             | Some
+                 { Proto.st_opmode = Proto.Recons; st_recons_set = Some set; _ }
+               ->
+               Some set
+             | _ -> None)
+    in
+    let cset =
+      match adopt with
+      | Some set ->
+        phase Trace.Ph_adopt;
+        List.filter
+          (fun pos ->
+            match states.(pos) with
+            | Some v -> v.Proto.st_opmode <> Proto.Init
+            | None -> false)
+          set
+      | None ->
+        (* Find a large-enough consistent set, weakening locks to let
+           outstanding adds drain (Fig 6 lines 11-20). *)
+        let cset = ref (find_consistent ~k ~n states) in
+        let slack () = max 0 (cfg.Config.t_d - init_count states) in
+        let enough () = List.length !cset >= k + slack () in
+        let rounds = ref 0 in
+        let reds = List.init (n - k) (fun i -> k + i) in
+        while not (enough ()) do
+          incr rounds;
+          if !rounds > cfg.Config.recovery_retry_limit then
+            raise
+              (Session.Stuck
+                 (Printf.sprintf
+                    "recovery of slot %d cannot gather %d consistent blocks"
+                    slot
+                    (k + slack ())));
+          (* Weaken locks on redundant nodes so outstanding adds can
+             complete. *)
+          phase Trace.Ph_weaken;
+          Session.pfor s
+            (List.map
+               (fun pos () ->
+                 ignore (Session.call s ctx ~slot ~pos (Proto.Setlock Proto.L0)))
+               reds);
+          let inner = ref 0 in
+          while not (enough ()) && !inner <= cfg.Config.recovery_retry_limit do
+            incr inner;
+            Session.sleep s cfg.Config.recovery_poll_delay;
+            List.iter
+              (fun pos -> states.(pos) <- poll_state s ctx ~slot ~pos)
+              reds;
+            cset := find_consistent ~k ~n states
+          done;
+          if !inner > cfg.Config.recovery_retry_limit then
+            raise
+              (Session.Stuck (Printf.sprintf "recovery of slot %d stalled" slot));
+          (* Re-take full locks before new adds slip in; drop any block
+             whose recentlist moved in the meantime. *)
+          let changed = ref [] in
+          List.iter
+            (fun pos ->
+              match Session.call s ctx ~slot ~pos (Proto.Getrecent Proto.L1) with
+              | Ok (Proto.R_recent current) ->
+                let seen =
+                  match states.(pos) with
+                  | Some v -> v.Proto.st_recentlist
+                  | None -> []
+                in
+                if
+                  not
+                    (Tid_set.equal (Tid_set.of_list current)
+                       (Tid_set.of_list seen))
+                then changed := pos :: !changed
+              | Ok _ -> ()
+              | Error _ -> changed := pos :: !changed)
+            reds;
+          cset := List.filter (fun posn -> not (List.mem posn !changed)) !cset
+        done;
+        !cset
+    in
+    if List.length cset < k then
+      raise
+        (Session.Data_loss
+           (Printf.sprintf "slot %d: only %d consistent blocks, need %d" slot
+              (List.length cset) k));
+    (* Phase 3: decode, rewrite every block, bump the epoch, unlock. *)
+    let avail =
+      List.filter_map
+        (fun pos ->
+          match states.(pos) with
+          | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+          | _ -> None)
+        cset
+    in
+    if List.length avail < k then
+      raise
+        (Session.Data_loss
+           (Printf.sprintf "slot %d: consistent blocks lost mid-recovery" slot));
+    phase Trace.Ph_decode;
+    Session.compute s
+      (float_of_int k
+      *. (Session.block_cost s cfg.Config.costs.Config.decode_per_byte
+         +. Session.block_cost s cfg.Config.costs.Config.encode_per_byte));
+    let stripe = Rs_code.reconstruct_stripe t.code avail in
+    let all_positions = List.init n Fun.id in
+    let epochs = Array.make n 0 in
+    Session.pfor s
+      (List.map
+         (fun pos () ->
+           match
+             Session.call s ctx ~slot ~pos
+               (Proto.Reconstruct { cset; blk = stripe.(pos) })
+           with
+           | Ok (Proto.R_reconstruct { epoch }) -> epochs.(pos) <- epoch
+           | Ok _ | Error _ -> ())
+         all_positions);
+    phase Trace.Ph_finalize;
+    let new_epoch = Array.fold_left max 0 epochs + 1 in
+    Session.pfor s
+      (List.map
+         (fun pos () ->
+           ignore
+             (Session.call s ctx ~slot ~pos (Proto.Finalize { epoch = new_epoch })))
+         all_positions);
+    t.runs <- t.runs + 1;
+    phase Trace.Ph_done;
+    Recovered
+  end
+
+let recover ?parent t ~slot =
+  let ctx = Session.new_ctx t.session ?parent Trace.Op_recovery ~slot in
+  Session.with_op t.session ctx (fun () -> recover_with_ctx t ctx ~slot)
+
+(* start (Fig 6 start_recovery): fork-if-not-running-locally.  In our
+   cooperative setting the caller runs recovery inline; concurrent
+   operations of the same client wait for it instead of starting a
+   duplicate. *)
+let start ?parent t ~slot =
+  if Hashtbl.mem t.recovering slot then
+    (* The running recovery fiber removes the entry in a [finally], and
+       its own retry loops are bounded, so this wait always terminates —
+       no poll budget.  Under message faults a recovery can legitimately
+       take many timeout-plus-backoff cycles. *)
+    while Hashtbl.mem t.recovering slot do
+      Session.sleep t.session (Session.cfg t.session).Config.retry_delay
+    done
+  else begin
+    Hashtbl.add t.recovering slot ();
+    Fun.protect
+      ~finally:(fun () -> Hashtbl.remove t.recovering slot)
+      (fun () -> ignore (recover ?parent t ~slot))
+  end

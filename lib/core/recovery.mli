@@ -1,0 +1,43 @@
+(** Recovery engine: the three-phase, lock-based, client-driven recovery
+    of Fig 6, plus the [find_consistent] test it (and the degraded read
+    path) is built on.
+
+    What this layer owes its users: {!start} is safe to call at any
+    time, from any protocol layer — it is idempotent per slot within one
+    client (a second caller waits for the running recovery instead of
+    starting a duplicate), backs off politely when another client holds
+    recovery locks, adopts a crashed recoverer's [recons_set]
+    (RECONS hand-off), weakens locks (L1 -> L0) so outstanding adds can
+    drain, and leaves the slot NORM/unlocked with a bumped epoch on
+    success.  Phase transitions are emitted as
+    {!Trace.Recovery_phase} events against a dedicated recovery
+    context (parented to the triggering operation, if any).
+
+    @raise Session.Data_loss when fewer than [k] consistent blocks
+    survive, and {!Session.Stuck} when a retry bound is exhausted. *)
+
+type t
+
+val create : code:Rs_code.t -> Session.t -> t
+
+val find_consistent : k:int -> n:int -> Proto.state_view option array -> int list
+(** Maximal set S of non-INIT positions whose recentlists (minus
+    garbage-collected tids) satisfy the paper's consistency conditions
+    (1)-(3); polynomial-time via the shared-signature argument (see
+    DESIGN.md deviations 2-3).  Pure — exposed for direct unit testing. *)
+
+val poll_state : Session.t -> Trace.ctx -> slot:int -> pos:int -> Proto.state_view option
+(** One [get_state] RPC; [None] for unreachable or non-state replies. *)
+
+type outcome = Recovered | Backed_off
+
+val recover : ?parent:Trace.ctx -> t -> slot:int -> outcome
+(** One recovery attempt (Fig 6), run inline in the calling fiber. *)
+
+val start : ?parent:Trace.ctx -> t -> slot:int -> unit
+(** [start_recovery] of Fig 6: run {!recover} unless this client already
+    has a recovery of [slot] in flight, in which case wait for it
+    (fork-if-not-running-locally in a cooperative scheduler). *)
+
+val runs : t -> int
+(** Completed (not backed-off) recoveries by this client. *)

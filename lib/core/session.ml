@@ -1,0 +1,93 @@
+exception Data_loss of string
+exception Stuck of string
+exception Write_abandoned of string
+
+type t = {
+  cfg : Config.t;
+  transport : Transport.t;
+  sink : Trace.sink;
+  mutable next_op : int;
+}
+
+let create ~cfg ~sink transport = { cfg; transport; sink; next_op = 0 }
+let cfg t = t.cfg
+
+let client_id t =
+  let (module T : Transport.S) = t.transport in
+  T.client_id
+
+let new_ctx t ?parent kind ~slot =
+  let op_id = t.next_op in
+  t.next_op <- op_id + 1;
+  {
+    Trace.op_id;
+    client = client_id t;
+    kind;
+    slot;
+    parent = Option.map (fun (p : Trace.ctx) -> p.Trace.op_id) parent;
+  }
+
+let emit t ctx event = t.sink ctx event
+
+let now t =
+  let (module T : Transport.S) = t.transport in
+  T.now ()
+
+let with_op t ctx f =
+  emit t ctx Trace.Op_begin;
+  let started = now t in
+  match f () with
+  | v ->
+    emit t ctx (Trace.Op_end { ok = true; elapsed = now t -. started });
+    v
+  | exception e ->
+    emit t ctx (Trace.Op_end { ok = false; elapsed = now t -. started });
+    raise e
+
+(* The single retry/backoff loop (formerly three copies in client.ml).
+   A [`Timeout] means a request or reply was lost; the callee may or may
+   not have executed the request, and every protocol message is
+   idempotent at the storage node (see mli), so resend blindly under
+   bounded exponential backoff.  [`Node_down] is fail-stop: return at
+   once. *)
+let retry t ctx req call =
+  let (module T : Transport.S) = t.transport in
+  let cfg = t.cfg in
+  let rec go attempt backoff =
+    match call () with
+    | Error `Timeout when attempt < cfg.Config.rpc_retry_limit ->
+      emit t ctx (Trace.Rpc_retry { req; attempt; backoff });
+      T.sleep backoff;
+      go (attempt + 1) (Float.min (2. *. backoff) cfg.Config.rpc_backoff_max)
+    | Error `Timeout as r ->
+      emit t ctx (Trace.Rpc_give_up { req; attempts = attempt + 1 });
+      r
+    | r -> r
+  in
+  go 0 cfg.Config.rpc_backoff
+
+let call t ctx ~slot ~pos req =
+  let (module T : Transport.S) = t.transport in
+  retry t ctx req (fun () -> T.call ~slot ~pos req)
+
+let call_node t ctx ~node req =
+  let (module T : Transport.S) = t.transport in
+  retry t ctx req (fun () -> T.call_node ~node req)
+
+let broadcast t =
+  let (module T : Transport.S) = t.transport in
+  T.broadcast
+
+let pfor t thunks =
+  let (module T : Transport.S) = t.transport in
+  T.pfor thunks
+
+let sleep t d =
+  let (module T : Transport.S) = t.transport in
+  T.sleep d
+
+let compute t seconds =
+  let (module T : Transport.S) = t.transport in
+  T.compute seconds
+
+let block_cost t per_byte = per_byte *. float_of_int t.cfg.Config.block_size

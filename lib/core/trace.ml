@@ -1,0 +1,121 @@
+type op_kind =
+  | Op_read
+  | Op_write
+  | Op_degraded_read
+  | Op_recovery
+  | Op_gc
+  | Op_monitor
+  | Op_verify
+
+let op_kind_to_string = function
+  | Op_read -> "read"
+  | Op_write -> "write"
+  | Op_degraded_read -> "degraded_read"
+  | Op_recovery -> "recovery"
+  | Op_gc -> "gc"
+  | Op_monitor -> "monitor"
+  | Op_verify -> "verify"
+
+let all_op_kinds =
+  [ Op_read; Op_write; Op_degraded_read; Op_recovery; Op_gc; Op_monitor; Op_verify ]
+
+type ctx = {
+  op_id : int;
+  client : int;
+  kind : op_kind;
+  slot : int;
+  parent : int option;
+}
+
+type recovery_phase =
+  | Ph_lock
+  | Ph_backoff
+  | Ph_adopt
+  | Ph_collect
+  | Ph_weaken
+  | Ph_decode
+  | Ph_finalize
+  | Ph_done
+
+let recovery_phase_to_string = function
+  | Ph_lock -> "lock"
+  | Ph_backoff -> "backoff"
+  | Ph_adopt -> "adopt"
+  | Ph_collect -> "collect"
+  | Ph_weaken -> "weaken"
+  | Ph_decode -> "decode"
+  | Ph_finalize -> "finalize"
+  | Ph_done -> "done"
+
+let all_recovery_phases =
+  [ Ph_lock; Ph_backoff; Ph_adopt; Ph_collect; Ph_weaken; Ph_decode; Ph_finalize; Ph_done ]
+
+type swap_outcome = Sw_applied | Sw_locked | Sw_node_down
+
+type event =
+  | Op_begin
+  | Op_end of { ok : bool; elapsed : float }
+  | Rpc_retry of { req : Proto.request; attempt : int; backoff : float }
+  | Rpc_give_up of { req : Proto.request; attempts : int }
+  | Swap_result of { outcome : swap_outcome; tries : int }
+  | Add_order_rejected of { pos : int; round : int }
+  | Write_give_up of { reason : string }
+  | Recovery_phase of recovery_phase
+  | Gc_batch of { phase : [ `Recent | `Old ]; sent : int; acked : int }
+  | Probe_result of { node : int; stale : int; init : int }
+  | Custom of string
+
+type sink = ctx -> event -> unit
+
+let null_sink _ _ = ()
+let compose sinks ctx event = List.iter (fun s -> s ctx event) sinks
+
+let legacy_note ctx = function
+  | Op_begin when ctx.kind = Op_recovery -> Some "recovery.start"
+  | Rpc_retry _ -> Some "rpc.retry"
+  | Write_give_up _ -> Some "write.giveup"
+  | Recovery_phase Ph_backoff -> Some "recovery.backoff"
+  | Recovery_phase Ph_adopt -> Some "recovery.adopt"
+  | Recovery_phase Ph_done -> Some "recovery.done"
+  | Recovery_phase _ -> None
+  | Custom s -> Some s
+  | _ -> None
+
+let swap_outcome_to_string = function
+  | Sw_applied -> "applied"
+  | Sw_locked -> "locked"
+  | Sw_node_down -> "node_down"
+
+let pp_event ppf = function
+  | Op_begin -> Format.fprintf ppf "begin"
+  | Op_end { ok; elapsed } ->
+    Format.fprintf ppf "end %s elapsed=%.9f" (if ok then "ok" else "fail") elapsed
+  | Rpc_retry { req; attempt; backoff } ->
+    Format.fprintf ppf "rpc.retry attempt=%d backoff=%.6f %a" attempt backoff
+      Proto.pp_request req
+  | Rpc_give_up { req; attempts } ->
+    Format.fprintf ppf "rpc.giveup attempts=%d %a" attempts Proto.pp_request req
+  | Swap_result { outcome; tries } ->
+    Format.fprintf ppf "swap %s tries=%d" (swap_outcome_to_string outcome) tries
+  | Add_order_rejected { pos; round } ->
+    Format.fprintf ppf "add.order pos=%d round=%d" pos round
+  | Write_give_up { reason } -> Format.fprintf ppf "write.giveup %s" reason
+  | Recovery_phase p ->
+    Format.fprintf ppf "recovery.%s" (recovery_phase_to_string p)
+  | Gc_batch { phase; sent; acked } ->
+    Format.fprintf ppf "gc.%s sent=%d acked=%d"
+      (match phase with `Recent -> "recent" | `Old -> "old")
+      sent acked
+  | Probe_result { node; stale; init } ->
+    Format.fprintf ppf "probe node=%d stale=%d init=%d" node stale init
+  | Custom s -> Format.fprintf ppf "custom %s" s
+
+let event_to_string e = Format.asprintf "%a" pp_event e
+
+let pp_ctx ppf c =
+  Format.fprintf ppf "op=%d client=%d kind=%s%s%s" c.op_id c.client
+    (op_kind_to_string c.kind)
+    (if c.slot >= 0 then Printf.sprintf " slot=%d" c.slot else "")
+    (match c.parent with
+    | Some p -> Printf.sprintf " parent=%d" p
+    | None -> "")

@@ -1,0 +1,18 @@
+type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
+
+module type S = sig
+  val client_id : int
+  val call : slot:int -> pos:int -> Proto.request -> call_result
+  val call_node : node:int -> Proto.request -> call_result
+
+  val broadcast :
+    (slot:int -> poss:int list -> Proto.request -> (int * call_result) list)
+    option
+
+  val pfor : (unit -> unit) list -> unit
+  val sleep : float -> unit
+  val now : unit -> float
+  val compute : float -> unit
+end
+
+type t = (module S)

@@ -1,0 +1,55 @@
+(** The transport layer's contract: the one signature every environment
+    (the discrete-event simulator's cluster, the in-process
+    {!Direct_env}, or a user-supplied embedding) must implement to carry
+    the AJX protocol.
+
+    What the signature owes the layers above it:
+
+    - {!S.call} / {!S.call_node} are {e blocking} RPCs that either return
+      the callee's response or classify the failure: [`Node_down] is a
+      fail-stop detection (the node is reliably known dead),
+      [`Timeout] means a request or reply was lost and the callee {e may
+      have executed} the request.  The transport performs {e no} retries
+      of its own — retry/backoff policy belongs to {!Session}.
+    - {!S.pfor} runs thunks to completion concurrently (a sequential
+      fallback is valid) — the paper's [pfor].
+    - {!S.sleep} / {!S.now} expose the environment's clock; [sleep] must
+      advance [now] so retry loops always make progress.
+    - {!S.compute} charges local computation time (erasure-code
+      arithmetic) to the environment's cost model.
+
+    Nothing above this layer may talk to a node except through a value
+    of type {!t}. *)
+
+type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
+(** Result of one transport RPC (see the signature notes above). *)
+
+(** The transport signature. *)
+module type S = sig
+  val client_id : int
+  (** Identifies this client for tids and lock ownership. *)
+
+  val call : slot:int -> pos:int -> Proto.request -> call_result
+  (** Blocking RPC to the node serving stripe position [pos] of stripe
+      [slot]. *)
+
+  val call_node : node:int -> Proto.request -> call_result
+  (** Node-addressed RPC (monitoring probes). *)
+
+  val broadcast :
+    (slot:int -> poss:int list -> Proto.request -> (int * call_result) list)
+    option
+  (** One-send/many-receive (Sec 3.11); [None] if unavailable. *)
+
+  val pfor : (unit -> unit) list -> unit
+  (** Parallel-for: run thunks concurrently and wait for all. *)
+
+  val sleep : float -> unit
+  val now : unit -> float
+
+  val compute : float -> unit
+  (** Charge local computation time (erasure-code arithmetic). *)
+end
+
+type t = (module S)
+(** A first-class transport. *)

@@ -1,0 +1,26 @@
+(** Write path: the lock-free WRITE of Fig 5 — swap the new value into
+    the data node, then update every redundant node with a commutative
+    add, honouring the configured update strategy (Sec 4
+    serial/parallel/hybrid, Sec 3.11 broadcast).
+
+    What this layer owes its users: {!write} is safe under concurrent
+    writers to the same stripe (including the same block), routes
+    through {!Recovery} when it trips over INIT or expired-lock nodes,
+    resolves ORDER rejections with [checktid] (Fig 5 lines 15-19), and
+    returns only once every target position acknowledged — handing the
+    completed tid back to the caller for garbage collection.  Swap
+    outcomes, ORDER rejections and give-ups are emitted as trace
+    events against the write's context.
+
+    @raise Session.Write_abandoned when a swap drains the whole retry
+    budget on a live link (the one non-idempotent ambiguity — see
+    DESIGN.md), {!Session.Stuck} past the retry envelope. *)
+
+type t
+
+val create : code:Rs_code.t -> recovery:Recovery.t -> Session.t -> t
+
+val write : t -> slot:int -> i:int -> bytes -> Proto.tid
+(** Perform the write and return the tid under which it completed
+    (the caller enqueues it for two-phase GC).
+    @raise Invalid_argument on a bad index or block size. *)

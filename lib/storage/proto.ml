@@ -114,6 +114,86 @@ let response_bytes = function
   | R_probe { stale; init } ->
     1 + list_bytes int_bytes stale + list_bytes int_bytes init
 
+(* Human-readable forms for trace events and checker diagnostics.
+   Blocks are rendered as their sizes — payload bytes are noise in a
+   trace and can be megabytes. *)
+let pp_tid ppf t = Format.fprintf ppf "<%d,%d,c%d>" t.seq t.blk t.client
+
+let pp_opt_tid ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some t -> pp_tid ppf t
+
+let pp_tid_list ppf tids =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       pp_tid)
+    tids
+
+let pp_request ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Swap { v; ntid } ->
+    Format.fprintf ppf "swap{%dB ntid=%a}" (Bytes.length v) pp_tid ntid
+  | Add { dv; ntid; otid; epoch } ->
+    Format.fprintf ppf "add{%dB ntid=%a otid=%a epoch=%d}" (Bytes.length dv)
+      pp_tid ntid pp_opt_tid otid epoch
+  | Add_bcast { dv; dblk; ntid; otid; epoch } ->
+    Format.fprintf ppf "add_bcast{%dB blk=%d ntid=%a otid=%a epoch=%d}"
+      (Bytes.length dv) dblk pp_tid ntid pp_opt_tid otid epoch
+  | Checktid { ntid; otid } ->
+    Format.fprintf ppf "checktid{ntid=%a otid=%a}" pp_tid ntid pp_tid otid
+  | Trylock m -> Format.fprintf ppf "trylock{%s}" (lmode_to_string m)
+  | Setlock m -> Format.fprintf ppf "setlock{%s}" (lmode_to_string m)
+  | Get_state -> Format.pp_print_string ppf "get_state"
+  | Getrecent m -> Format.fprintf ppf "getrecent{%s}" (lmode_to_string m)
+  | Reconstruct { cset; blk } ->
+    Format.fprintf ppf "reconstruct{cset=[%a] %dB}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         Format.pp_print_int)
+      cset (Bytes.length blk)
+  | Finalize { epoch } -> Format.fprintf ppf "finalize{epoch=%d}" epoch
+  | Gc_old tids -> Format.fprintf ppf "gc_old%a" pp_tid_list tids
+  | Gc_recent tids -> Format.fprintf ppf "gc_recent%a" pp_tid_list tids
+  | Probe { older_than } -> Format.fprintf ppf "probe{>%.3fs}" older_than
+
+let pp_response ppf = function
+  | R_read { block; lmode } ->
+    Format.fprintf ppf "r_read{%s lmode=%s}"
+      (match block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
+      (lmode_to_string lmode)
+  | R_swap { block; epoch; otid; lmode } ->
+    Format.fprintf ppf "r_swap{%s epoch=%d otid=%a lmode=%s}"
+      (match block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
+      epoch pp_opt_tid otid (lmode_to_string lmode)
+  | R_add { status; opmode; lmode } ->
+    Format.fprintf ppf "r_add{%s %s %s}"
+      (match status with
+      | Add_ok -> "ok"
+      | Add_order -> "order"
+      | Add_fail -> "fail")
+      (opmode_to_string opmode) (lmode_to_string lmode)
+  | R_check s ->
+    Format.fprintf ppf "r_check{%s}"
+      (match s with Ck_init -> "init" | Ck_gc -> "gc" | Ck_nochange -> "nochange")
+  | R_trylock { ok; oldlmode } ->
+    Format.fprintf ppf "r_trylock{%b was=%s}" ok (lmode_to_string oldlmode)
+  | R_ack -> Format.pp_print_string ppf "r_ack"
+  | R_state { st_opmode; st_recons_set; st_oldlist; st_recentlist; st_block } ->
+    Format.fprintf ppf "r_state{%s%s old=%a recent=%a %s}"
+      (opmode_to_string st_opmode)
+      (match st_recons_set with
+      | Some s -> Printf.sprintf " cset=[%s]" (String.concat ";" (List.map string_of_int s))
+      | None -> "")
+      pp_tid_list st_oldlist pp_tid_list st_recentlist
+      (match st_block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
+  | R_recent tids -> Format.fprintf ppf "r_recent%a" pp_tid_list tids
+  | R_reconstruct { epoch } -> Format.fprintf ppf "r_reconstruct{epoch=%d}" epoch
+  | R_gc { ok } -> Format.fprintf ppf "r_gc{%b}" ok
+  | R_probe { stale; init } ->
+    let ints l = String.concat ";" (List.map string_of_int l) in
+    Format.fprintf ppf "r_probe{stale=[%s] init=[%s]}" (ints stale) (ints init)
+
 let request_tag = function
   | Read -> "read"
   | Swap _ -> "swap"

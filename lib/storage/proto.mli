@@ -88,3 +88,11 @@ val response_bytes : response -> int
 
 val request_tag : request -> string
 (** Short stable name used for per-operation message accounting. *)
+
+val pp_tid : Format.formatter -> tid -> unit
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+(** Human-readable one-liners for trace events and checker diagnostics.
+    Block payloads are rendered as their byte sizes, never their
+    contents. *)

@@ -52,6 +52,46 @@ let overwritten_before ws w s =
         | None -> false)
       ws
 
+let pp_write ppf w =
+  Format.fprintf ppf "tag %d [%.6f,%s]" w.w_tag w.w_start
+    (match w.w_finish with
+    | Some f -> Printf.sprintf "%.6f" f
+    | None -> "unfinished")
+
+(* The slice of a block's write history that bears on one read's
+   legality, rendered for the failure message: the read's own tag plus
+   every write overlapping or abutting the read window.  Capped — a long
+   run can have hundreds of writes per block. *)
+let describe_history ws r =
+  let relevant =
+    List.filter
+      (fun w ->
+        w.w_tag = r.r_tag
+        || w.w_start <= r.r_finish
+           &&
+           match w.w_finish with
+           | None -> true
+           | Some f -> f >= r.r_start)
+      ws
+    |> List.sort (fun a b -> compare a.w_start b.w_start)
+  in
+  let rec take n = function
+    | [] -> ([], 0)
+    | l when n = 0 -> ([], List.length l)
+    | x :: rest ->
+      let shown, hidden = take (n - 1) rest in
+      (x :: shown, hidden)
+  in
+  let shown, hidden = take 8 relevant in
+  if shown = [] then "no overlapping writes recorded"
+  else
+    Format.asprintf "%a%s"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_write)
+      shown
+      (if hidden = 0 then "" else Printf.sprintf " (+%d more)" hidden)
+
 let check t =
   let violations = ref [] in
   let warnings = ref [] in
@@ -84,8 +124,9 @@ let check t =
           if not legal then
             violations :=
               Printf.sprintf
-                "block %d: read [%.6f,%.6f] returned tag %d illegally" block
-                r.r_start r.r_finish r.r_tag
+                "block %d: read [%.6f,%.6f] returned tag %d illegally; \
+                 overlapping writes: %s"
+                block r.r_start r.r_finish r.r_tag (describe_history ws r)
               :: !violations)
         !reads)
     t.reads;

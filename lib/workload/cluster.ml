@@ -13,6 +13,7 @@ type t = {
   remap_policy : remap_policy;
   crashed_clients : (int, unit) Hashtbl.t;
   client_nodes : (int, Net.node) Hashtbl.t;
+  metrics : Metrics.t; (* shared across every client of this cluster *)
   mutable note_hooks : (float -> string -> unit) list;
 }
 
@@ -82,6 +83,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     remap_policy;
     crashed_clients;
     client_nodes = Hashtbl.create 8;
+    metrics = Metrics.create ();
     note_hooks = [];
   }
 
@@ -182,7 +184,25 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
         rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:(attempts + 1)
       end)
 
-let client_env t ~id =
+(* Legacy string-event hook: the pre-stack client called [env.note]
+   directly; the stack now emits structured trace events and this
+   replays the historical strings so Stats counters ("rpc.retry",
+   "note.recovery.done", ...) and {!on_note} subscribers are
+   unaffected by the refactor. *)
+let note t event =
+  let key =
+    if String.starts_with ~prefix:"rpc." event then event else "note." ^ event
+  in
+  Stats.incr t.stats key;
+  List.iter (fun hook -> hook (Engine.now t.engine) event) t.note_hooks
+
+let metrics t = t.metrics
+
+let trace_sink t ctx event =
+  Metrics.sink t.metrics ctx event;
+  match Trace.legacy_note ctx event with Some s -> note t s | None -> ()
+
+let transport t ~id : Transport.t =
   let src = client_node t ~id in
   let check_alive () = if client_crashed t id then raise (Client_crashed id) in
   let call ~slot ~pos req =
@@ -239,33 +259,24 @@ let client_env t ~id =
     Fiber.sleep d;
     check_alive ()
   in
-  let note event =
-    (* Protocol-layer RPC accounting ("rpc.retry") shares the namespace
-       of the network's own counters; everything else stays under the
-       "note." prefix. *)
-    let key =
-      if String.starts_with ~prefix:"rpc." event then event
-      else "note." ^ event
-    in
-    Stats.incr t.stats key;
-    List.iter (fun hook -> hook (Engine.now t.engine) event) t.note_hooks
-  in
-  {
-    Client.client_id = id;
-    call;
-    call_node;
-    broadcast = Some broadcast;
-    pfor;
-    sleep;
-    now = (fun () -> Engine.now t.engine);
-    compute =
-      (fun seconds ->
-        check_alive ();
-        Net.cpu_use src seconds);
-    note;
-  }
+  (module struct
+    let client_id = id
+    let call = call
+    let call_node = call_node
+    let broadcast = Some broadcast
+    let pfor = pfor
+    let sleep = sleep
+    let now () = Engine.now t.engine
 
-let make_client t ~id = Client.create t.cfg t.code (client_env t ~id)
+    let compute seconds =
+      check_alive ();
+      Net.cpu_use src seconds
+  end : Transport.S)
+
+let client_env t ~id = Client.env_of_transport ~note:(note t) (transport t ~id)
+
+let make_client t ~id =
+  Client.of_transport ~sink:(trace_sink t) t.cfg t.code (transport t ~id)
 
 let make_volume t ~id =
   let client = make_client t ~id in

@@ -45,9 +45,26 @@ val directory : t -> Directory.t
 
 val now : t -> float
 
+val transport : t -> id:int -> Transport.t
+(** Build the transport for client [id]: a dedicated network node plus
+    calls routed through layout and directory.  The same {!Transport.S}
+    signature {!Direct_env} implements, so protocol code cannot tell the
+    simulator from the in-process harness. *)
+
 val client_env : t -> id:int -> Client.env
-(** Build the protocol environment for client [id]: a dedicated network
-    node plus calls routed through layout and directory. *)
+(** Record view of {!transport} with the legacy [note] hook wired to
+    {!stats} and {!on_note} (kept for existing callers; note that a
+    client built from this env gets only its own metrics registry, not
+    the cluster's shared one). *)
+
+val metrics : t -> Metrics.t
+(** Shared metrics registry fed by every client built with
+    {!make_client} / {!make_volume}: per-op counts and latencies, RPC
+    retries/give-ups, recovery phase transitions, GC batches. *)
+
+val trace_sink : t -> Trace.sink
+(** The sink {!make_client} installs: feeds {!metrics} and replays
+    legacy note strings into {!stats} / {!on_note}. *)
 
 val make_client : t -> id:int -> Client.t
 val make_volume : t -> id:int -> Volume.t

@@ -11,6 +11,10 @@ type result = {
   write_latency : float;
   msgs : float;
   recoveries : float;
+  rpc_retries : int;
+  rpc_giveups : int;
+  write_giveups : int;
+  recovery_phases : (string * int) list;
 }
 
 type counters = {
@@ -165,9 +169,20 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
         in
         sample ()));
   let stats = Cluster.stats cluster in
+  let metrics = Cluster.metrics cluster in
+  let phase_keys =
+    List.map
+      (fun p -> "recovery.phase." ^ Trace.recovery_phase_to_string p)
+      Trace.all_recovery_phases
+  in
+  let metric_keys =
+    [ "rpc.retries"; "rpc.giveups"; "write.giveups" ] @ phase_keys
+  in
+  let before = List.map (fun key -> (key, Metrics.counter metrics key)) metric_keys in
   let msgs_before = Stats.counter stats "msgs" in
   let recov_before = Stats.counter stats "note.recovery.done" in
   Cluster.run cluster;
+  let delta key = Metrics.counter metrics key - List.assoc key before in
   let msgs = Stats.counter stats "msgs" -. msgs_before in
   let recoveries = Stats.counter stats "note.recovery.done" -. recov_before in
   let mb ops = float_of_int (ops * block_size) /. 1.0e6 /. duration in
@@ -188,6 +203,14 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
        else ctr.c_write_lat /. float_of_int ctr.c_write_ops);
     msgs;
     recoveries;
+    rpc_retries = delta "rpc.retries";
+    rpc_giveups = delta "rpc.giveups";
+    write_giveups = delta "write.giveups";
+    recovery_phases =
+      List.filter_map
+        (fun key ->
+          match delta key with 0 -> None | n -> Some (key, n))
+        phase_keys;
   }
 
 let print_result label r =
@@ -198,4 +221,24 @@ let print_result label r =
     (1000. *. r.write_latency) r.read_mbs r.read_ops (1000. *. r.read_latency)
     r.msgs
     (if r.recoveries > 0. then Printf.sprintf " | %.0f recoveries" r.recoveries
-     else "")
+     else "");
+  if
+    r.rpc_retries > 0 || r.rpc_giveups > 0 || r.write_giveups > 0
+    || r.recovery_phases <> []
+  then begin
+    let phases =
+      List.map
+        (fun (key, n) ->
+          let p =
+            match String.rindex_opt key '.' with
+            | Some dot -> String.sub key (dot + 1) (String.length key - dot - 1)
+            | None -> key
+          in
+          Printf.sprintf "%s=%d" p n)
+        r.recovery_phases
+    in
+    Printf.printf
+      "%-34s    retries %d | give-ups rpc=%d write=%d | recovery phases: %s\n%!"
+      "" r.rpc_retries r.rpc_giveups r.write_giveups
+      (if phases = [] then "-" else String.concat " " phases)
+  end

@@ -16,6 +16,12 @@ type result = {
   write_latency : float;
   msgs : float;            (** messages during the window *)
   recoveries : float;      (** recoveries completed during the window *)
+  rpc_retries : int;       (** RPC resends after a timeout (whole run) *)
+  rpc_giveups : int;       (** RPCs whose retry budget drained *)
+  write_giveups : int;     (** writes abandoned on an ambiguous swap *)
+  recovery_phases : (string * int) list;
+      (** non-zero [recovery.phase.<p>] counts over the run, from the
+          cluster's shared {!Metrics.t} (see {!Cluster.metrics}) *)
 }
 
 val run :

@@ -1,0 +1,238 @@
+(* find_consistent (Fig 6) in isolation: table-driven cases over mixed
+   INIT / RECONS / missing views, plus a randomized check that the
+   returned set is valid, maximal (by brute force over all subsets), and
+   actually decodable to the values the member nodes hold. *)
+
+module Tid_set = Set.Make (struct
+  type t = Proto.tid
+
+  let compare = Proto.tid_compare
+end)
+
+let tid ?(client = 1) ~seq ~blk () = { Proto.seq; blk; client }
+
+let view ?(opmode = Proto.Norm) ?recons ?(old = []) ?(recent = []) ?block () =
+  Some
+    {
+      Proto.st_opmode = opmode;
+      st_recons_set = recons;
+      st_oldlist = old;
+      st_recentlist = recent;
+      st_block = block;
+    }
+
+let init_view () = view ~opmode:Proto.Init ()
+
+let check_set name expected states ~k ~n =
+  Alcotest.(check (list int))
+    name (List.sort compare expected)
+    (List.sort compare (Recovery.find_consistent ~k ~n states))
+
+(* k=3, n=5 throughout the table: data positions 0-2, redundant 3-4. *)
+let test_table () =
+  let k = 3 and n = 5 in
+  let t0 = tid ~seq:0 ~blk:0 () in
+  let t1 = tid ~seq:1 ~blk:1 () in
+  (* All quiet: everything consistent. *)
+  check_set "all quiet" [ 0; 1; 2; 3; 4 ] ~k ~n
+    (Array.init n (fun _ -> view ()));
+  (* Torn write: swap landed at data 0, no add did.  The redundant
+     signature is empty, so data 0 drops out and the rest is maximal. *)
+  check_set "torn write excludes the data node" [ 1; 2; 3; 4 ] ~k ~n
+    [| view ~recent:[ t0 ] (); view (); view (); view (); view () |];
+  (* Complete but un-GC'd write: tid present at its data node and every
+     redundant node — conditions (2)/(3) hold, full set. *)
+  check_set "complete write keeps full set" [ 0; 1; 2; 3; 4 ] ~k ~n
+    [|
+      view ~recent:[ t0 ] ();
+      view ();
+      view ();
+      view ~recent:[ t0 ] ();
+      view ~recent:[ t0 ] ();
+    |];
+  (* Same write after a partial GC pass: one node already moved the tid
+     to its oldlist.  G-hat removes it everywhere, so the stragglers'
+     recentlist entries are ignored. *)
+  check_set "partially GC'd write is filtered by G-hat" [ 0; 1; 2; 3; 4 ] ~k ~n
+    [|
+      view ~recent:[ t0 ] ();
+      view ();
+      view ();
+      view ~old:[ t0 ] ();
+      view ~recent:[ t0 ] ();
+    |];
+  (* INIT, RECONS and missing views can never be members. *)
+  check_set "INIT node excluded" [ 0; 1; 3; 4 ] ~k ~n
+    [| view (); view (); init_view (); view (); view () |];
+  check_set "RECONS node excluded" [ 0; 1; 2; 4 ] ~k ~n
+    [| view (); view (); view (); view ~opmode:Proto.Recons ~recons:[ 0; 1; 2 ] (); view () |];
+  check_set "missing view excluded" [ 0; 1; 2; 3 ] ~k ~n
+    [| view (); view (); view (); view (); None |];
+  (* Redundant nodes disagreeing: pick the signature giving the larger
+     set.  Red 3 saw t0 (matching data 0); red 4 saw nothing. *)
+  check_set "disagreeing redundants: larger candidate wins" [ 0; 1; 2; 3 ] ~k ~n
+    [|
+      view ~recent:[ t0 ] ();
+      view ();
+      view ();
+      view ~recent:[ t0 ] ();
+      view ();
+    |];
+  (* A tid at a redundant node attributed to data 1 that data 1 never
+     saw (H-hat violation): data 1 drops out of that candidate. *)
+  check_set "H-hat mismatch drops the data node" [ 0; 2; 3; 4 ] ~k ~n
+    [|
+      view ();
+      view ();
+      view ();
+      view ~recent:[ t1 ] ();
+      view ~recent:[ t1 ] ();
+    |];
+  (* Degenerate: everything INIT — empty set, recovery must fail. *)
+  check_set "all INIT" [] ~k ~n (Array.init n (fun _ -> init_view ()))
+
+(* ------------------------------------------------------------------ *)
+(* Randomized: simulate writes/partial adds/partial GC at the list+value
+   level, then check validity, maximality and decodability. *)
+
+let subsets n =
+  List.init (1 lsl n) (fun mask ->
+      List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id))
+
+(* A subset is valid iff every member is a NORM view and, when it has
+   redundant members, they share one G-hat-filtered recentlist signature
+   sigma and every data member j carries exactly sigma's tids for j. *)
+let subset_valid ~k states s =
+  let g_hat =
+    Array.fold_left
+      (fun acc st ->
+        match st with
+        | Some v -> Tid_set.union acc (Tid_set.of_list v.Proto.st_oldlist)
+        | None -> acc)
+      Tid_set.empty states
+  in
+  let norm pos =
+    match states.(pos) with
+    | Some v -> v.Proto.st_opmode = Proto.Norm
+    | None -> false
+  in
+  let f pos =
+    match states.(pos) with
+    | Some v -> Tid_set.diff (Tid_set.of_list v.Proto.st_recentlist) g_hat
+    | None -> Tid_set.empty
+  in
+  List.for_all norm s
+  &&
+  match List.filter (fun pos -> pos >= k) s with
+  | [] -> true
+  | r0 :: rest ->
+    let sigma = f r0 in
+    List.for_all (fun r -> Tid_set.equal (f r) sigma) rest
+    && List.for_all
+         (fun j ->
+           j >= k
+           || Tid_set.equal (f j)
+                (Tid_set.filter (fun x -> x.Proto.blk = j) sigma))
+         s
+
+let run_random_sim seed =
+  let k = 3 and n = 5 and bs = 16 in
+  let code = Rs_code.create ~k ~n () in
+  let rng = Random.State.make [| 0xF1DC; seed |] in
+  let data = Array.init k (fun _ -> Bytes.make bs '\000') in
+  let blocks = Array.append data (Rs_code.encode code data) in
+  let recent = Array.make n [] in
+  let old = Array.make n [] in
+  let seq = ref 0 in
+  for _ = 1 to 12 do
+    let j = Random.State.int rng k in
+    let v = Block_ops.random rng bs in
+    let w = Bytes.copy blocks.(j) in
+    let t = tid ~seq:!seq ~blk:j () in
+    incr seq;
+    (* Swap at the data node always lands first. *)
+    blocks.(j) <- Bytes.copy v;
+    recent.(j) <- t :: recent.(j);
+    (* Adds reach a random subset of the redundant nodes. *)
+    let applied =
+      List.filter
+        (fun _ -> Random.State.bool rng)
+        (List.init (n - k) (fun r -> k + r))
+    in
+    List.iter
+      (fun pos ->
+        let dv = Rs_code.update_delta code ~j:pos ~i:j ~v ~w in
+        Block_ops.xor_into ~dst:blocks.(pos) ~src:dv;
+        recent.(pos) <- t :: recent.(pos))
+      applied;
+    (* A completed write may get (partially) garbage-collected: some
+       nodes perform the recentlist->oldlist move, some lag — never a
+       move for an incomplete write (the Fig 7 invariant). *)
+    if List.length applied = n - k && Random.State.bool rng then
+      List.iter
+        (fun pos ->
+          if Random.State.bool rng then begin
+            recent.(pos) <-
+              List.filter (fun x -> Proto.tid_compare x t <> 0) recent.(pos);
+            old.(pos) <- t :: old.(pos)
+          end)
+        (j :: List.init (n - k) (fun r -> k + r))
+  done;
+  let states =
+    Array.init n (fun pos ->
+        match Random.State.int rng 8 with
+        | 0 -> None
+        | 1 -> init_view ()
+        | _ ->
+          view ~old:old.(pos) ~recent:recent.(pos)
+            ~block:(Bytes.copy blocks.(pos)) ())
+  in
+  let s = Recovery.find_consistent ~k ~n states in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: returned set is valid" seed)
+    true
+    (subset_valid ~k states s);
+  let best =
+    List.fold_left
+      (fun best c ->
+        if List.length c > best && subset_valid ~k states c then List.length c
+        else best)
+      0 (subsets n)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: returned set is maximal" seed)
+    best (List.length s);
+  (* Decodability: any k members of the set reconstruct blocks equal to
+     what every member actually stores. *)
+  if List.length s >= k then begin
+    let avail =
+      List.filter_map
+        (fun pos ->
+          match states.(pos) with
+          | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+          | _ -> None)
+        s
+    in
+    let rec take m = function
+      | [] -> []
+      | _ when m = 0 -> []
+      | x :: rest -> x :: take (m - 1) rest
+    in
+    let stripe = Rs_code.reconstruct_stripe code (take k avail) in
+    List.iter
+      (fun (pos, b) ->
+        Alcotest.(check bytes)
+          (Printf.sprintf "seed %d: member %d matches decode" seed pos)
+          b stripe.(pos))
+      avail
+  end
+
+let test_randomized () = for seed = 0 to 199 do run_random_sim seed done
+
+let suite =
+  ( "find_consistent",
+    [
+      Alcotest.test_case "table-driven mixed views" `Quick test_table;
+      Alcotest.test_case "randomized maximality + decodability" `Quick
+        test_randomized;
+    ] )

@@ -21,4 +21,6 @@ let () =
       Test_torture.suite;
       Test_direct.suite;
       Test_model.suite;
+      Test_find_consistent.suite;
+      Test_trace.suite;
     ]

@@ -120,6 +120,24 @@ let test_tags_distinct () =
   Alcotest.(check int) "all tags distinct" (List.length tags)
     (List.length (List.sort_uniq compare tags))
 
+let test_pp_printers () =
+  let s pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "pp_tid" "<3,1,c7>" (s pp_tid (tid 3 1 7));
+  Alcotest.(check string) "swap renders size, not payload"
+    "swap{64B ntid=<0,2,c1>}"
+    (s pp_request (Swap { v = blk 64; ntid = tid 0 2 1 }));
+  Alcotest.(check string) "add with predecessor"
+    "add{16B ntid=<1,0,c1> otid=<0,0,c1> epoch=2}"
+    (s pp_request
+       (Add { dv = blk 16; ntid = tid 1 0 1; otid = Some (tid 0 0 1); epoch = 2 }));
+  Alcotest.(check string) "gc batch" "gc_recent[<0,0,c1>;<1,2,c3>]"
+    (s pp_request (Gc_recent [ tid 0 0 1; tid 1 2 3 ]));
+  Alcotest.(check string) "response: locked read" "r_read{- lmode=L1}"
+    (s pp_response (R_read { block = None; lmode = L1 }));
+  Alcotest.(check string) "response: add order rejection"
+    "r_add{order NORM UNL}"
+    (s pp_response (R_add { status = Add_order; opmode = Norm; lmode = Unl }))
+
 let prop_request_bytes_positive =
   QCheck.Test.make ~name:"request sizes positive and monotone in payload"
     ~count:100
@@ -141,5 +159,6 @@ let suite =
       t "response sizes" test_response_sizes;
       t "state view size" test_state_view_size;
       t "request tags distinct" test_tags_distinct;
+      t "pp printers" test_pp_printers;
     ]
     @ List.map QCheck_alcotest.to_alcotest [ prop_request_bytes_positive ] )
