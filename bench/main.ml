@@ -4,7 +4,8 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig9a   # one experiment
      dune exec bench/main.exe -- --list  # list experiment names
-     dune exec bench/main.exe -- smoke --json out.json  # CI smoke run *)
+     dune exec bench/main.exe -- smoke --json out.json   # CI smoke run
+     dune exec bench/main.exe -- volume --json out.json  # volume scaling curve *)
 
 let experiments =
   [
@@ -46,6 +47,16 @@ let () =
         exit 1
     in
     Smoke.run ?json ()
+  | "volume" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: volume [--json FILE]\n";
+        exit 1
+    in
+    Volume_bench.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

@@ -25,35 +25,31 @@ let run ?json () =
   (match json with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    Printf.fprintf oc
-      "{\n\
-      \  \"config\": { \"k\": %d, \"n\": %d, \"block_size\": %d },\n\
-      \  \"clients\": %d,\n\
-      \  \"outstanding\": %d,\n\
-      \  \"duration_s\": %.3f,\n\
-      \  \"read_ops\": %d,\n\
-      \  \"write_ops\": %d,\n\
-      \  \"read_mbs\": %.3f,\n\
-      \  \"write_mbs\": %.3f,\n\
-      \  \"read_latency_ms\": %.4f,\n\
-      \  \"write_latency_ms\": %.4f,\n\
-      \  \"msgs\": %.0f,\n\
-      \  \"rpc_timeouts\": %.0f,\n\
-      \  \"rpc_retries\": %.0f,\n\
-      \  \"faults_dropped\": %.0f,\n\
-      \  \"faults_duplicated\": %.0f,\n\
-      \  \"history_consistent\": %b,\n\
-      \  \"metrics\": %s\n\
-       }\n"
-      cfg.Config.k cfg.Config.n cfg.Config.block_size result.Runner.clients
-      result.Runner.outstanding result.Runner.duration result.Runner.read_ops
-      result.Runner.write_ops result.Runner.read_mbs result.Runner.write_mbs
-      (1000. *. result.Runner.read_latency)
-      (1000. *. result.Runner.write_latency)
-      result.Runner.msgs (c "rpc.timeout") (c "rpc.retry")
-      (c "faults.dropped") (c "faults.duplicated") consistent
-      (String.trim (Metrics.to_json ~indent:"  " (Cluster.metrics cluster)));
-    close_out oc;
+    let open Report in
+    let doc =
+      J_obj
+        ([
+           ( "config",
+             J_obj
+               [
+                 ("k", J_int cfg.Config.k);
+                 ("n", J_int cfg.Config.n);
+                 ("block_size", J_int cfg.Config.block_size);
+               ] );
+         ]
+        @ Report.run_fields result
+        @ [
+            ("rpc_timeouts", J_float (c "rpc.timeout", 0));
+            ("rpc_retries", J_float (c "rpc.retry", 0));
+            ("faults_dropped", J_float (c "faults.dropped", 0));
+            ("faults_duplicated", J_float (c "faults.duplicated", 0));
+            ("history_consistent", J_bool consistent);
+            ( "metrics",
+              J_raw
+                (String.trim
+                   (Metrics.to_json ~indent:"  " (Cluster.metrics cluster))) );
+          ])
+    in
+    Report.write_file path doc;
     Printf.printf "wrote %s\n%!" path);
   if not consistent then exit 1

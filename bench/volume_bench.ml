@@ -1,0 +1,144 @@
+(* Volume scaling benchmark: aggregate throughput and tail latency of a
+   sharded volume as the stripe-group count G grows over a fixed pool,
+   failure-free and with a crashed pool node being repaired by the
+   background maintenance scheduler.
+
+   Deterministic: every run derives from fixed seeds, so the JSON
+   summary is byte-identical across invocations (CI asserts this by
+   running it twice and comparing).  The cost model makes storage-node
+   work the bottleneck (heavy per-byte server cost), so the curve
+   climbs near-linearly in G until the pool saturates — the scaling
+   story of ROADMAP's "beyond one stripe group". *)
+
+open Ecs_volume
+
+let pool = 20
+let group_counts = [ 1; 2; 4; 8 ]
+let clients = 8
+let outstanding = 16
+let duration = 0.25
+let block_size = 4096
+let outage_at = 0.08
+let outage_len = 0.05
+let maintenance_budget = 4000.
+
+(* stale_write_age must comfortably exceed the per-client GC drain time
+   (two 0.05 s rounds), or probes flag healthy stripes whose completed
+   tids are still mid-GC and trigger no-op repairs. *)
+let cfg () =
+  Config.make ~t_p:1 ~block_size ~k:3 ~n:5 ~stale_write_age:0.3
+    ~costs:
+      {
+        Config.default_costs with
+        delta_per_byte = 1.0e-9;
+        add_per_byte = 100.0e-9;
+      }
+    ()
+
+let one_run ~groups ~faulted =
+  let placement =
+    Placement.make ~seed:0x7ace ~groups ~nodes_per_group:5 ~pool ()
+  in
+  let sc = Shard_cluster.create ~seed:0xB0 ~placement (cfg ()) in
+  let events =
+    if not faulted then []
+    else
+      (* One crashed pool node per 8 groups (at least one): pick the
+         hosts of the first members of groups 0, 8, ... *)
+      List.init
+        ((groups + 7) / 8)
+        (fun i ->
+          let victim = (Placement.group_nodes placement (8 * i)).(0) in
+          ( outage_at,
+            fun sc ->
+              Shard_cluster.schedule_outage sc ~at:(Shard_cluster.now sc)
+                ~node:victim ~down_for:outage_len ))
+  in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding ~events ~maintenance:maintenance_budget ~check:ck
+      ~sc ~clients ~duration
+      ~workload:
+        (Generator.Random_mix { blocks = 256 * groups; write_frac = 0.5 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (r, consistent)
+
+let variant_fields (r : Vrunner.result) consistent =
+  let open Report in
+  run_fields r.Vrunner.run
+  @ [
+      ("p99_read_ms", J_float (1000. *. r.Vrunner.p99_read, 4));
+      ("p99_write_ms", J_float (1000. *. r.Vrunner.p99_write, 4));
+      ("write_stalls", J_int r.Vrunner.write_stalls);
+      ("recoveries", J_float (r.Vrunner.run.Report.recoveries, 0));
+      ("maintenance_passes", J_int r.Vrunner.maintenance_passes);
+      ("maintenance_gc_rounds", J_int r.Vrunner.maintenance_gc_rounds);
+      ("maintenance_errors", J_int r.Vrunner.maintenance_errors);
+      ("maintenance_recoveries", J_int r.Vrunner.maintenance_recoveries);
+      ("history_consistent", J_bool consistent);
+    ]
+
+let run ?json () =
+  let ok = ref true in
+  let entries =
+    List.map
+      (fun groups ->
+        let clean, clean_ok = one_run ~groups ~faulted:false in
+        let faulted, faulted_ok = one_run ~groups ~faulted:true in
+        ok := !ok && clean_ok && faulted_ok;
+        Report.print_run
+          ~label:(Printf.sprintf "volume G=%d (failure-free)" groups)
+          clean.Vrunner.run;
+        Report.print_run
+          ~label:(Printf.sprintf "volume G=%d (1 node crashed)" groups)
+          faulted.Vrunner.run;
+        Printf.printf
+          "%-34s    p99 write %.2f -> %.2f ms | maintenance passes %d, \
+           recoveries %d | consistent %b/%b\n\
+           %!"
+          ""
+          (1000. *. clean.Vrunner.p99_write)
+          (1000. *. faulted.Vrunner.p99_write)
+          faulted.Vrunner.maintenance_passes
+          faulted.Vrunner.maintenance_recoveries clean_ok faulted_ok;
+        let open Report in
+        J_obj
+          [
+            ("groups", J_int groups);
+            ("pool", J_int pool);
+            ("failure_free", J_obj (variant_fields clean clean_ok));
+            ("faulted", J_obj (variant_fields faulted faulted_ok));
+          ])
+      group_counts
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+    let c = cfg () in
+    let open Report in
+    let doc =
+      J_obj
+        [
+          ( "config",
+            J_obj
+              [
+                ("k", J_int c.Config.k);
+                ("n", J_int c.Config.n);
+                ("block_size", J_int c.Config.block_size);
+                ("pool", J_int pool);
+                ("clients", J_int clients);
+                ("outstanding", J_int outstanding);
+                ("duration_s", J_float (duration, 3));
+                ("maintenance_ops_per_sec", J_float (maintenance_budget, 0));
+                ("outage_len_s", J_float (outage_len, 3));
+              ] );
+          ("curve", J_arr entries);
+        ]
+    in
+    Report.write_file path doc;
+    Printf.printf "wrote %s\n%!" path);
+  if not !ok then exit 1

@@ -1,0 +1,96 @@
+(* Background maintenance for a sharded volume: one scheduler fiber
+   round-robining over the groups, running the Sec 3.10 monitor pass
+   (probe sweep + recovery of anything flagged, Fig 6) and a two-phase
+   GC round (Fig 7) on each visit — under a token-bucket ops budget so
+   background repair cannot starve foreground traffic.
+
+   Budget model: every storage-node RPC the maintenance pass issues
+   costs one token; a group visit is priced up front ([n] probes plus
+   one GC round), the bucket refills at [ops_per_sec], and the fiber
+   sleeps whenever the bucket runs dry.  Deterministic: all pacing
+   derives from the simulated clock.
+
+   The fiber terminates at [until] (or when {!stop} is called) — a
+   discrete-event simulation only ends when every fiber does. *)
+
+type t = {
+  volume : Volume.t;
+  ops_per_sec : float;
+  burst : float;
+  until : float;
+  mutable stopped : bool;
+  mutable passes : int; (* completed group visits *)
+  mutable gc_rounds : int;
+  mutable errors : int; (* Stuck / Data_loss absorbed, retried later *)
+}
+
+let passes t = t.passes
+let gc_rounds t = t.gc_rounds
+let errors t = t.errors
+let stop t = t.stopped <- true
+
+let recoveries t =
+  let sum = ref 0 in
+  for g = 0 to Volume.groups t.volume - 1 do
+    sum := !sum + Client.recoveries_run (Volume.group_client t.volume g)
+  done;
+  !sum
+
+let run t =
+  let sc = Volume.shard_cluster t.volume in
+  let n = (Shard_cluster.config sc).Config.n in
+  let visit_cost = float_of_int (n + 1) in
+  let tokens = ref t.burst in
+  let last = ref (Shard_cluster.now sc) in
+  let refill () =
+    let now = Shard_cluster.now sc in
+    tokens := min t.burst (!tokens +. ((now -. !last) *. t.ops_per_sec));
+    last := now
+  in
+  let take cost =
+    refill ();
+    if !tokens < cost then begin
+      Fiber.sleep ((cost -. !tokens) /. t.ops_per_sec);
+      refill ()
+    end;
+    tokens := !tokens -. cost
+  in
+  let g = ref 0 in
+  while (not t.stopped) && Shard_cluster.now sc < t.until do
+    take visit_cost;
+    if (not t.stopped) && Shard_cluster.now sc < t.until then begin
+      (* A pass that trips a retry limit (e.g. a pool node is down for
+         longer than the recovery budget) is abandoned and the group
+         revisited on a later round — maintenance must outlive any
+         single outage. *)
+      (try
+         Volume.monitor_once t.volume ~group:!g;
+         Volume.collect_garbage t.volume ~group:!g;
+         t.gc_rounds <- t.gc_rounds + 1
+       with Client.Stuck _ | Client.Data_loss _ ->
+         t.errors <- t.errors + 1);
+      t.passes <- t.passes + 1;
+      g := (!g + 1) mod Volume.groups t.volume
+    end
+  done
+
+let start sc ~id ?(ops_per_sec = 2000.) ?burst ~until () =
+  let volume = Volume.create sc ~id in
+  let n = (Shard_cluster.config sc).Config.n in
+  let burst =
+    match burst with Some b -> b | None -> 2. *. float_of_int (n + 1)
+  in
+  let t =
+    {
+      volume;
+      ops_per_sec;
+      burst;
+      until;
+      stopped = false;
+      passes = 0;
+      gc_rounds = 0;
+      errors = 0;
+    }
+  in
+  Shard_cluster.spawn sc (fun () -> run t);
+  t

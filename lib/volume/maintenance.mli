@@ -1,0 +1,40 @@
+(** Background maintenance scheduler for a sharded volume.
+
+    One fiber round-robins over the groups; each visit runs the
+    Sec 3.10 monitor pass (probe sweep, recovery of flagged stripes —
+    Fig 6) and one two-phase GC round (Fig 7), priced against a
+    token-bucket ops budget refilled at [ops_per_sec] — bounding how
+    much background repair can steal from foreground traffic.  A visit
+    that trips a retry limit (a pool node down longer than the recovery
+    budget) is absorbed, counted in {!errors}, and the group is
+    revisited on a later round.
+
+    All pacing derives from the simulated clock, so a seeded run is
+    deterministic.  The fiber exits at [until] or on {!stop} — without
+    one of these a discrete-event simulation would never terminate. *)
+
+type t
+
+val start :
+  Shard_cluster.t ->
+  id:int ->
+  ?ops_per_sec:float ->
+  ?burst:float ->
+  until:float ->
+  unit ->
+  t
+(** Spawn the scheduler as client [id] (use an id no foreground client
+    shares).  [ops_per_sec] (default 2000) is the budget in storage-node
+    RPCs per simulated second; a group visit costs [n + 1] tokens.
+    [burst] is the bucket capacity (default [2 * (n + 1)]). *)
+
+val stop : t -> unit
+val passes : t -> int
+(** Completed group visits. *)
+
+val gc_rounds : t -> int
+val errors : t -> int
+(** Visits abandoned on a tripped retry limit (retried later). *)
+
+val recoveries : t -> int
+(** Recoveries the maintenance clients completed across all groups. *)

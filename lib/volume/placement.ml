@@ -1,0 +1,103 @@
+(* Deterministic placement of stripe groups over a pool of storage
+   nodes.
+
+   Every group is an independent AJX instance needing [n] distinct
+   nodes; the pool has [m >= n] of them.  Groups are placed greedily
+   least-loaded-first with a seeded random priority as the tie-break, so
+   (a) member counts across the pool differ by at most one whenever
+   [groups * n] divides evenly, and (b) the whole layout is a pure
+   function of [(seed, groups, n, pool)] — the same inputs give the
+   same placement on every run, which the volume benchmarks' byte-
+   deterministic output relies on.
+
+   Logical blocks stripe round-robin across groups: block [l] lives in
+   group [l mod groups] at group-local block [l / groups], so a batch of
+   consecutive blocks spreads over every group — the source of the
+   volume's aggregate-bandwidth scaling. *)
+
+type t = {
+  groups : int;
+  nodes_per_group : int;
+  pool : int;
+  seed : int;
+  members : int array array; (* members.(g) = pool indices, length n *)
+  loads : int array; (* loads.(p) = stripe-group members hosted by p *)
+}
+
+let place ~seed ~groups ~nodes_per_group ~pool =
+  let rng = Random.State.make [| seed; groups; nodes_per_group; pool |] in
+  let loads = Array.make pool 0 in
+  let members =
+    Array.init groups (fun _g ->
+        (* Fresh priorities per group so co-located groups do not all
+           pile onto the same least-loaded prefix in the same order. *)
+        let prio = Array.init pool (fun _ -> Random.State.bits rng) in
+        let order = Array.init pool (fun p -> p) in
+        Array.sort
+          (fun a b ->
+            match compare loads.(a) loads.(b) with
+            | 0 -> (
+              match compare prio.(a) prio.(b) with
+              | 0 -> compare a b
+              | c -> c)
+            | c -> c)
+          order;
+        let chosen = Array.sub order 0 nodes_per_group in
+        (* Stable member order within the group: sort by pool index so
+           the group's layout rotation is independent of tie-break
+           noise. *)
+        Array.sort compare chosen;
+        Array.iter (fun p -> loads.(p) <- loads.(p) + 1) chosen;
+        chosen)
+  in
+  (members, loads)
+
+let make ?(seed = 0x91a) ~groups ~nodes_per_group ~pool () =
+  if groups <= 0 then invalid_arg "Placement.make: need groups > 0";
+  if nodes_per_group <= 0 then
+    invalid_arg "Placement.make: need nodes_per_group > 0";
+  if pool < nodes_per_group then
+    invalid_arg "Placement.make: pool must hold at least one group (m >= n)";
+  let members, loads = place ~seed ~groups ~nodes_per_group ~pool in
+  { groups; nodes_per_group; pool; seed; members; loads }
+
+let groups t = t.groups
+let nodes_per_group t = t.nodes_per_group
+let pool t = t.pool
+let seed t = t.seed
+
+let group_nodes t g =
+  if g < 0 || g >= t.groups then
+    invalid_arg "Placement.group_nodes: group out of range";
+  Array.copy t.members.(g)
+
+let member t ~group ~index =
+  if group < 0 || group >= t.groups then
+    invalid_arg "Placement.member: group out of range";
+  if index < 0 || index >= t.nodes_per_group then
+    invalid_arg "Placement.member: member index out of range";
+  t.members.(group).(index)
+
+let locate t l =
+  if l < 0 then invalid_arg "Placement.locate: negative logical block";
+  (l mod t.groups, l / t.groups)
+
+let logical t ~group ~block =
+  if group < 0 || group >= t.groups then
+    invalid_arg "Placement.logical: group out of range";
+  (block * t.groups) + group
+
+let loads t = Array.copy t.loads
+
+let groups_on t p =
+  if p < 0 || p >= t.pool then invalid_arg "Placement.groups_on: out of range";
+  let hit = ref [] in
+  for g = t.groups - 1 downto 0 do
+    if Array.exists (fun q -> q = p) t.members.(g) then hit := g :: !hit
+  done;
+  !hit
+
+let max_load_imbalance t =
+  let lo = Array.fold_left min max_int t.loads in
+  let hi = Array.fold_left max 0 t.loads in
+  hi - lo

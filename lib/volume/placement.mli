@@ -1,0 +1,50 @@
+(** Deterministic placement of stripe groups over a storage-node pool.
+
+    A sharded volume runs [groups] independent AJX instances, each
+    needing [nodes_per_group] ([n]) distinct storage nodes, over a pool
+    of [pool] ([m >= n]) simulated nodes.  Placement is greedy
+    least-loaded with a seeded tie-break: a pure function of
+    [(seed, groups, nodes_per_group, pool)], so the same inputs always
+    produce the same layout (the benchmarks' byte-determinism depends on
+    this).
+
+    Logical blocks stripe round-robin across groups:
+    [locate t l = (l mod groups, l / groups)], so consecutive logical
+    blocks land in distinct groups and batch I/O spreads over the whole
+    pool. *)
+
+type t
+
+val make :
+  ?seed:int -> groups:int -> nodes_per_group:int -> pool:int -> unit -> t
+(** @raise Invalid_argument unless [groups > 0], [nodes_per_group > 0]
+    and [pool >= nodes_per_group]. *)
+
+val groups : t -> int
+val nodes_per_group : t -> int
+val pool : t -> int
+val seed : t -> int
+
+val group_nodes : t -> int -> int array
+(** Pool indices hosting group [g]'s members, in member order (length
+    [nodes_per_group], all distinct, sorted by pool index). *)
+
+val member : t -> group:int -> index:int -> int
+(** Pool index hosting member [index] of [group]. *)
+
+val locate : t -> int -> int * int
+(** [locate t l] is [(group, group-local block)] for logical block [l].
+    @raise Invalid_argument on a negative block. *)
+
+val logical : t -> group:int -> block:int -> int
+(** Inverse of {!locate}. *)
+
+val loads : t -> int array
+(** Per-pool-node member count (group-members hosted), length [pool]. *)
+
+val groups_on : t -> int -> int list
+(** Groups with a member on the given pool node, ascending. *)
+
+val max_load_imbalance : t -> int
+(** [max load - min load] across the pool — 0 or 1 whenever
+    [groups * nodes_per_group] spreads evenly. *)

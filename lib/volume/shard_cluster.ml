@@ -1,0 +1,279 @@
+(* Simulated substrate for a sharded volume: one discrete-event network
+   hosting a pool of [m] storage nodes, over which [G] independent AJX
+   stripe groups are placed (see Placement).
+
+   Each group gets its own directory, layout and per-(group, member)
+   storage-node state, but members of co-located groups bind to the
+   {e same} pool network node — so groups sharing a pool node contend
+   for its NIC and CPU, which is exactly what bends the volume's
+   scaling curve once the pool saturates.
+
+   Failure model: pool nodes fail-stop ({!crash_node}) and restart
+   ({!restart_node}).  A restart installs a fresh network node under the
+   old site label and remaps every group member hosted there to a new
+   generation (INIT slots, garbage contents); the maintenance layer's
+   monitor then repairs the affected stripes (Sec 3.10 + Fig 6).  While
+   a pool node is down, transports report [`Node_down] — the reliable
+   detection recovery needs to skip the member — except when the
+   directory has already moved on (a remap raced the call), in which
+   case the call is retried against the fresh entry. *)
+
+type group = {
+  g_layout : Layout.t;
+  g_dir : Directory.t;
+  g_metrics : Metrics.t;
+  g_touched : (int, unit) Hashtbl.t; (* stripes this group has served *)
+}
+
+type pool_node = {
+  p_site : string;
+  mutable p_net : Net.node;
+  mutable p_restarts : int;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  stats : Stats.t;
+  cfg : Config.t;
+  code : Rs_code.t;
+  placement : Placement.t;
+  pool : pool_node array;
+  groups : group array;
+  client_nodes : (int, Net.node) Hashtbl.t;
+  mutable note_hooks : (float -> string -> unit) list;
+}
+
+let pool_site i = Printf.sprintf "p%d" i
+let client_site id = Printf.sprintf "vc%d" id
+
+let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
+    ?faults ~placement cfg =
+  if Placement.nodes_per_group placement <> cfg.Config.n then
+    invalid_arg "Shard_cluster.create: placement nodes_per_group <> config n";
+  let engine = Engine.create ~seed () in
+  let stats = Stats.create () in
+  let net = Net.create engine ~config:net_config stats in
+  (match faults with Some f -> Net.set_faults net f | None -> ());
+  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let pool =
+    Array.init (Placement.pool placement) (fun i ->
+        let node = Net.add_node net ~name:(pool_site i) in
+        Net.set_site node (pool_site i);
+        { p_site = pool_site i; p_net = node; p_restarts = 0 })
+  in
+  let mk_group g =
+    let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
+    let factory ~index ~generation =
+      let p = Placement.member placement ~group:g ~index in
+      {
+        Directory.net_node = pool.(p).p_net;
+        store =
+          Storage_node.create
+            ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
+            ~now:(fun () -> Engine.now engine)
+            ~block_size:cfg.Config.block_size
+            ~init:(if generation = 0 then `Zeroed else `Garbage)
+            ();
+        generation;
+      }
+    in
+    {
+      g_layout = layout;
+      g_dir = Directory.create ~n:cfg.Config.n factory;
+      g_metrics = Metrics.create ();
+      g_touched = Hashtbl.create 32;
+    }
+  in
+  {
+    engine;
+    net;
+    stats;
+    cfg;
+    code;
+    placement;
+    pool;
+    groups = Array.init (Placement.groups placement) mk_group;
+    client_nodes = Hashtbl.create 8;
+    note_hooks = [];
+  }
+
+let engine t = t.engine
+let net t = t.net
+let stats t = t.stats
+let config t = t.cfg
+let code t = t.code
+let placement t = t.placement
+let now t = Engine.now t.engine
+let groups t = Array.length t.groups
+
+let group_layout t g = t.groups.(g).g_layout
+let group_directory t g = t.groups.(g).g_dir
+let group_metrics t g = t.groups.(g).g_metrics
+
+let metrics t =
+  let merged = Metrics.create () in
+  Array.iter (fun g -> Metrics.merge_into ~dst:merged g.g_metrics) t.groups;
+  merged
+
+let touch t ~group ~slot = Hashtbl.replace t.groups.(group).g_touched slot ()
+
+let used_slots t ~group =
+  Hashtbl.fold (fun slot () acc -> slot :: acc) t.groups.(group).g_touched []
+  |> List.sort compare
+
+let node_alive t p = Net.is_alive t.pool.(p).p_net
+
+let crash_node t p =
+  if p < 0 || p >= Array.length t.pool then
+    invalid_arg "Shard_cluster.crash_node: pool index out of range";
+  Net.crash t.pool.(p).p_net
+
+(* Restart installs a fresh network node under the same site (so
+   per-link fault policies and partitions stay in force) and remaps
+   every group member hosted on the pool node: next generation, INIT
+   slots.  The member re-enters service through recovery (Sec 3.10). *)
+let restart_node t p =
+  if p < 0 || p >= Array.length t.pool then
+    invalid_arg "Shard_cluster.restart_node: pool index out of range";
+  let pn = t.pool.(p) in
+  if not (Net.is_alive pn.p_net) then begin
+    pn.p_restarts <- pn.p_restarts + 1;
+    let node =
+      Net.add_node t.net ~name:(Printf.sprintf "%s.r%d" pn.p_site pn.p_restarts)
+    in
+    Net.set_site node pn.p_site;
+    pn.p_net <- node;
+    List.iter
+      (fun g ->
+        let members = Placement.group_nodes t.placement g in
+        Array.iteri
+          (fun index q ->
+            if q = p then ignore (Directory.remap t.groups.(g).g_dir index))
+          members)
+      (Placement.groups_on t.placement p)
+  end
+
+let schedule_outage t ~at ~node ~down_for =
+  Engine.schedule t.engine ~at (fun () -> crash_node t node);
+  Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
+      restart_node t node)
+
+let set_faults t f = Net.set_faults t.net f
+
+let note t event =
+  let key =
+    if String.starts_with ~prefix:"rpc." event then event else "note." ^ event
+  in
+  Stats.incr t.stats key;
+  List.iter (fun hook -> hook (Engine.now t.engine) event) t.note_hooks
+
+let on_note t hook = t.note_hooks <- hook :: t.note_hooks
+
+let trace_sink t ~group:g ctx event =
+  Metrics.sink t.groups.(g).g_metrics ctx event;
+  match Trace.legacy_note ctx event with Some s -> note t s | None -> ()
+
+let client_node t ~id =
+  match Hashtbl.find_opt t.client_nodes id with
+  | Some n -> n
+  | None ->
+    let n = Net.add_node t.net ~name:(client_site id) in
+    Hashtbl.replace t.client_nodes id n;
+    n
+
+(* One slot-addressed RPC to member [lnode] of group [g].  [`Node_down]
+   is returned only while the directory still maps the dead node — the
+   reliable detection recovery relies on to skip the member.  If a
+   restart has already remapped the entry out from under us, the call is
+   retried against the fresh instance instead (the caller should never
+   see a stale entry's failure). *)
+let rec rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts =
+  let grp = t.groups.(g) in
+  let entry = Directory.lookup grp.g_dir lnode in
+  let dst = entry.Directory.net_node in
+  let serve () =
+    Net.cpu_use dst (Cluster.serve_cost t.cfg req);
+    let resp = Storage_node.handle entry.Directory.store ~caller ~slot req in
+    (resp, Proto.response_bytes resp)
+  in
+  let result =
+    Net.rpc t.net ~src ~dst
+      ~tag:(Proto.request_tag req)
+      ~req_bytes:(Proto.request_bytes req) ~serve
+  in
+  match result with
+  | Ok resp -> Ok resp
+  | Error Net.Timeout -> Error `Timeout
+  | Error Net.Node_down ->
+    let current = Directory.lookup grp.g_dir lnode in
+    if
+      attempts < 3
+      && current.Directory.generation <> entry.Directory.generation
+    then rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts:(attempts + 1)
+    else Error `Node_down
+
+let transport t ~id ~group:g : Transport.t =
+  let src = client_node t ~id in
+  let grp = t.groups.(g) in
+  let call ~slot ~pos req =
+    touch t ~group:g ~slot;
+    let lnode = Layout.node_of grp.g_layout ~stripe:slot ~pos in
+    rpc_to_member t ~g ~caller:id ~src ~lnode ~slot req ~attempts:0
+  in
+  let call_node ~node req =
+    rpc_to_member t ~g ~caller:id ~src ~lnode:node ~slot:0 req ~attempts:0
+  in
+  let broadcast ~slot ~poss req =
+    let lnodes =
+      List.map
+        (fun pos -> (pos, Layout.node_of grp.g_layout ~stripe:slot ~pos))
+        poss
+    in
+    let entries =
+      List.map (fun (pos, ln) -> (pos, Directory.lookup grp.g_dir ln)) lnodes
+    in
+    let dsts = List.map (fun (_, e) -> e.Directory.net_node) entries in
+    let serve dst_node =
+      let _, entry =
+        List.find (fun (_, e) -> e.Directory.net_node == dst_node) entries
+      in
+      Net.cpu_use dst_node (Cluster.serve_cost t.cfg req);
+      let resp =
+        Storage_node.handle entry.Directory.store ~caller:id ~slot req
+      in
+      (resp, Proto.response_bytes resp)
+    in
+    let results =
+      Net.broadcast t.net ~src ~dsts
+        ~tag:(Proto.request_tag req)
+        ~req_bytes:(Proto.request_bytes req) ~serve
+    in
+    List.map2
+      (fun (pos, _) (_, r) ->
+        ( pos,
+          match r with
+          | Ok resp -> Ok resp
+          | Error Net.Node_down -> Error `Node_down
+          | Error Net.Timeout -> Error `Timeout ))
+      lnodes results
+  in
+  let pfor thunks = ignore (Fiber.fork_all thunks) in
+  (module struct
+    let client_id = id
+    let call = call
+    let call_node = call_node
+    let broadcast = Some broadcast
+    let pfor = pfor
+    let sleep = Fiber.sleep
+    let now () = Engine.now t.engine
+    let compute seconds = Net.cpu_use src seconds
+  end : Transport.S)
+
+let make_group_client t ~id ~group =
+  Client.of_transport
+    ~sink:(trace_sink t ~group)
+    t.cfg t.code (transport t ~id ~group)
+
+let spawn t f = Fiber.spawn t.engine f
+let run ?until t = Engine.run ?until t.engine

@@ -1,0 +1,81 @@
+(** Simulated substrate for a sharded volume: one discrete-event
+    network hosting a pool of [m] storage nodes, over which [G]
+    independent AJX stripe groups are placed by a {!Placement}.
+
+    Each group owns its directory, layout, metrics registry and
+    per-(group, member) storage state, but members of co-located groups
+    bind to the {e same} pool network node — groups sharing a pool node
+    contend for its NIC and CPU, which is what saturates the volume's
+    scaling curve as [G] grows.
+
+    Failure model: pool nodes fail-stop and restart.  While a node is
+    down, transports report [`Node_down] (the reliable detection
+    recovery needs to skip the member); a {!restart_node} installs a
+    fresh network node under the same site and remaps every hosted group
+    member to a new generation with INIT slots, re-entering service
+    through monitor-driven recovery (Sec 3.10, Fig 6).  A call that
+    raced a remap is transparently retried against the fresh entry. *)
+
+type t
+
+val create :
+  ?net_config:Net.config ->
+  ?rotate:bool ->
+  ?seed:int ->
+  ?faults:Net.faults ->
+  placement:Placement.t ->
+  Config.t ->
+  t
+(** One simulated network with [Placement.pool] storage nodes and
+    [Placement.groups] AJX instances over them.  The placement's
+    [nodes_per_group] must equal the config's [n].
+    @raise Invalid_argument otherwise. *)
+
+val engine : t -> Engine.t
+val net : t -> Net.t
+val stats : t -> Stats.t
+val config : t -> Config.t
+val code : t -> Rs_code.t
+val placement : t -> Placement.t
+val now : t -> float
+
+val groups : t -> int
+val group_layout : t -> int -> Layout.t
+val group_directory : t -> int -> Directory.t
+
+val group_metrics : t -> int -> Metrics.t
+(** Per-group metrics registry, fed by every client of that group —
+    the per-group label the volume benchmarks slice on. *)
+
+val metrics : t -> Metrics.t
+(** Fresh registry holding the merged counters/latencies of every
+    group (deterministic under a fixed seed). *)
+
+val touch : t -> group:int -> slot:int -> unit
+val used_slots : t -> group:int -> int list
+(** Stripes a group has served (sorted) — the maintenance monitor's
+    slot universe.  Recorded automatically by every transport call. *)
+
+val node_alive : t -> int -> bool
+val crash_node : t -> int -> unit
+(** Fail-stop a pool node: every group member hosted on it goes dead. *)
+
+val restart_node : t -> int -> unit
+(** Bring a crashed pool node back: fresh network node under the same
+    site, and every hosted group member remapped to the next generation
+    (INIT slots).  No-op if the node is alive. *)
+
+val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
+val set_faults : t -> Net.faults -> unit
+
+val on_note : t -> (float -> string -> unit) -> unit
+val trace_sink : t -> group:int -> Trace.sink
+
+val transport : t -> id:int -> group:int -> Transport.t
+(** Transport for client [id] addressing one group.  All groups of one
+    client share a single client-side network node (one NIC). *)
+
+val make_group_client : t -> id:int -> group:int -> Client.t
+
+val spawn : t -> (unit -> unit) -> unit
+val run : ?until:float -> t -> unit

@@ -1,0 +1,82 @@
+(* Sharded volume manager: one large logical block address space over G
+   independent AJX stripe groups.
+
+   Logical block [l] routes through the placement to
+   (group [l mod G], group-local block [l / G]); within the group the
+   usual rotating layout applies ([slot = b / k], data position
+   [b mod k]).  Each manager instance holds one protocol {!Client} per
+   group (all sharing the owning client's network node), and batch
+   operations fan out across groups on parallel fibers — independent
+   groups never serialize behind each other, which is where the
+   aggregate-bandwidth scaling of the volume comes from. *)
+
+type t = {
+  sc : Shard_cluster.t;
+  id : int;
+  clients : Client.t array; (* one per group *)
+}
+
+let create sc ~id =
+  {
+    sc;
+    id;
+    clients =
+      Array.init (Shard_cluster.groups sc) (fun g ->
+          Shard_cluster.make_group_client sc ~id ~group:g);
+  }
+
+let shard_cluster t = t.sc
+let client_id t = t.id
+let group_client t g = t.clients.(g)
+let block_size t = (Shard_cluster.config t.sc).Config.block_size
+let groups t = Array.length t.clients
+
+(* Logical block -> (group, stripe slot, data position). *)
+let route t l =
+  let g, b = Placement.locate (Shard_cluster.placement t.sc) l in
+  let slot, i = Layout.stripe_of_block (Shard_cluster.group_layout t.sc g) b in
+  (g, slot, i)
+
+let read t l =
+  let g, slot, i = route t l in
+  Client.read t.clients.(g) ~slot ~i
+
+let write t l v =
+  if Bytes.length v <> block_size t then
+    invalid_arg "Volume.write: value must be exactly one block";
+  let g, slot, i = route t l in
+  Client.write t.clients.(g) ~slot ~i v
+
+let read_degraded t l =
+  let g, slot, i = route t l in
+  Client.read_degraded t.clients.(g) ~slot ~i
+
+(* Batches pipeline with no cross-item ordering: every operation runs in
+   its own fiber, so ops on distinct groups proceed concurrently and ops
+   within one group overlap exactly as the group client allows. *)
+let read_batch t blocks =
+  Fiber.fork_all (List.map (fun l () -> read t l) blocks)
+
+let write_batch t writes =
+  if List.exists (fun (_, v) -> Bytes.length v <> block_size t) writes then
+    invalid_arg "Volume.write_batch: values must be exactly one block";
+  ignore (Fiber.fork_all (List.map (fun (l, v) () -> write t l v) writes))
+
+let read_range t ~from_block ~count =
+  let parts = read_batch t (List.init count (fun i -> from_block + i)) in
+  Bytes.concat Bytes.empty parts
+
+let write_range t ~from_block data =
+  let bs = block_size t in
+  if Bytes.length data mod bs <> 0 then
+    invalid_arg "Volume.write_range: data must be a multiple of block size";
+  write_batch t
+    (List.init
+       (Bytes.length data / bs)
+       (fun i -> (from_block + i, Bytes.sub data (i * bs) bs)))
+
+let monitor_once t ~group =
+  Client.monitor_once t.clients.(group)
+    ~slots:(Shard_cluster.used_slots t.sc ~group)
+
+let collect_garbage t ~group = Client.collect_garbage t.clients.(group)

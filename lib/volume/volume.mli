@@ -1,0 +1,53 @@
+(** Sharded volume manager: one flat logical block address space over
+    [G] independent AJX stripe groups (one {!Client} per group).
+
+    Logical block [l] lives in group [l mod G] at group-local block
+    [l / G]; within the group the usual rotating {!Layout} applies.
+    Batch operations fan out across groups on parallel fibers, so
+    independent groups never serialize behind each other. *)
+
+type t
+
+val create : Shard_cluster.t -> id:int -> t
+(** One protocol client per group, all sharing client [id]'s network
+    node. *)
+
+val shard_cluster : t -> Shard_cluster.t
+val client_id : t -> int
+val groups : t -> int
+val block_size : t -> int
+
+val group_client : t -> int -> Client.t
+(** The per-group protocol client (monitoring, recovery, GC). *)
+
+val route : t -> int -> int * int * int
+(** [route t l] is [(group, stripe slot, data position)] for logical
+    block [l]. *)
+
+val read : t -> int -> bytes
+(** READ logical block [l] (zeros if never written). *)
+
+val write : t -> int -> bytes -> unit
+(** Durably store one block.
+    @raise Invalid_argument unless exactly [block_size] bytes. *)
+
+val read_degraded : t -> int -> bytes option
+(** Decode the block from any [k] consistent members of its group
+    without waiting for recovery; [None] if no consistent set exists. *)
+
+val read_batch : t -> int list -> bytes list
+(** Pipelined reads; results in request order. *)
+
+val write_batch : t -> (int * bytes) list -> unit
+(** Pipelined writes.  Blocks in one batch should be distinct; writes
+    to the same block race (regular-register semantics). *)
+
+val read_range : t -> from_block:int -> count:int -> bytes
+val write_range : t -> from_block:int -> bytes -> unit
+
+val monitor_once : t -> group:int -> unit
+(** One monitor pass (Sec 3.10) over the group's used stripes, running
+    recovery on anything flagged. *)
+
+val collect_garbage : t -> group:int -> unit
+(** One two-phase GC round for the group client. *)

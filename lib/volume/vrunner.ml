@@ -1,0 +1,235 @@
+(* Volume-level experiment driver: the sharded counterpart of
+   {!Runner.run}.  Spins up clients over one {!Shard_cluster}, each
+   owning a {!Volume} (one protocol client per group) and a set of
+   outstanding request fibers; optionally starts a {!Maintenance}
+   scheduler; measures aggregate throughput, mean and tail latency over
+   the window; and can record every operation for the regular-register
+   checker — histories are keyed by logical block, i.e. per
+   (group, slot, position), so the single-group checker applies
+   unchanged.
+
+   Tail latencies are computed from the complete in-window sample (no
+   reservoir), so a seeded run reports byte-identical percentiles. *)
+
+type result = {
+  run : Report.run;
+  p99_read : float; (* seconds; 0 when no sample *)
+  p99_write : float;
+  write_stalls : int; (* writes that tripped a retry limit (Stuck) *)
+  maintenance_passes : int;
+  maintenance_gc_rounds : int;
+  maintenance_errors : int;
+  maintenance_recoveries : int;
+}
+
+let next_tag = ref 1
+
+let fresh_tag () =
+  incr next_tag;
+  !next_tag
+
+let percentile q samples =
+  match samples with
+  | [] -> 0.
+  | _ ->
+    let arr = Array.of_list samples in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) idx))
+
+type counters = {
+  mutable c_read_ops : int;
+  mutable c_write_ops : int;
+  mutable c_read_lat : float;
+  mutable c_write_lat : float;
+  mutable read_samples : float list;
+  mutable write_samples : float list;
+  mutable stalls : int;
+}
+
+let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
+    ?maintenance ?(gc_every = Some 0.05) ?check ~sc ~clients ~duration
+    ~workload () =
+  (match faults with Some f -> Shard_cluster.set_faults sc f | None -> ());
+  let cfg = Shard_cluster.config sc in
+  let block_size = cfg.Config.block_size in
+  let start = Shard_cluster.now sc in
+  let measure_from = start +. warmup in
+  let t_end = measure_from +. duration in
+  let ctr =
+    {
+      c_read_ops = 0;
+      c_write_ops = 0;
+      c_read_lat = 0.;
+      c_write_lat = 0.;
+      read_samples = [];
+      write_samples = [];
+      stalls = 0;
+    }
+  in
+  let in_window t = t >= measure_from && t <= t_end in
+  List.iter
+    (fun (at, action) ->
+      Engine.schedule (Shard_cluster.engine sc) ~at:(start +. at) (fun () ->
+          action sc))
+    events;
+  let maint =
+    match maintenance with
+    | None -> None
+    | Some ops_per_sec ->
+      Some (Maintenance.start sc ~id:9999 ~ops_per_sec ~until:t_end ())
+  in
+  for c = 0 to clients - 1 do
+    let volume = Volume.create sc ~id:c in
+    let gen = Generator.create ~seed:(0x5eed + (c * 131)) workload in
+    let do_read block =
+      let t0 = Shard_cluster.now sc in
+      match Volume.read volume block with
+      | v ->
+        let t1 = Shard_cluster.now sc in
+        (match check with
+        | Some ck ->
+          Checker.record_read ck ~block ~tag:(Checker.tag_of_block v)
+            ~start:t0 ~finish:t1
+        | None -> ());
+        if in_window t1 then begin
+          ctr.c_read_ops <- ctr.c_read_ops + 1;
+          ctr.c_read_lat <- ctr.c_read_lat +. (t1 -. t0);
+          ctr.read_samples <- (t1 -. t0) :: ctr.read_samples
+        end
+      | exception Client.Stuck _ -> ctr.stalls <- ctr.stalls + 1
+    in
+    let do_write block =
+      let t0 = Shard_cluster.now sc in
+      let tag, v =
+        match check with
+        | Some _ ->
+          let tag = fresh_tag () in
+          (tag, Checker.tag_block ~size:block_size ~tag)
+        | None -> (0, Bytes.make block_size (Char.chr (block land 0xff)))
+      in
+      match Volume.write volume block v with
+      | () ->
+        let t1 = Shard_cluster.now sc in
+        (match check with
+        | Some ck ->
+          Checker.record_write ck ~block ~tag ~start:t0 ~finish:(Some t1)
+        | None -> ());
+        if in_window t1 then begin
+          ctr.c_write_ops <- ctr.c_write_ops + 1;
+          ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
+          ctr.write_samples <- (t1 -. t0) :: ctr.write_samples
+        end
+      | exception Client.Write_abandoned _ ->
+        (* Ambiguous swap timeout: unfinished for the checker. *)
+        (match check with
+        | Some ck -> Checker.record_write ck ~block ~tag ~start:t0 ~finish:None
+        | None -> ())
+      | exception Client.Stuck _ ->
+        (* Retry limit drained (e.g. an outage outlasting the budget):
+           the write may or may not land — unfinished, and counted. *)
+        ctr.stalls <- ctr.stalls + 1;
+        (match check with
+        | Some ck -> Checker.record_write ck ~block ~tag ~start:t0 ~finish:None
+        | None -> ())
+    in
+    let request_loop () =
+      let rec go () =
+        if Shard_cluster.now sc < t_end then begin
+          let { Generator.op; block } = Generator.next gen in
+          (match op with
+          | Generator.Op_read -> do_read block
+          | Generator.Op_write -> do_write block);
+          go ()
+        end
+      in
+      go ()
+    in
+    for _ = 1 to outstanding do
+      Shard_cluster.spawn sc request_loop
+    done;
+    (* Per-client GC fibers (Fig 7): tids are per client, so each client
+       must collect its own completed writes — groups it never wrote to
+       are skipped.  Without this, recentlists go stale and the monitor
+       starts repairing perfectly healthy stripes. *)
+    match gc_every with
+    | None -> ()
+    | Some period ->
+      Shard_cluster.spawn sc (fun () ->
+          let rec gc_loop () =
+            if Shard_cluster.now sc < t_end then begin
+              Fiber.sleep period;
+              for g = 0 to Volume.groups volume - 1 do
+                let client = Volume.group_client volume g in
+                if Client.pending_gc client > 0 then
+                  try Client.collect_garbage client
+                  with Client.Stuck _ -> ()
+              done;
+              gc_loop ()
+            end
+          in
+          gc_loop ())
+  done;
+  let stats = Shard_cluster.stats sc in
+  let phase_keys =
+    List.map
+      (fun p -> "recovery.phase." ^ Trace.recovery_phase_to_string p)
+      Trace.all_recovery_phases
+  in
+  let metric_keys =
+    [ "rpc.retries"; "rpc.giveups"; "write.giveups" ] @ phase_keys
+  in
+  let before =
+    let m = Shard_cluster.metrics sc in
+    List.map (fun key -> (key, Metrics.counter m key)) metric_keys
+  in
+  let msgs_before = Stats.counter stats "msgs" in
+  let recov_before = Stats.counter stats "note.recovery.done" in
+  Shard_cluster.run sc;
+  let after = Shard_cluster.metrics sc in
+  let delta key = Metrics.counter after key - List.assoc key before in
+  let msgs = Stats.counter stats "msgs" -. msgs_before in
+  let recoveries = Stats.counter stats "note.recovery.done" -. recov_before in
+  let mb ops = float_of_int (ops * block_size) /. 1.0e6 /. duration in
+  let run =
+    {
+      Report.duration;
+      clients;
+      outstanding;
+      read_ops = ctr.c_read_ops;
+      write_ops = ctr.c_write_ops;
+      read_mbs = mb ctr.c_read_ops;
+      write_mbs = mb ctr.c_write_ops;
+      total_mbs = mb (ctr.c_read_ops + ctr.c_write_ops);
+      read_latency =
+        (if ctr.c_read_ops = 0 then 0.
+         else ctr.c_read_lat /. float_of_int ctr.c_read_ops);
+      write_latency =
+        (if ctr.c_write_ops = 0 then 0.
+         else ctr.c_write_lat /. float_of_int ctr.c_write_ops);
+      msgs;
+      recoveries;
+      rpc_retries = delta "rpc.retries";
+      rpc_giveups = delta "rpc.giveups";
+      write_giveups = delta "write.giveups";
+      recovery_phases =
+        List.filter_map
+          (fun key -> match delta key with 0 -> None | n -> Some (key, n))
+          phase_keys;
+    }
+  in
+  {
+    run;
+    p99_read = percentile 0.99 ctr.read_samples;
+    p99_write = percentile 0.99 ctr.write_samples;
+    write_stalls = ctr.stalls;
+    maintenance_passes =
+      (match maint with Some m -> Maintenance.passes m | None -> 0);
+    maintenance_gc_rounds =
+      (match maint with Some m -> Maintenance.gc_rounds m | None -> 0);
+    maintenance_errors =
+      (match maint with Some m -> Maintenance.errors m | None -> 0);
+    maintenance_recoveries =
+      (match maint with Some m -> Maintenance.recoveries m | None -> 0);
+  }

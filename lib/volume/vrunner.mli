@@ -1,0 +1,49 @@
+(** Volume-level experiment driver: the sharded counterpart of
+    {!Runner}.
+
+    Runs [clients] clients over one {!Shard_cluster}, each owning a
+    {!Volume} and [outstanding] request fibers; optionally starts a
+    {!Maintenance} scheduler for the run's duration; and measures
+    aggregate throughput plus mean and p99 latency over the window.
+    Tail percentiles come from the complete in-window sample, so a
+    seeded run reports byte-identical numbers.
+
+    With [check], every operation is recorded for the regular-register
+    checker keyed by logical block — per (group, slot, position) — so
+    the single-group checker applies to volume histories unchanged. *)
+
+type result = {
+  run : Report.run;  (** the standard per-run stats block *)
+  p99_read : float;  (** seconds; 0 when no sample *)
+  p99_write : float;
+  write_stalls : int;
+      (** operations that tripped a retry limit ({!Client.Stuck}),
+          e.g. during an outage outlasting the budget; recorded as
+          unfinished for the checker *)
+  maintenance_passes : int;
+  maintenance_gc_rounds : int;
+  maintenance_errors : int;
+  maintenance_recoveries : int;
+}
+
+val run :
+  ?outstanding:int ->
+  ?warmup:float ->
+  ?events:(float * (Shard_cluster.t -> unit)) list ->
+  ?faults:Net.faults ->
+  ?maintenance:float ->
+  ?gc_every:float option ->
+  ?check:Checker.t ->
+  sc:Shard_cluster.t ->
+  clients:int ->
+  duration:float ->
+  workload:Generator.spec ->
+  unit ->
+  result
+(** [maintenance], when given, is the background scheduler's ops budget
+    in storage-node RPCs per simulated second (see {!Maintenance});
+    omitted, no scheduler runs.  [gc_every] (default [Some 0.05]) paces
+    the per-client GC fibers — tids are per client, so each client
+    collects its own completed writes across the groups it touched.
+    [events] are scheduled actions relative to run start (outage
+    injection).  Other parameters as in {!Runner.run}. *)

@@ -173,7 +173,29 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
     Error `Timeout
   | Error Net.Node_down -> (
     match t.remap_policy with
-    | `Manual -> Error `Node_down
+    | `Manual ->
+      (* Crash-without-remap window (Sec 3.5): the directory still
+         points at the corpse.  From the client's seat this must be
+         indistinguishable from a lost message — the request may have
+         executed before the crash — so charge the RPC timer and
+         surface [`Timeout]: the session layer resends the idempotent
+         request, and each resend re-resolves the directory, landing on
+         the replacement once the operator remaps the node.  Reliable
+         [`Node_down] is reserved for failures the directory has
+         positively detected (the [`Auto] policy's bounded retries). *)
+      let current = Directory.lookup t.dir lnode in
+      if
+        attempts < 3
+        && current.Directory.generation <> entry.Directory.generation
+      then
+        (* Remapped while we were blocked: go straight at the fresh
+           instance instead of burning one of the caller's retries. *)
+        rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:(attempts + 1)
+      else begin
+        Stats.incr t.stats "rpc.timeout";
+        Fiber.sleep (Net.config t.net).Net.rpc_timeout;
+        Error `Timeout
+      end
     | `Auto ->
       if attempts >= 3 then Error `Node_down
       else begin

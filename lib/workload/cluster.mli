@@ -39,6 +39,13 @@ val engine : t -> Engine.t
 val net : t -> Net.t
 val stats : t -> Stats.t
 val config : t -> Config.t
+
+(** Service time a storage node charges for one request beyond the
+    generic per-message RPC overhead (per-byte for block-touching
+    operations, a small constant for control ones) — exported so other
+    simulated harnesses (the sharded volume layer) price requests
+    identically. *)
+val serve_cost : Config.t -> Proto.request -> float
 val code : t -> Rs_code.t
 val layout : t -> Layout.t
 val directory : t -> Directory.t

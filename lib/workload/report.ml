@@ -1,0 +1,125 @@
+(* Shared per-run reporting: the record a measured run produces, the
+   human-readable one-line summary, and a small deterministic JSON
+   writer for machine-readable summaries (CI artifacts).
+
+   This is the single home for per-run stats formatting: the workload
+   runner ({!Runner.print_result}), the CI smoke bench and the volume
+   scaling bench all render through these helpers, so the formats cannot
+   drift apart. *)
+
+type run = {
+  duration : float;
+  clients : int;
+  outstanding : int;
+  read_ops : int;
+  write_ops : int;
+  read_mbs : float;
+  write_mbs : float;
+  total_mbs : float;
+  read_latency : float;
+  write_latency : float;
+  msgs : float;
+  recoveries : float;
+  rpc_retries : int;
+  rpc_giveups : int;
+  write_giveups : int;
+  recovery_phases : (string * int) list;
+}
+
+let phase_suffix key =
+  match String.rindex_opt key '.' with
+  | Some dot -> String.sub key (dot + 1) (String.length key - dot - 1)
+  | None -> key
+
+let print_run ~label r =
+  Printf.printf
+    "%-34s %2d clients x%-3d | write %7.2f MB/s (%6d ops, %5.2f ms) | read \
+     %7.2f MB/s (%6d ops, %5.2f ms) | %.0f msgs%s\n%!"
+    label r.clients r.outstanding r.write_mbs r.write_ops
+    (1000. *. r.write_latency) r.read_mbs r.read_ops (1000. *. r.read_latency)
+    r.msgs
+    (if r.recoveries > 0. then Printf.sprintf " | %.0f recoveries" r.recoveries
+     else "");
+  if
+    r.rpc_retries > 0 || r.rpc_giveups > 0 || r.write_giveups > 0
+    || r.recovery_phases <> []
+  then begin
+    let phases =
+      List.map
+        (fun (key, n) -> Printf.sprintf "%s=%d" (phase_suffix key) n)
+        r.recovery_phases
+    in
+    Printf.printf
+      "%-34s    retries %d | give-ups rpc=%d write=%d | recovery phases: %s\n%!"
+      "" r.rpc_retries r.rpc_giveups r.write_giveups
+      (if phases = [] then "-" else String.concat " " phases)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic JSON.  Floats carry an explicit decimal count so the
+   rendering is byte-stable across runs and platforms (CI asserts the
+   whole file is identical for identical seeds). *)
+
+type json =
+  | J_int of int
+  | J_float of float * int  (* value, decimals *)
+  | J_bool of bool
+  | J_str of string
+  | J_raw of string  (* pre-rendered fragment, e.g. Metrics.to_json *)
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+let rec render buf ~indent v =
+  let pad = String.make (2 * indent) ' ' in
+  match v with
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float (f, d) -> Buffer.add_string buf (Printf.sprintf "%.*f" d f)
+  | J_bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | J_str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | J_raw s -> Buffer.add_string buf s
+  | J_obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (key, v) ->
+        Buffer.add_string buf (Printf.sprintf "%s  %S: " pad key);
+        render buf ~indent:(indent + 1) v;
+        if i < List.length fields - 1 then Buffer.add_char buf ',';
+        Buffer.add_char buf '\n')
+      fields;
+    Buffer.add_string buf (pad ^ "}")
+  | J_arr items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i v ->
+        Buffer.add_string buf (pad ^ "  ");
+        render buf ~indent:(indent + 1) v;
+        if i < List.length items - 1 then Buffer.add_char buf ',';
+        Buffer.add_char buf '\n')
+      items;
+    Buffer.add_string buf (pad ^ "]")
+
+let to_string v =
+  let buf = Buffer.create 512 in
+  render buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc
+
+(* The standard per-run stats block shared by every JSON summary. *)
+let run_fields r =
+  [
+    ("clients", J_int r.clients);
+    ("outstanding", J_int r.outstanding);
+    ("duration_s", J_float (r.duration, 3));
+    ("read_ops", J_int r.read_ops);
+    ("write_ops", J_int r.write_ops);
+    ("read_mbs", J_float (r.read_mbs, 3));
+    ("write_mbs", J_float (r.write_mbs, 3));
+    ("read_latency_ms", J_float (1000. *. r.read_latency, 4));
+    ("write_latency_ms", J_float (1000. *. r.write_latency, 4));
+    ("msgs", J_float (r.msgs, 0));
+  ]

@@ -1,0 +1,51 @@
+(** Shared per-run reporting: the measured-run record, its one-line
+    human-readable rendering, and a deterministic JSON writer.
+
+    One home for per-run stats formatting — the workload runner, the CI
+    smoke bench and the volume scaling bench all render through these
+    helpers so their formats cannot drift apart. *)
+
+(** What one measured run produced.  {!Runner.result} is an alias of
+    this record. *)
+type run = {
+  duration : float;  (** measured window, seconds *)
+  clients : int;
+  outstanding : int;  (** request fibers per client *)
+  read_ops : int;
+  write_ops : int;
+  read_mbs : float;
+  write_mbs : float;
+  total_mbs : float;
+  read_latency : float;  (** mean, seconds *)
+  write_latency : float;  (** mean, seconds *)
+  msgs : float;
+  recoveries : float;
+  rpc_retries : int;
+  rpc_giveups : int;
+  write_giveups : int;
+  recovery_phases : (string * int) list;  (** nonzero phase counters *)
+}
+
+val print_run : label:string -> run -> unit
+(** The classic two-line run summary (second line only when retries,
+    give-ups or recovery phases occurred). *)
+
+(** Deterministic JSON: floats carry an explicit decimal count so the
+    rendering is byte-stable for identical inputs. *)
+type json =
+  | J_int of int
+  | J_float of float * int  (** value, decimals *)
+  | J_bool of bool
+  | J_str of string
+  | J_raw of string  (** pre-rendered fragment, e.g. [Metrics.to_json] *)
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+val to_string : json -> string
+(** Rendered with two-space indentation and a trailing newline. *)
+
+val write_file : string -> json -> unit
+
+val run_fields : run -> (string * json) list
+(** The standard per-run stats block (clients, ops, MB/s, latencies,
+    msgs) embedded in every JSON summary. *)

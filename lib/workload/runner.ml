@@ -1,4 +1,4 @@
-type result = {
+type result = Report.run = {
   duration : float;
   clients : int;
   outstanding : int;
@@ -213,32 +213,4 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
         phase_keys;
   }
 
-let print_result label r =
-  Printf.printf
-    "%-34s %2d clients x%-3d | write %7.2f MB/s (%6d ops, %5.2f ms) | read \
-     %7.2f MB/s (%6d ops, %5.2f ms) | %.0f msgs%s\n%!"
-    label r.clients r.outstanding r.write_mbs r.write_ops
-    (1000. *. r.write_latency) r.read_mbs r.read_ops (1000. *. r.read_latency)
-    r.msgs
-    (if r.recoveries > 0. then Printf.sprintf " | %.0f recoveries" r.recoveries
-     else "");
-  if
-    r.rpc_retries > 0 || r.rpc_giveups > 0 || r.write_giveups > 0
-    || r.recovery_phases <> []
-  then begin
-    let phases =
-      List.map
-        (fun (key, n) ->
-          let p =
-            match String.rindex_opt key '.' with
-            | Some dot -> String.sub key (dot + 1) (String.length key - dot - 1)
-            | None -> key
-          in
-          Printf.sprintf "%s=%d" p n)
-        r.recovery_phases
-    in
-    Printf.printf
-      "%-34s    retries %d | give-ups rpc=%d write=%d | recovery phases: %s\n%!"
-      "" r.rpc_retries r.rpc_giveups r.write_giveups
-      (if phases = [] then "-" else String.concat " " phases)
-  end
+let print_result label r = Report.print_run ~label r

@@ -3,7 +3,7 @@
     and reports aggregate throughput and latency — the measurement loop
     behind Figs 9 and 10. *)
 
-type result = {
+type result = Report.run = {
   duration : float;        (** measured window, simulated seconds *)
   clients : int;
   outstanding : int;

@@ -1,0 +1,140 @@
+(* Table-driven tests for Directory generation/remap semantics (paper
+   Sec 3.5): lookup after crash, lookup after remap, generation
+   monotonicity, and rejection of stale entries held across a remap —
+   the properties the cluster transport's crash-window handling and the
+   volume layer's shard clusters both lean on. *)
+
+let make_dir ?(n = 3) () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let net = Net.create engine stats in
+  let factory ~index ~generation =
+    {
+      Directory.net_node =
+        Net.add_node net ~name:(Printf.sprintf "s%d.g%d" index generation);
+      store =
+        Storage_node.create
+          ~now:(fun () -> Engine.now engine)
+          ~block_size:16
+          ~init:(if generation = 0 then `Zeroed else `Garbage)
+          ();
+      generation;
+    }
+  in
+  Directory.create ~n factory
+
+type step = Crash of int | Remap of int | Crash_and_remap of int
+
+let apply dir = function
+  | Crash i -> Directory.crash dir i
+  | Remap i -> ignore (Directory.remap dir i)
+  | Crash_and_remap i -> ignore (Directory.crash_and_remap dir i)
+
+(* Each case: a script of steps, then per-node expectations of
+   (logical node, generation, current-entry-alive). *)
+let cases =
+  [
+    ("fresh directory", [], [ (0, 0, true); (1, 0, true); (2, 0, true) ]);
+    ( "crash without remap leaves the corpse mapped",
+      [ Crash 1 ],
+      [ (0, 0, true); (1, 0, false); (2, 0, true) ] );
+    ( "remap after crash installs the next generation",
+      [ Crash 1; Remap 1 ],
+      [ (0, 0, true); (1, 1, true); (2, 0, true) ] );
+    ("atomic crash+remap", [ Crash_and_remap 2 ], [ (2, 1, true); (0, 0, true) ]);
+    ( "nodes fail independently",
+      [ Crash_and_remap 0; Crash 2 ],
+      [ (0, 1, true); (1, 0, true); (2, 0, false) ] );
+    ( "repeated remaps are monotone",
+      [ Crash_and_remap 1; Crash_and_remap 1; Crash_and_remap 1 ],
+      [ (1, 3, true) ] );
+    ( "remap of a live node still bumps the generation",
+      [ Remap 0; Remap 0 ],
+      [ (0, 2, true) ] );
+  ]
+
+let test_table () =
+  List.iter
+    (fun (name, steps, expect) ->
+      let dir = make_dir () in
+      List.iter (apply dir) steps;
+      List.iter
+        (fun (node, gen, alive) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: node %d generation" name node)
+            gen
+            (Directory.generation dir node);
+          let e = Directory.lookup dir node in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: node %d entry generation" name node)
+            gen e.Directory.generation;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: node %d alive" name node)
+            alive
+            (Net.is_alive e.Directory.net_node))
+        expect)
+    cases
+
+let test_generation_monotone () =
+  (* Generations only go up, by exactly one per remap, and the returned
+     entry always agrees with a subsequent lookup. *)
+  let dir = make_dir () in
+  for expected = 1 to 8 do
+    let e = Directory.crash_and_remap dir 0 in
+    Alcotest.(check int) "entry generation" expected e.Directory.generation;
+    Alcotest.(check int) "directory generation" expected
+      (Directory.generation dir 0)
+  done
+
+let test_stale_entry_rejected () =
+  (* A client that cached an entry across a remap keeps talking to the
+     corpse: the stale net node refuses traffic while the fresh entry
+     serves. *)
+  let dir = make_dir () in
+  let stale = Directory.lookup dir 1 in
+  let fresh = Directory.crash_and_remap dir 1 in
+  Alcotest.(check bool) "stale is dead" false
+    (Net.is_alive stale.Directory.net_node);
+  Alcotest.(check bool) "fresh serves" true
+    (Net.is_alive fresh.Directory.net_node);
+  Alcotest.(check bool) "lookup returns the fresh entry" true
+    (Directory.lookup dir 1 == fresh);
+  Alcotest.(check bool) "stale generation below current" true
+    (stale.Directory.generation < Directory.generation dir 1)
+
+let test_replacement_starts_init () =
+  (* Replacements come up with INIT slots (garbage contents) and re-enter
+     service through recovery; originals come up zeroed and serving. *)
+  let dir = make_dir () in
+  let e0 = Directory.lookup dir 0 in
+  Alcotest.(check bool) "generation 0 slot NORM" true
+    (Storage_node.peek_opmode e0.Directory.store ~slot:0 = Proto.Norm);
+  let e1 = Directory.crash_and_remap dir 0 in
+  Alcotest.(check bool) "replacement slot INIT" true
+    (Storage_node.peek_opmode e1.Directory.store ~slot:0 = Proto.Init)
+
+let test_out_of_range () =
+  let dir = make_dir ~n:3 () in
+  let oob = Invalid_argument "Directory: logical node index out of range" in
+  List.iter
+    (fun i ->
+      Alcotest.check_raises (Printf.sprintf "lookup %d" i) oob (fun () ->
+          ignore (Directory.lookup dir i));
+      Alcotest.check_raises (Printf.sprintf "generation %d" i) oob (fun () ->
+          ignore (Directory.generation dir i));
+      Alcotest.check_raises (Printf.sprintf "crash %d" i) oob (fun () ->
+          Directory.crash dir i);
+      Alcotest.check_raises (Printf.sprintf "remap %d" i) oob (fun () ->
+          ignore (Directory.remap dir i)))
+    [ -1; 3; 9 ]
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "directory",
+    [
+      t "table-driven crash/remap scripts" test_table;
+      t "generation monotonicity" test_generation_monotone;
+      t "stale entry rejected after remap" test_stale_entry_rejected;
+      t "replacement starts INIT" test_replacement_starts_init;
+      t "out-of-range indices raise" test_out_of_range;
+    ] )

@@ -9,6 +9,7 @@ let () =
       Test_rs.suite;
       Test_sim.suite;
       Test_storage.suite;
+      Test_directory.suite;
       Test_client.suite;
       Test_recovery.suite;
       Test_baselines.suite;

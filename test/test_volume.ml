@@ -1,0 +1,220 @@
+(* Tests for the sharded volume layer (Ecs_volume): placement
+   determinism and load bounds, logical-block routing and roundtrips
+   across groups, throughput scaling with the group count, outage +
+   background maintenance repair with bounded tail-latency inflation,
+   and byte-determinism of a seeded run. *)
+
+open Ecs_volume
+
+let cfg ?(block_size = 512) () =
+  Config.make ~t_p:1 ~block_size ~k:3 ~n:5 ()
+
+let placement ~groups ~pool =
+  Placement.make ~seed:0x7ace ~groups ~nodes_per_group:5 ~pool ()
+
+(* ------------------------------------------------------------------ *)
+(* Placement. *)
+
+let test_placement_deterministic () =
+  let p1 = placement ~groups:8 ~pool:16 in
+  let p2 = placement ~groups:8 ~pool:16 in
+  for g = 0 to 7 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "group %d stable" g)
+      (Placement.group_nodes p1 g)
+      (Placement.group_nodes p2 g)
+  done;
+  let p3 = Placement.make ~seed:0x0dd ~groups:8 ~nodes_per_group:5 ~pool:16 () in
+  Alcotest.(check bool) "seed changes the layout" true
+    (Array.exists
+       (fun g -> Placement.group_nodes p1 g <> Placement.group_nodes p3 g)
+       (Array.init 8 Fun.id))
+
+let test_placement_members_distinct () =
+  let p = placement ~groups:8 ~pool:16 in
+  for g = 0 to 7 do
+    let members = Placement.group_nodes p g in
+    Alcotest.(check int) "n members" 5 (Array.length members);
+    let sorted = List.sort_uniq compare (Array.to_list members) in
+    Alcotest.(check int)
+      (Printf.sprintf "group %d members distinct" g)
+      5 (List.length sorted);
+    Array.iter
+      (fun q -> Alcotest.(check bool) "in pool" true (q >= 0 && q < 16))
+      members
+  done
+
+let test_placement_load_balance () =
+  (* 16 groups x 5 members over 20 nodes = 4 per node exactly. *)
+  let p = Placement.make ~seed:1 ~groups:16 ~nodes_per_group:5 ~pool:20 () in
+  Alcotest.(check int) "even spread" 0 (Placement.max_load_imbalance p);
+  let total = Array.fold_left ( + ) 0 (Placement.loads p) in
+  Alcotest.(check int) "loads sum to groups*n" 80 total;
+  (* Uneven case still within one member. *)
+  let q = Placement.make ~seed:1 ~groups:7 ~nodes_per_group:5 ~pool:16 () in
+  Alcotest.(check bool) "imbalance <= 1" true (Placement.max_load_imbalance q <= 1)
+
+let test_placement_locate_roundtrip () =
+  let p = placement ~groups:6 ~pool:16 in
+  for l = 0 to 100 do
+    let g, b = Placement.locate p l in
+    Alcotest.(check int) "round-robin group" (l mod 6) g;
+    Alcotest.(check int) "inverse" l (Placement.logical p ~group:g ~block:b)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Volume routing and roundtrips. *)
+
+let test_volume_roundtrip_across_groups () =
+  let placement = placement ~groups:4 ~pool:12 in
+  let sc = Shard_cluster.create ~seed:0x11 ~placement (cfg ()) in
+  let v = Volume.create sc ~id:0 in
+  let block l = Bytes.make 512 (Char.chr (0x30 + l)) in
+  Shard_cluster.spawn sc (fun () ->
+      Volume.write_batch v (List.init 16 (fun l -> (l, block l)));
+      List.iteri
+        (fun l got ->
+          Alcotest.(check bytes) (Printf.sprintf "block %d" l) (block l) got)
+        (Volume.read_batch v (List.init 16 Fun.id)));
+  Shard_cluster.run sc;
+  (* 16 consecutive blocks over 4 groups: every group served some. *)
+  for g = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "group %d touched" g)
+      true
+      (Shard_cluster.used_slots sc ~group:g <> [])
+  done
+
+let test_volume_range_io () =
+  let placement = placement ~groups:3 ~pool:8 in
+  let sc = Shard_cluster.create ~seed:0x12 ~placement (cfg ()) in
+  let v = Volume.create sc ~id:0 in
+  let data =
+    Bytes.init (512 * 9) (fun i -> Char.chr ((i / 37) land 0xff))
+  in
+  Shard_cluster.spawn sc (fun () ->
+      Volume.write_range v ~from_block:5 data;
+      Alcotest.(check bytes) "range roundtrip" data
+        (Volume.read_range v ~from_block:5 ~count:9));
+  Shard_cluster.run sc
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: more groups on a fixed client load means more aggregate
+   bandwidth, until the pool saturates. *)
+
+let scaling_run ~groups ~pool =
+  let placement =
+    Placement.make ~seed:0x7ace ~groups ~nodes_per_group:5 ~pool ()
+  in
+  (* Heavy per-byte server cost so the storage nodes, not the clients,
+     are the bottleneck — scaling must come from adding groups. *)
+  let cfg =
+    Config.make ~t_p:1 ~block_size:4096 ~k:3 ~n:5
+      ~costs:
+        {
+          Config.default_costs with
+          delta_per_byte = 1.0e-9;
+          add_per_byte = 100.0e-9;
+        }
+      ()
+  in
+  let sc = Shard_cluster.create ~seed:0x51 ~placement cfg in
+  let r =
+    Vrunner.run ~outstanding:16 ~sc ~clients:8 ~duration:0.15
+      ~workload:(Generator.Random_mix { blocks = 64 * groups; write_frac = 0.5 })
+      ()
+  in
+  r.Vrunner.run.Report.total_mbs
+
+let test_scaling_with_groups () =
+  let one = scaling_run ~groups:1 ~pool:20 in
+  let four = scaling_run ~groups:4 ~pool:20 in
+  Alcotest.(check bool)
+    (Printf.sprintf "G=4 (%.1f MB/s) > 1.5x G=1 (%.1f MB/s)" four one)
+    true
+    (four > 1.5 *. one)
+
+(* ------------------------------------------------------------------ *)
+(* Outage + maintenance: a crashed pool node is repaired in the
+   background after restart, the history stays consistent, and the tail
+   latency of foreground writes is bounded (no starvation). *)
+
+let outage_run ~with_outage =
+  let placement = placement ~groups:4 ~pool:12 in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ()) in
+  let down_node = (Placement.group_nodes placement 0).(0) in
+  let events =
+    if with_outage then
+      [ (0.08, fun sc -> Shard_cluster.schedule_outage sc
+                           ~at:(Shard_cluster.now sc) ~node:down_node
+                           ~down_for:0.03) ]
+    else []
+  in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~maintenance:4000. ~check:ck ~sc
+      ~clients:4 ~duration:0.4
+      ~workload:(Generator.Random_mix { blocks = 128; write_frac = 0.5 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (r, consistent)
+
+let test_outage_repaired_in_background () =
+  let r, consistent = outage_run ~with_outage:true in
+  Alcotest.(check bool) "history consistent" true consistent;
+  Alcotest.(check bool) "maintenance ran" true (r.Vrunner.maintenance_passes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "background recoveries ran (%d)"
+       r.Vrunner.maintenance_recoveries)
+    true
+    (r.Vrunner.maintenance_recoveries > 0);
+  Alcotest.(check int) "no write hit a retry limit" 0 r.Vrunner.write_stalls;
+  Alcotest.(check bool) "foreground still made progress" true
+    (r.Vrunner.run.Report.write_ops > 1000)
+
+let test_outage_p99_bounded () =
+  let clean, _ = outage_run ~with_outage:false in
+  let faulted, _ = outage_run ~with_outage:true in
+  (* The affected group stalls for at most the outage + repair, so the
+     p99 over all writes must stay within the outage length plus slack —
+     background repair must not starve the foreground indefinitely. *)
+  let bound = 0.03 +. (10. *. clean.Vrunner.p99_write) +. 0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 %.4fs within %.4fs (clean %.4fs)"
+       faulted.Vrunner.p99_write bound clean.Vrunner.p99_write)
+    true
+    (faulted.Vrunner.p99_write < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: identical seeds, identical everything. *)
+
+let test_volume_run_deterministic () =
+  let go () =
+    let r, consistent = outage_run ~with_outage:true in
+    let rendered =
+      Report.to_string (Report.J_obj (Report.run_fields r.Vrunner.run))
+    in
+    (r, consistent, rendered)
+  in
+  let a = go () in
+  let b = go () in
+  Alcotest.(check bool) "identical results" true (a = b)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "volume",
+    [
+      t "placement is seed-stable" test_placement_deterministic;
+      t "placement members distinct and in pool" test_placement_members_distinct;
+      t "placement load balance" test_placement_load_balance;
+      t "locate/logical roundtrip" test_placement_locate_roundtrip;
+      t "roundtrip across groups" test_volume_roundtrip_across_groups;
+      t "range I/O" test_volume_range_io;
+      t "throughput scales with G" test_scaling_with_groups;
+      t "outage repaired in background" test_outage_repaired_in_background;
+      t "p99 bounded under outage + maintenance" test_outage_p99_bounded;
+      t "volume run deterministic" test_volume_run_deterministic;
+    ] )

@@ -1,0 +1,5 @@
+(* Entry point for the sharded-volume test executable (separate from
+   test_main so the volume layer's heavier simulations run as their own
+   CI matrix entry). *)
+
+let () = Alcotest.run "ecs_volume" [ Test_volume.suite ]

@@ -143,17 +143,49 @@ let test_cluster_auto_remap () =
   Alcotest.(check int) "generation bumped" 1
     (Directory.generation (Cluster.directory cluster) 0)
 
-let test_cluster_manual_remap_surfaces_error () =
+let test_cluster_manual_crash_window_is_timeout () =
+  (* Crash without remap: the raw transport call must look like a lost
+     message (`Timeout`, after the RPC timer), never a reliable
+     `Node_down` — the request may have executed before the crash, and
+     only the retry layer can resolve the ambiguity by resending. *)
   let cluster = Cluster.create ~remap_policy:`Manual (default_cfg ()) in
   let env = Cluster.client_env cluster ~id:0 in
   Cluster.crash_storage cluster 0;
   let got = ref None in
+  let elapsed = ref 0. in
   Cluster.spawn cluster (fun () ->
-      got := Some (env.Client.call ~slot:0 ~pos:0 Proto.Read));
+      let t0 = Fiber.now () in
+      got := Some (env.Client.call ~slot:0 ~pos:0 Proto.Read);
+      elapsed := Fiber.now () -. t0);
   Cluster.run cluster;
-  match !got with
-  | Some (Error `Node_down) -> ()
-  | _ -> Alcotest.fail "expected Node_down under manual policy"
+  (match !got with
+  | Some (Error `Timeout) -> ()
+  | _ -> Alcotest.fail "expected Timeout during the crash-window");
+  Alcotest.(check bool)
+    (Printf.sprintf "charged the RPC timer (%.4f s)" !elapsed)
+    true
+    (!elapsed >= Net.default_config.Net.rpc_timeout)
+
+let test_cluster_manual_write_completes_after_restart () =
+  (* A write issued while a data node is crashed-but-not-yet-remapped
+     must ride the session retry loop across the outage and complete
+     once the restart remaps the entry — no exception escapes the
+     client fiber. *)
+  let cfg = Config.make ~t_p:1 ~block_size:64 ~k:3 ~n:5 () in
+  let cluster = Cluster.create ~remap_policy:`Manual cfg in
+  let client = Cluster.make_client cluster ~id:0 in
+  (* Down for 4 ms: several session resends land in the window, and the
+     retry budget (8 resends, capped exponential backoff) outlasts it. *)
+  Cluster.schedule_outage cluster ~at:1.0e-4 ~node:0 ~down_for:4.0e-3;
+  let wrote = ref false in
+  Cluster.spawn cluster (fun () ->
+      Fiber.sleep 2.0e-4;
+      Client.write client ~slot:0 ~i:0 (Bytes.make 64 'w');
+      wrote := true);
+  Cluster.run cluster;
+  Alcotest.(check bool) "write completed after restart" true !wrote;
+  Alcotest.(check int) "restart remapped the entry" 1
+    (Directory.generation (Cluster.directory cluster) 0)
 
 let test_cluster_pfor_parallel_timing () =
   (* pfor really is parallel: 4 sleeps of 10 ms take ~10 ms, not 40. *)
@@ -304,7 +336,10 @@ let suite =
       t "cluster env basic call" test_cluster_client_env_calls;
       t "crashed client raises" test_cluster_crashed_client_raises;
       t "auto remap on node death" test_cluster_auto_remap;
-      t "manual policy surfaces Node_down" test_cluster_manual_remap_surfaces_error;
+      t "manual crash-window surfaces Timeout"
+        test_cluster_manual_crash_window_is_timeout;
+      t "manual write completes after restart"
+        test_cluster_manual_write_completes_after_restart;
       t "pfor runs thunks in parallel" test_cluster_pfor_parallel_timing;
       t "note hooks fire" test_cluster_note_hooks;
       t "cluster runs are deterministic" test_cluster_deterministic;
