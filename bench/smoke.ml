@@ -8,12 +8,15 @@ let run ?json () =
   let faults = { Net.drop = 0.02; dup = 0.02; delay = 0.; jitter = 20e-6 } in
   let cluster = Cluster.create ~seed:0xC1 ~faults cfg in
   let ck = Checker.create () in
+  let failures = ref Report.no_failures in
   let result =
     Runner.run ~outstanding:4 ~check:ck ~cluster ~clients:4 ~duration:0.5
+      ~failures
       ~workload:(Generator.Random_mix { blocks = 64; write_frac = 0.5 })
       ()
   in
   Runner.print_result "smoke 3-of-5, 2% loss + dup" result;
+  Report.print_failures ~label:"smoke 3-of-5, 2% loss + dup" !failures;
   let consistent =
     match Checker.check ck with Ok _ -> true | Error _ -> false
   in
@@ -38,6 +41,7 @@ let run ?json () =
                ] );
          ]
         @ Report.run_fields result
+        @ Report.failure_fields !failures
         @ [
             ("rpc_timeouts", J_float (c "rpc.timeout", 0));
             ("rpc_retries", J_float (c "rpc.retry", 0));

@@ -70,6 +70,7 @@ let one_run ~groups ~faulted =
 let variant_fields (r : Vrunner.result) consistent =
   let open Report in
   run_fields r.Vrunner.run
+  @ failure_fields r.Vrunner.failures
   @ [
       ("p99_read_ms", J_float (1000. *. r.Vrunner.p99_read, 4));
       ("p99_write_ms", J_float (1000. *. r.Vrunner.p99_write, 4));
@@ -81,6 +82,130 @@ let variant_fields (r : Vrunner.result) consistent =
       ("maintenance_recoveries", J_int r.Vrunner.maintenance_recoveries);
       ("history_consistent", J_bool consistent);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Health experiments: hedged reads against a lossy-but-alive node, and
+   full self-healing after an unannounced crash.  Both derive from fixed
+   seeds, so their JSON is as deterministic as the scaling curve. *)
+
+(* Full health stack (adaptive deadlines + hedging + breaker) vs the
+   legacy configuration it replaced (fixed 1 ms loss-detection deadline,
+   no hedging) on the same lossy-victim scenario. *)
+let legacy_health =
+  {
+    Config.default_health with
+    Config.timeout_floor = 1e-3;
+    timeout_ceil = 1e-3;
+    hedge = false;
+  }
+
+let hedge_run ~health =
+  let placement =
+    Placement.make ~seed:0x7ace ~groups:2 ~nodes_per_group:5 ~pool:8 ()
+  in
+  let cfg = Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5 ~health () in
+  let sc = Shard_cluster.create ~seed:0x1e ~placement cfg in
+  let victim = (Placement.group_nodes placement 0).(0) in
+  let events =
+    [
+      ( 0.05,
+        fun sc ->
+          for c = 0 to 3 do
+            Shard_cluster.set_pool_link_faults sc ~client:c ~node:victim
+              (Some { Net.no_faults with Net.drop = 0.4 })
+          done );
+    ]
+  in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~check:ck ~sc ~clients:4 ~duration:0.3
+      ~workload:(Generator.Random_mix { blocks = 64; write_frac = 0.3 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (r, consistent)
+
+let heal_crash_at = 0.08
+
+let self_heal_run () =
+  let placement =
+    Placement.make ~seed:0x7ace ~groups:4 ~nodes_per_group:5 ~pool:12 ()
+  in
+  let sc =
+    Shard_cluster.create ~seed:0x0c ~placement
+      (Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5 ())
+  in
+  let down = (Placement.group_nodes placement 0).(0) in
+  let events = [ (heal_crash_at, fun sc -> Shard_cluster.crash_node sc down) ] in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~maintenance:4000. ~supervise:true
+      ~check:ck ~sc ~clients:4 ~duration:0.4
+      ~workload:(Generator.Random_mix { blocks = 128; write_frac = 0.5 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (down, r, consistent)
+
+let health_entries () =
+  let hedged, h_ok = hedge_run ~health:Config.default_health in
+  let unhedged, u_ok = hedge_run ~health:legacy_health in
+  Report.print_run ~label:"degraded reads (full health)" hedged.Vrunner.run;
+  Report.print_failures ~label:"degraded reads (full health)"
+    hedged.Vrunner.failures;
+  Report.print_run ~label:"degraded reads (legacy)" unhedged.Vrunner.run;
+  Printf.printf "%-34s    p99 read %.2f ms full vs %.2f ms legacy\n%!" ""
+    (1000. *. hedged.Vrunner.p99_read)
+    (1000. *. unhedged.Vrunner.p99_read);
+  let down, heal, heal_ok = self_heal_run () in
+  let detect_latency =
+    match List.assoc_opt down heal.Vrunner.detections with
+    | Some t -> Some (t -. heal_crash_at)
+    | None -> None
+  in
+  let mttr =
+    match List.assoc_opt down heal.Vrunner.repaired_at with
+    | Some t -> Some (t -. heal_crash_at)
+    | None -> None
+  in
+  Report.print_run ~label:"self-healing (crash, no remap)" heal.Vrunner.run;
+  Printf.printf
+    "%-34s    detected %+.2f ms, repaired %+.2f ms after crash | failovers \
+     %d, repairs %d | consistent %b\n\
+     %!"
+    ""
+    (match detect_latency with Some d -> 1000. *. d | None -> nan)
+    (match mttr with Some d -> 1000. *. d | None -> nan)
+    heal.Vrunner.supervisor_failovers heal.Vrunner.supervisor_repairs heal_ok;
+  let opt_ms = function
+    | Some d -> Report.J_float (1000. *. d, 4)
+    | None -> Report.J_raw "null"
+  in
+  let open Report in
+  [
+    ( "hedging",
+      J_obj
+        [
+          ("full", J_obj (variant_fields hedged h_ok));
+          ("legacy", J_obj (variant_fields unhedged u_ok));
+        ] );
+    ( "self_healing",
+      J_obj
+        (variant_fields heal heal_ok
+        @ [
+            ("detection_latency_ms", opt_ms detect_latency);
+            ("mttr_ms", opt_ms mttr);
+            ("supervisor_failovers", J_int heal.Vrunner.supervisor_failovers);
+            ("supervisor_repairs", J_int heal.Vrunner.supervisor_repairs);
+            ( "supervisor_false_alarms",
+              J_int heal.Vrunner.supervisor_false_alarms );
+          ]) );
+  ]
+  |> fun fields -> (fields, h_ok && u_ok && heal_ok)
 
 let run ?json () =
   let ok = ref true in
@@ -115,6 +240,8 @@ let run ?json () =
           ])
       group_counts
   in
+  let health_fields, health_ok = health_entries () in
+  ok := !ok && health_ok;
   (match json with
   | None -> ()
   | Some path ->
@@ -122,7 +249,7 @@ let run ?json () =
     let open Report in
     let doc =
       J_obj
-        [
+        ([
           ( "config",
             J_obj
               [
@@ -138,6 +265,7 @@ let run ?json () =
               ] );
           ("curve", J_arr entries);
         ]
+        @ health_fields)
     in
     Report.write_file path doc;
     Printf.printf "wrote %s\n%!" path);

@@ -28,6 +28,7 @@ type t = {
   cfg : Config.t;
   env : env;
   metrics : Metrics.t;
+  session : Session.t;
   recovery : Recovery.t;
   write_path : Write_path.t;
   read_path : Read_path.t;
@@ -37,8 +38,8 @@ type t = {
 let transport_of_env (e : env) : Transport.t =
   (module struct
     let client_id = e.client_id
-    let call = e.call
-    let call_node = e.call_node
+    let call ?deadline:_ ~slot ~pos req = e.call ~slot ~pos req
+    let call_node ?deadline:_ ~node req = e.call_node ~node req
     let broadcast = e.broadcast
     let pfor = e.pfor
     let sleep = e.sleep
@@ -50,8 +51,8 @@ let env_of_transport ?(note = fun _ -> ()) (tr : Transport.t) : env =
   let (module T : Transport.S) = tr in
   {
     client_id = T.client_id;
-    call = T.call;
-    call_node = T.call_node;
+    call = (fun ~slot ~pos req -> T.call ~slot ~pos req);
+    call_node = (fun ~node req -> T.call_node ~node req);
     broadcast = T.broadcast;
     pfor = T.pfor;
     sleep = T.sleep;
@@ -60,20 +61,21 @@ let env_of_transport ?(note = fun _ -> ()) (tr : Transport.t) : env =
     note;
   }
 
-let of_transport ?(sink = Trace.null_sink) cfg code transport =
+let of_transport ?(sink = Trace.null_sink) ?locate cfg code transport =
   if Rs_code.k code <> cfg.Config.k || Rs_code.n code <> cfg.Config.n then
     invalid_arg "Client.create: code does not match configuration";
   let metrics = Metrics.create () in
   let session =
     Session.create ~cfg
       ~sink:(Trace.compose [ Metrics.sink metrics; sink ])
-      transport
+      ?locate transport
   in
   let recovery = Recovery.create ~code session in
   {
     cfg;
     env = env_of_transport transport;
     metrics;
+    session;
     recovery;
     write_path = Write_path.create ~code ~recovery session;
     read_path = Read_path.create ~code ~recovery session;
@@ -92,6 +94,7 @@ let create cfg code env =
 let config t = t.cfg
 let env t = t.env
 let metrics t = t.metrics
+let health t = Session.health t.session
 let read t ~slot ~i = Read_path.read t.read_path ~slot ~i
 
 let write t ~slot ~i v =

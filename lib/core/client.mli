@@ -76,10 +76,18 @@ val create : Config.t -> Rs_code.t -> env -> t
     [Rs_code.n code = cfg.n].  @raise Invalid_argument otherwise. *)
 
 val of_transport :
-  ?sink:Trace.sink -> Config.t -> Rs_code.t -> Transport.t -> t
+  ?sink:Trace.sink ->
+  ?locate:(slot:int -> pos:int -> int) ->
+  Config.t ->
+  Rs_code.t ->
+  Transport.t ->
+  t
 (** Like {!create} but over a first-class transport module, with an
     optional structured trace sink (composed with the client's own
-    metrics registry). *)
+    metrics registry).  [locate] keys the session's failure detector by
+    logical member node (see {!Session.create}); environments that
+    rotate positions across stripes should pass their
+    {!Layout.node_of}. *)
 
 val transport_of_env : env -> Transport.t
 (** View an [env] record as a transport ([note] is dropped — it is a
@@ -94,6 +102,11 @@ val env : t -> env
 val metrics : t -> Metrics.t
 (** This client's metrics registry (always present; fed by every
     operation). *)
+
+val health : t -> Health.t
+(** The session's per-node failure detector: adaptive deadlines,
+    Suspect/Down classification, circuit breaker (see {!Session.health}
+    for exactly how calls feed and consult it). *)
 
 val read : t -> slot:int -> i:int -> bytes
 (** READ data block [i] of stripe [slot] (Fig 4).  One round trip in the

@@ -18,6 +18,36 @@ let default_costs =
     decode_per_byte = 2.5e-9;
   }
 
+type health = {
+  timeout_floor : float;
+  timeout_ceil : float;
+  timeout_mult : float;
+  suspect_score : float;
+  down_score : float;
+  decay_halflife : float;
+  quarantine : float;
+  probation_oks : int;
+  hedge : bool;
+  hedge_delay_mult : float;
+}
+
+(* timeout_ceil defaults to the simulator's fixed rpc_timeout, so a node
+   with no latency history behaves exactly as before this layer existed;
+   deadlines only tighten once real RTT samples come in. *)
+let default_health =
+  {
+    timeout_floor = 120e-6;
+    timeout_ceil = 1e-3;
+    timeout_mult = 3.0;
+    suspect_score = 2.0;
+    down_score = 6.0;
+    decay_halflife = 2e-3;
+    quarantine = 2e-3;
+    probation_oks = 3;
+    hedge = true;
+    hedge_delay_mult = 2.0;
+  }
+
 type t = {
   k : int;
   n : int;
@@ -35,6 +65,7 @@ type t = {
   rpc_retry_limit : int;
   rpc_backoff : float;
   rpc_backoff_max : float;
+  health : health;
 }
 
 let t_d_for strategy ~t_p ~p =
@@ -56,7 +87,8 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     ?(costs = default_costs) ?(retry_delay = 200e-6) ?(order_retry_limit = 8)
     ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
     ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ?(rpc_retry_limit = 8)
-    ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3) ~k ~n () =
+    ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3)
+    ?(health = default_health) ~k ~n () =
   if k < 2 then invalid_arg "Config.make: need k >= 2 (Sec 4)";
   if n <= k then invalid_arg "Config.make: need n > k";
   if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
@@ -68,6 +100,16 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
   if rpc_retry_limit < 0 then invalid_arg "Config.make: rpc_retry_limit";
   if rpc_backoff <= 0. || rpc_backoff_max < rpc_backoff then
     invalid_arg "Config.make: rpc backoff bounds";
+  if health.timeout_floor <= 0. || health.timeout_ceil < health.timeout_floor
+  then invalid_arg "Config.make: health timeout bounds";
+  if health.timeout_mult < 1. then invalid_arg "Config.make: timeout_mult";
+  if health.suspect_score <= 0. || health.down_score <= health.suspect_score
+  then invalid_arg "Config.make: health score thresholds";
+  if health.decay_halflife <= 0. then invalid_arg "Config.make: decay_halflife";
+  if health.quarantine <= 0. then invalid_arg "Config.make: quarantine";
+  if health.probation_oks < 1 then invalid_arg "Config.make: probation_oks";
+  if health.hedge_delay_mult < 0. then
+    invalid_arg "Config.make: hedge_delay_mult";
   {
     k;
     n;
@@ -85,6 +127,7 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     rpc_retry_limit;
     rpc_backoff;
     rpc_backoff_max;
+    health;
   }
 
 let p t = t.n - t.k

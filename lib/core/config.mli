@@ -23,6 +23,27 @@ type cost_model = {
 
 val default_costs : cost_model
 
+(** Tuning of the per-node failure detector (see {!Health}): adaptive
+    RPC deadlines, accrual suspicion thresholds, circuit-breaker
+    quarantine, and read hedging.  All durations in simulated seconds. *)
+type health = {
+  timeout_floor : float;  (** adaptive deadline lower clamp *)
+  timeout_ceil : float;   (** adaptive deadline upper clamp; with no RTT
+                              history the deadline is exactly this, so it
+                              should match the transport's fixed timeout *)
+  timeout_mult : float;   (** deadline = mult x observed p99 proxy *)
+  suspect_score : float;  (** accrual score at which a node turns Suspect *)
+  down_score : float;     (** accrual score at which a node turns Down *)
+  decay_halflife : float; (** suspicion halves over this much idle time *)
+  quarantine : float;     (** fast-fail window after a node turns Down *)
+  probation_oks : int;    (** consecutive successes that readmit a node *)
+  hedge : bool;           (** hedge reads off Suspect data nodes *)
+  hedge_delay_mult : float;
+      (** hedge fires after mult x observed p99 proxy of the data node *)
+}
+
+val default_health : health
+
 type t = {
   k : int;
   n : int;
@@ -45,6 +66,7 @@ type t = {
   rpc_backoff : float;        (** initial retry backoff, doubled per
                                   attempt *)
   rpc_backoff_max : float;    (** backoff ceiling *)
+  health : health;            (** failure-detector tuning (see {!Health}) *)
 }
 
 val make :
@@ -61,6 +83,7 @@ val make :
   ?rpc_retry_limit:int ->
   ?rpc_backoff:float ->
   ?rpc_backoff_max:float ->
+  ?health:health ->
   k:int ->
   n:int ->
   unit ->

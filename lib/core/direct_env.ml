@@ -75,11 +75,11 @@ let transport t ~id : Transport.t =
   (module struct
     let client_id = id
 
-    let call ~slot ~pos req =
+    let call ?deadline:_ ~slot ~pos req =
       let node = Layout.node_of t.layout ~stripe:slot ~pos in
       call_logical ~node ~slot req
 
-    let call_node ~node req = call_logical ~node ~slot:0 req
+    let call_node ?deadline:_ ~node req = call_logical ~node ~slot:0 req
     let broadcast = None
     let pfor thunks = List.iter (fun f -> f ()) thunks
     let sleep d = t.clock <- t.clock +. Float.max d tick
@@ -87,6 +87,9 @@ let transport t ~id : Transport.t =
     let compute _ = t.clock <- t.clock +. tick
   end : Transport.S)
 
-let make_client ?sink t ~id = Client.of_transport ?sink t.cfg t.code (transport t ~id)
+let make_client ?sink t ~id =
+  Client.of_transport ?sink
+    ~locate:(fun ~slot ~pos -> Layout.node_of t.layout ~stripe:slot ~pos)
+    t.cfg t.code (transport t ~id)
 
 let make_volume t ~id = Volume.create (make_client t ~id) t.layout

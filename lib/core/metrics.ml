@@ -21,6 +21,14 @@ let counter_keys =
       "write.order_rejections";
       "gc.batches";
       "gc.tids_acked";
+      "read.hedges";
+      "read.hedge_wins";
+      "session.fast_fails";
+      "health.transitions";
+      "health.to_healthy";
+      "health.to_suspect";
+      "health.to_down";
+      "health.to_probation";
     ]
 
 let create () =
@@ -79,6 +87,12 @@ let sink t (ctx : Trace.ctx) (event : Trace.event) =
   | Trace.Gc_batch { sent = _; acked; _ } ->
     bump t "gc.batches" 1;
     bump t "gc.tids_acked" acked
+  | Trace.Health_transition { to_; _ } ->
+    bump t "health.transitions" 1;
+    bump t ("health.to_" ^ to_) 1
+  | Trace.Hedge_launched _ -> bump t "read.hedges" 1
+  | Trace.Hedge_won _ -> bump t "read.hedge_wins" 1
+  | Trace.Breaker_fast_fail _ -> bump t "session.fast_fails" 1
   | Trace.Probe_result _ | Trace.Custom _ -> ()
 
 let counter t key =

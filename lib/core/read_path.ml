@@ -2,42 +2,44 @@ type t = { session : Session.t; code : Rs_code.t; recovery : Recovery.t }
 
 let create ~code ~recovery session = { session; code; recovery }
 
-(* READ (Fig 4). *)
-let read t ~slot ~i =
+(* READ (Fig 4), as a loop that a hedge can abandon: [stop] is probed
+   between attempts, and [None] is only ever returned because it fired
+   (some other fiber produced the value). *)
+let read_primary t ctx ~slot ~i ~stop =
   let s = t.session in
   let cfg = Session.cfg s in
-  if i < 0 || i >= cfg.Config.k then invalid_arg "Client.read: bad data index";
-  let ctx = Session.new_ctx s Trace.Op_read ~slot in
-  Session.with_op s ctx (fun () ->
-      let rec loop attempts =
-        if attempts > cfg.Config.recovery_retry_limit then
-          raise (Session.Stuck (Printf.sprintf "read slot %d block %d" slot i));
-        match Session.call s ctx ~slot ~pos:i Proto.Read with
-        | Ok (Proto.R_read { block = Some v; _ }) -> v
-        | Ok (Proto.R_read { block = None; lmode }) ->
-          if lmode = Proto.Unl || lmode = Proto.Exp then begin
-            Recovery.start t.recovery ~parent:ctx ~slot;
-            loop (attempts + 1)
-          end
-          else begin
-            (* Locked by a live recoverer: its recovery terminates
-               (bounded retries) or its crash expires the lock, so
-               waiting here makes progress eventually — don't charge the
-               watchdog.  Under message faults a recovery can hold locks
-               for many timeout-plus-backoff cycles. *)
-            Session.sleep s cfg.Config.retry_delay;
-            loop attempts
-          end
-        | Ok _ -> raise (Session.Stuck "read: unexpected response")
-        | Error _ ->
-          (* Dead and not yet remapped (recovery cannot restore the
-             block either, wait for the directory), or a link so lossy
-             the retry budget ran out: reads are idempotent, keep
-             trying. *)
-          Session.sleep s cfg.Config.retry_delay;
+  let rec loop attempts =
+    if stop () then None
+    else if attempts > cfg.Config.recovery_retry_limit then
+      raise (Session.Stuck (Printf.sprintf "read slot %d block %d" slot i))
+    else
+      match Session.call s ctx ~slot ~pos:i Proto.Read with
+      | Ok (Proto.R_read { block = Some v; _ }) -> Some v
+      | Ok (Proto.R_read { block = None; lmode }) ->
+        if lmode = Proto.Unl || lmode = Proto.Exp then begin
+          Recovery.start t.recovery ~parent:ctx ~slot;
           loop (attempts + 1)
-      in
-      loop 0)
+        end
+        else begin
+          (* Locked by a live recoverer: its recovery terminates
+             (bounded retries) or its crash expires the lock, so
+             waiting here makes progress eventually — don't charge the
+             watchdog.  Under message faults a recovery can hold locks
+             for many timeout-plus-backoff cycles. *)
+          Session.sleep s cfg.Config.retry_delay;
+          loop attempts
+        end
+      | Ok _ -> raise (Session.Stuck "read: unexpected response")
+      | Error _ ->
+        (* Dead and not yet remapped (recovery cannot restore the
+           block either, wait for the directory), or a link so lossy
+           the retry budget ran out: reads are idempotent, keep
+           trying.  A quarantined node lands here too, via the
+           breaker's fast [`Node_down]. *)
+        Session.sleep s cfg.Config.retry_delay;
+        loop (attempts + 1)
+  in
+  loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Lock-free health check and degraded read (extensions; see mli). *)
@@ -81,37 +83,131 @@ let verify_slot t ~slot =
         sh_healthy = (live = n && consistent = n);
       })
 
-let read_degraded t ~slot ~i =
+(* One decode-from-survivors attempt under the caller's context.
+   Returns a committed consistent value or [None]; never decodes a torn
+   stripe (same recentlist test recovery uses), which is what makes the
+   result legal for a regular register even when raced against the
+   primary path.
+
+   The decode is attempted only when the data node is actually
+   unreachable (no response, or a blank INIT replacement).  The data
+   node is the serialization point for its block: while it answers, its
+   block is the register and the redundant columns are only a
+   *derived* view — one that transiently disagrees under write/GC/
+   recovery churn (a resent swap racing a rollback, recentlists
+   collected on one node but not yet on another).  [find_consistent]
+   then innocently picks a redundant-only cut and the decode yields a
+   stale committed value, which a reader must never return while newer
+   writes have completed at the live data node.  Recovery avoids this
+   by resolving every unfinished tid before reconstructing; a lock-free
+   read cannot, so it never overrules a reachable data node: it
+   answers with that node's own block instead of a decode. *)
+let degraded_with_ctx t ctx ~slot ~i =
   let s = t.session in
   let cfg = Session.cfg s in
   let k = cfg.Config.k in
-  if i < 0 || i >= k then invalid_arg "Client.read_degraded: bad data index";
-  let ctx = Session.new_ctx s Trace.Op_degraded_read ~slot in
-  Session.with_op s ctx (fun () ->
-      let states = snapshot_states t ctx ~slot in
-      let cset = Recovery.find_consistent ~k ~n:cfg.Config.n states in
-      if List.length cset < k then None
-      else if List.mem i cset then
-        (* The data block itself is in the consistent set: no decode
-           needed. *)
-        match states.(i) with
-        | Some { Proto.st_block = Some b; _ } -> Some b
-        | _ -> None
+  let states = snapshot_states t ctx ~slot in
+  match states.(i) with
+  | Some { Proto.st_opmode = Proto.Norm; st_block = Some b; _ } ->
+    (* Reachable data node: its block is the register. *)
+    Some b
+  | Some { Proto.st_opmode = Proto.Recons; _ }
+  | Some { Proto.st_opmode = Proto.Norm; st_block = None; _ } ->
+    (* Mid-recovery: let the primary path wait out the lock rather
+       than guess. *)
+    None
+  | None | Some { Proto.st_opmode = Proto.Init; _ } ->
+    (* Dead, or a blank replacement recovery has not reached yet: the
+       one case where decoding around the data node is both needed and
+       sound. *)
+    let cset = Recovery.find_consistent ~k ~n:cfg.Config.n states in
+    if List.length cset < k || List.mem i cset then None
+    else
+      let avail =
+        List.filter_map
+          (fun pos ->
+            match states.(pos) with
+            | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+            | _ -> None)
+          cset
+      in
+      if List.length avail < k then None
       else begin
-        let avail =
-          List.filter_map
-            (fun pos ->
-              match states.(pos) with
-              | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
-              | _ -> None)
-            cset
-        in
-        if List.length avail < k then None
-        else begin
-          Session.compute s
-            (float_of_int k
-            *. Session.block_cost s cfg.Config.costs.Config.decode_per_byte);
-          let data = Rs_code.decode t.code avail in
-          Some data.(i)
-        end
-      end)
+        Session.compute s
+          (float_of_int k
+          *. Session.block_cost s cfg.Config.costs.Config.decode_per_byte);
+        let data = Rs_code.decode t.code avail in
+        Some data.(i)
+      end
+
+(* Hedged read: race the primary loop against one delayed degraded
+   decode, first value wins.  The environment has no fiber
+   cancellation, so the loser is not killed — the primary loop checks
+   the winner cell between attempts and bows out, and the hedge fiber
+   re-checks it after its delay; worst case the loser costs one more
+   deadline-plus-backoff cycle.  [Session.Stuck] from the primary is
+   held back until we know the hedge did not produce a value. *)
+let read_hedged t ctx ~slot ~i ~node =
+  let s = t.session in
+  let winner = ref None in
+  let stuck = ref None in
+  Session.emit s ctx (Trace.Hedge_launched { node });
+  let delay = Health.hedge_delay (Session.health s) ~node in
+  Session.pfor s
+    [
+      (fun () ->
+        match read_primary t ctx ~slot ~i ~stop:(fun () -> !winner <> None) with
+        | Some v -> if !winner = None then winner := Some v
+        | None -> ()
+        | exception Session.Stuck m -> stuck := Some m);
+      (fun () ->
+        Session.sleep s delay;
+        if !winner = None then
+          match degraded_with_ctx t ctx ~slot ~i with
+          | Some v when !winner = None ->
+            winner := Some v;
+            Session.emit s ctx (Trace.Hedge_won { node })
+          | _ -> ());
+    ];
+  match (!winner, !stuck) with
+  | Some v, _ -> v
+  | None, Some m -> raise (Session.Stuck m)
+  | None, None -> (
+    match read_primary t ctx ~slot ~i ~stop:(fun () -> false) with
+    | Some v -> v
+    | None -> assert false)
+
+(* READ, dispatched on the data node's health: Healthy goes straight to
+   the Fig 4 path; Suspect (or on-probation) arms a hedge; Down skips
+   the doomed round trip and tries the degraded decode first (the
+   breaker would fast-fail the primary anyway), falling back to the
+   waiting loop if fewer than [k] survivors are consistent. *)
+let read t ~slot ~i =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  if i < 0 || i >= cfg.Config.k then invalid_arg "Client.read: bad data index";
+  let ctx = Session.new_ctx s Trace.Op_read ~slot in
+  Session.with_op s ctx (fun () ->
+      let full () =
+        match read_primary t ctx ~slot ~i ~stop:(fun () -> false) with
+        | Some v -> v
+        | None -> assert false
+      in
+      let node = Session.node_of s ~slot ~pos:i in
+      match Health.state (Session.health s) ~node with
+      | Health.Down -> (
+        match degraded_with_ctx t ctx ~slot ~i with
+        | Some v -> v
+        | None -> full ())
+      | Health.Suspect | Health.Probation ->
+        if cfg.Config.health.Config.hedge then read_hedged t ctx ~slot ~i ~node
+        else full ()
+      | Health.Healthy -> full ())
+
+let read_degraded t ~slot ~i =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  if i < 0 || i >= cfg.Config.k then
+    invalid_arg "Client.read_degraded: bad data index";
+  let ctx = Session.new_ctx s Trace.Op_degraded_read ~slot in
+  Session.with_op s ctx (fun () -> degraded_with_ctx t ctx ~slot ~i)

@@ -14,7 +14,20 @@ type t
 val create : code:Rs_code.t -> recovery:Recovery.t -> Session.t -> t
 
 val read : t -> slot:int -> i:int -> bytes
-(** READ data block [i] of stripe [slot] (Fig 4).
+(** READ data block [i] of stripe [slot] (Fig 4), dispatched on the
+    data node's {!Health.state}:
+
+    - Healthy: the plain one-round-trip path;
+    - Suspect / Probation (and [Config.health.hedge] on): {b hedged} —
+      the primary path races one degraded decode launched after
+      {!Health.hedge_delay}, first value wins
+      ({!Trace.Hedge_launched} / {!Trace.Hedge_won});
+    - Down: degraded decode first (the breaker would fast-fail the
+      round trip anyway), then the waiting loop as fallback.
+
+    Any value the hedge returns is a committed consistent value per
+    [find_consistent], so the race never weakens regular-register
+    semantics.
     @raise Invalid_argument on a non-data index,
     {!Session.Stuck} past the retry envelope. *)
 

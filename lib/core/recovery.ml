@@ -166,6 +166,36 @@ let recover_with_ctx t ctx ~slot =
             | None -> false)
           set
       | None ->
+        (* Hopeless fast-path: fewer than [k] non-INIT nodes answered
+           the poll at all.  Lock weakening only drains in-flight adds
+           on nodes we can talk to — it cannot conjure blocks out of
+           dead ones — so grinding through the full poll ladder here
+           wastes ~[recovery_retry_limit * poll_delay] of simulated
+           time per attempt, and callers that retry recovery (reads
+           behind an expired lock, the monitor) multiply that into a
+           livelock when a group is beyond its failure bound.  Restore
+           the locks we took and give up at once; if the outage is
+           transient the next attempt simply polls again. *)
+        let live =
+          Array.fold_left
+            (fun acc st ->
+              match st with
+              | Some v when v.Proto.st_opmode <> Proto.Init -> acc + 1
+              | _ -> acc)
+            0 states
+        in
+        if live < k then begin
+          Session.pfor s
+            (List.map
+               (fun (pos, old) () ->
+                 ignore (Session.call s ctx ~slot ~pos (Proto.Setlock old)))
+               !acquired);
+          raise
+            (Session.Stuck
+               (Printf.sprintf
+                  "recovery of slot %d: only %d of %d nodes answered, need %d"
+                  slot live n k))
+        end;
         (* Find a large-enough consistent set, weakening locks to let
            outstanding adds drain (Fig 6 lines 11-20). *)
         let cset = ref (find_consistent ~k ~n states) in

@@ -42,9 +42,37 @@ exception Write_abandoned of string
 
 type t
 
-val create : cfg:Config.t -> sink:Trace.sink -> Transport.t -> t
+val create :
+  cfg:Config.t ->
+  sink:Trace.sink ->
+  ?locate:(slot:int -> pos:int -> int) ->
+  Transport.t ->
+  t
+(** [locate ~slot ~pos] maps a stripe position of a slot to the logical
+    member node serving it (e.g. {!Layout.node_of} under rotation), so
+    the failure detector is keyed by node even when positions rotate
+    across stripes.  Default: identity on [pos]. *)
+
 val cfg : t -> Config.t
 val client_id : t -> int
+
+val health : t -> Health.t
+(** The session's per-node failure detector.  Every {!call} /
+    {!call_node} attempt feeds it: successes report RTTs, timeouts bump
+    the suspicion score, [`Node_down] trips it, and the resulting
+    adaptive per-node deadline bounds each attempt's loss detection.
+    {!call} additionally consults its circuit breaker: a fast-path
+    request (read / swap / add) to a node that is Down and still inside
+    its quarantine window is answered [Error `Node_down] without a
+    network round trip (emitting {!Trace.Breaker_fast_fail}), pushing
+    callers onto their degraded paths at once.  Control-plane requests
+    (locks, recovery, GC, probes) always pass through, both so recovery
+    never sees synthesized failures and so the breaker half-opens from
+    real traffic.  State transitions are emitted as
+    {!Trace.Health_transition} against the active context. *)
+
+val node_of : t -> slot:int -> pos:int -> int
+(** The [locate] function the session was built with. *)
 
 val new_ctx : t -> ?parent:Trace.ctx -> Trace.op_kind -> slot:int -> Trace.ctx
 (** Allocate a fresh per-client operation id. *)

@@ -63,6 +63,10 @@ type event =
   | Recovery_phase of recovery_phase
   | Gc_batch of { phase : [ `Recent | `Old ]; sent : int; acked : int }
   | Probe_result of { node : int; stale : int; init : int }
+  | Health_transition of { node : int; from_ : string; to_ : string }
+  | Hedge_launched of { node : int }
+  | Hedge_won of { node : int }
+  | Breaker_fast_fail of { node : int }
   | Custom of string
 
 type sink = ctx -> event -> unit
@@ -108,6 +112,12 @@ let pp_event ppf = function
       sent acked
   | Probe_result { node; stale; init } ->
     Format.fprintf ppf "probe node=%d stale=%d init=%d" node stale init
+  | Health_transition { node; from_; to_ } ->
+    Format.fprintf ppf "health node=%d %s->%s" node from_ to_
+  | Hedge_launched { node } -> Format.fprintf ppf "hedge.launch node=%d" node
+  | Hedge_won { node } -> Format.fprintf ppf "hedge.won node=%d" node
+  | Breaker_fast_fail { node } ->
+    Format.fprintf ppf "breaker.fast_fail node=%d" node
   | Custom s -> Format.fprintf ppf "custom %s" s
 
 let event_to_string e = Format.asprintf "%a" pp_event e

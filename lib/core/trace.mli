@@ -77,6 +77,17 @@ type event =
       (** One two-phase-GC round over this client's lists (Fig 7). *)
   | Probe_result of { node : int; stale : int; init : int }
       (** A monitor probe (Sec 3.10) flagged [stale] + [init] slots. *)
+  | Health_transition of { node : int; from_ : string; to_ : string }
+      (** The failure detector moved [node] between {!Health.state}s
+          (rendered as lowercase state names, e.g. ["healthy"],
+          ["suspect"], ["down"], ["probation"]). *)
+  | Hedge_launched of { node : int }
+      (** A read of a Suspect data [node] armed a degraded-path hedge. *)
+  | Hedge_won of { node : int }
+      (** The hedge finished before the primary read did. *)
+  | Breaker_fast_fail of { node : int }
+      (** The circuit breaker answered [`Node_down] for a quarantined
+          node without touching the network. *)
   | Custom of string
       (** Escape hatch for user instrumentation via [Client.env.note]. *)
 

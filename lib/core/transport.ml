@@ -2,8 +2,8 @@ type call_result = (Proto.response, [ `Node_down | `Timeout ]) result
 
 module type S = sig
   val client_id : int
-  val call : slot:int -> pos:int -> Proto.request -> call_result
-  val call_node : node:int -> Proto.request -> call_result
+  val call : ?deadline:float -> slot:int -> pos:int -> Proto.request -> call_result
+  val call_node : ?deadline:float -> node:int -> Proto.request -> call_result
 
   val broadcast :
     (slot:int -> poss:int list -> Proto.request -> (int * call_result) list)

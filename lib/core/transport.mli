@@ -29,12 +29,18 @@ module type S = sig
   val client_id : int
   (** Identifies this client for tids and lock ownership. *)
 
-  val call : slot:int -> pos:int -> Proto.request -> call_result
+  val call : ?deadline:float -> slot:int -> pos:int -> Proto.request -> call_result
   (** Blocking RPC to the node serving stripe position [pos] of stripe
-      [slot]. *)
+      [slot].  [deadline], when given, bounds how long the transport
+      waits before declaring a {e lost} message [`Timeout] (an adaptive
+      per-node value from {!Health}); it never invalidates a reply that
+      does arrive, so shortening it cannot create spurious failures —
+      it only speeds up loss detection.  Transports without a timing
+      model may ignore it. *)
 
-  val call_node : node:int -> Proto.request -> call_result
-  (** Node-addressed RPC (monitoring probes). *)
+  val call_node : ?deadline:float -> node:int -> Proto.request -> call_result
+  (** Node-addressed RPC (monitoring probes); [deadline] as in
+      {!call}. *)
 
   val broadcast :
     (slot:int -> poss:int list -> Proto.request -> (int * call_result) list)

@@ -142,10 +142,11 @@ let fate t ~src ~dst =
     end
 
 (* A lost message manifests at the caller as its timer expiring: charge
-   the full timeout and report it. *)
-let lose t =
+   the full timer (per-call override or the configured default) and
+   report it. *)
+let lose ?timeout t =
   Stats.incr t.stats "rpc.timeout";
-  Fiber.sleep t.cfg.rpc_timeout;
+  Fiber.sleep (Option.value timeout ~default:t.cfg.rpc_timeout);
   Error Timeout
 
 let count_msg t ~tag ~bytes =
@@ -182,12 +183,12 @@ let deliver_request t dst ~bytes ~dup ~serve =
   end;
   resp
 
-let rpc t ~src ~dst ~tag ~req_bytes ~serve =
+let rpc ?timeout t ~src ~dst ~tag ~req_bytes ~serve =
   let req_total = req_bytes + t.cfg.header_bytes in
   count_msg t ~tag ~bytes:req_total;
   send_side t src ~bytes:req_total;
   match fate t ~src ~dst with
-  | Lost -> lose t
+  | Lost -> lose ?timeout t
   | Delivered { extra; dup } ->
     if extra > 0. then Fiber.sleep extra;
     if not dst.alive then Error Node_down
@@ -199,7 +200,7 @@ let rpc t ~src ~dst ~tag ~req_bytes ~serve =
       count_msg t ~tag:(tag ^ ".reply") ~bytes:resp_total;
       send_side t dst ~bytes:resp_total;
       match fate t ~src:dst ~dst:src with
-      | Lost -> lose t
+      | Lost -> lose ?timeout t
       | Delivered { extra; dup = _ } ->
         (* A duplicated reply is discarded by the caller's RPC layer;
            only the delay matters. *)

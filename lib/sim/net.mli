@@ -101,6 +101,7 @@ val heal : t -> src:string -> dst:string -> unit
 val heal_all : t -> unit
 
 val rpc :
+  ?timeout:float ->
   t ->
   src:node ->
   dst:node ->
@@ -115,7 +116,11 @@ val rpc :
     the destination is crashed at delivery or reply time, and with
     [Timeout] if either the request or the reply is lost to link faults
     — in the latter case [serve] {e has already run}, which is the
-    retry ambiguity the protocol layer must absorb.  Counters:
+    retry ambiguity the protocol layer must absorb.  [timeout] overrides
+    [config.rpc_timeout] as the per-call sender-side timer for {e this}
+    call; like the default it only fires on an actually-lost message
+    (deliverable replies are never invalidated), so a shorter timer
+    speeds up loss detection without creating false timeouts.  Counters:
     ["rpc.timeout"], ["faults.dropped"], ["faults.duplicated"],
     ["faults.delayed"]. *)
 

@@ -1,0 +1,29 @@
+(** Shared token-bucket ops budget for background work.
+
+    The maintenance scheduler and the self-healing supervisor draw from
+    one bucket, so routine sweeps plus event-driven repair together
+    cannot exceed the configured background rate.  Urgent takers
+    (supervisor repair) are served ahead of routine ones: while any
+    urgent section is open, non-urgent {!take}s park — but urgent work
+    still pays full token price.  All pacing is driven by the supplied
+    clock (the simulated one), so seeded runs stay deterministic. *)
+
+type t
+
+val create : rate:float -> cap:float -> now:(unit -> float) -> t
+(** Bucket refilling at [rate] tokens per second up to [cap], starting
+    full.  @raise Invalid_argument unless both are positive. *)
+
+val rate : t -> float
+
+val take : ?urgent:bool -> t -> float -> unit
+(** Block (fiber-sleep) until [cost] tokens are available, then spend
+    them.  Non-urgent callers additionally wait for every open urgent
+    section to close first.  @raise Invalid_argument on negative cost. *)
+
+val begin_urgent : t -> unit
+(** Open an urgent section: until the matching {!end_urgent}, non-urgent
+    {!take}s park.  Sections nest (counted). *)
+
+val end_urgent : t -> unit
+(** Close one urgent section.  @raise Invalid_argument if none open. *)

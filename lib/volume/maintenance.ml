@@ -7,26 +7,45 @@
    Budget model: every storage-node RPC the maintenance pass issues
    costs one token; a group visit is priced up front ([n] probes plus
    one GC round), the bucket refills at [ops_per_sec], and the fiber
-   sleeps whenever the bucket runs dry.  Deterministic: all pacing
+   sleeps whenever the bucket runs dry.  The bucket is a {!Budget} that
+   the self-healing {!Supervisor} can share — its urgent repairs are
+   served first but still priced here.  Deterministic: all pacing
    derives from the simulated clock.
+
+   Backoff: a visit that trips a retry limit (Stuck/Data_loss — e.g. a
+   pool node down longer than the recovery budget) is absorbed and the
+   group put on a capped exponential backoff: it is skipped by the
+   round-robin until its penalty expires, doubling per consecutive
+   failure up to [backoff_max].  Without this, a group whose outage
+   outlasts every recovery budget would eat the entire ops budget in
+   futile retries, starving the healthy groups' sweeps.
 
    The fiber terminates at [until] (or when {!stop} is called) — a
    discrete-event simulation only ends when every fiber does. *)
 
 type t = {
   volume : Volume.t;
-  ops_per_sec : float;
-  burst : float;
+  budget : Budget.t;
   until : float;
+  backoff_base : float;
+  backoff_max : float;
+  now : unit -> float;
+  fail_streak : int array; (* consecutive failed visits, per group *)
+  next_ok : float array; (* earliest next visit, per group *)
   mutable stopped : bool;
   mutable passes : int; (* completed group visits *)
   mutable gc_rounds : int;
   mutable errors : int; (* Stuck / Data_loss absorbed, retried later *)
+  mutable backoffs : int; (* penalties applied (consecutive failures) *)
+  mutable deferred : int; (* scheduler rounds with every group penalized *)
 }
 
 let passes t = t.passes
 let gc_rounds t = t.gc_rounds
 let errors t = t.errors
+let backoffs t = t.backoffs
+let deferred t = t.deferred
+let budget t = t.budget
 let stop t = t.stopped <- true
 
 let recoveries t =
@@ -36,60 +55,104 @@ let recoveries t =
   done;
   !sum
 
+(* Capped exponential penalty: base * 2^(streak-1), applied on every
+   consecutive failure.  Exposed (with [record_success]/[eligible_at])
+   so the backoff policy is unit-testable without driving a cluster. *)
+let record_failure t g =
+  t.errors <- t.errors + 1;
+  t.fail_streak.(g) <- t.fail_streak.(g) + 1;
+  let penalty =
+    min t.backoff_max
+      (t.backoff_base *. (2. ** float_of_int (t.fail_streak.(g) - 1)))
+  in
+  t.next_ok.(g) <- t.now () +. penalty;
+  t.backoffs <- t.backoffs + 1
+
+let record_success t g =
+  t.fail_streak.(g) <- 0;
+  t.next_ok.(g) <- 0.
+
+let eligible_at t g = t.next_ok.(g)
+
 let run t =
-  let sc = Volume.shard_cluster t.volume in
+  let sc = Volume.shard_cluster (t.volume : Volume.t) in
   let n = (Shard_cluster.config sc).Config.n in
   let visit_cost = float_of_int (n + 1) in
-  let tokens = ref t.burst in
-  let last = ref (Shard_cluster.now sc) in
-  let refill () =
-    let now = Shard_cluster.now sc in
-    tokens := min t.burst (!tokens +. ((now -. !last) *. t.ops_per_sec));
-    last := now
-  in
-  let take cost =
-    refill ();
-    if !tokens < cost then begin
-      Fiber.sleep ((cost -. !tokens) /. t.ops_per_sec);
-      refill ()
-    end;
-    tokens := !tokens -. cost
-  in
+  let groups = Volume.groups t.volume in
   let g = ref 0 in
-  while (not t.stopped) && Shard_cluster.now sc < t.until do
-    take visit_cost;
-    if (not t.stopped) && Shard_cluster.now sc < t.until then begin
-      (* A pass that trips a retry limit (e.g. a pool node is down for
-         longer than the recovery budget) is abandoned and the group
-         revisited on a later round — maintenance must outlive any
-         single outage. *)
-      (try
-         Volume.monitor_once t.volume ~group:!g;
-         Volume.collect_garbage t.volume ~group:!g;
-         t.gc_rounds <- t.gc_rounds + 1
-       with Client.Stuck _ | Client.Data_loss _ ->
-         t.errors <- t.errors + 1);
-      t.passes <- t.passes + 1;
-      g := (!g + 1) mod Volume.groups t.volume
-    end
+  (* Next eligible group at or after !g in round-robin order, or None
+     when every group is inside its backoff window. *)
+  let next_eligible () =
+    let now = t.now () in
+    let rec scan i remaining =
+      if remaining = 0 then None
+      else if t.next_ok.(i) <= now then Some i
+      else scan ((i + 1) mod groups) (remaining - 1)
+    in
+    scan !g groups
+  in
+  while (not t.stopped) && t.now () < t.until do
+    match next_eligible () with
+    | None ->
+      (* Everyone is backing off: wait out the soonest penalty instead
+         of burning budget on visits we know will be skipped. *)
+      t.deferred <- t.deferred + 1;
+      let soonest = Array.fold_left min infinity t.next_ok in
+      let pause = max (1. /. Budget.rate t.budget) (soonest -. t.now ()) in
+      Fiber.sleep (min pause (max 0. (t.until -. t.now ())))
+    | Some pick ->
+      g := pick;
+      Budget.take t.budget visit_cost;
+      if (not t.stopped) && t.now () < t.until then begin
+        (* A pass that trips a retry limit (e.g. a pool node is down for
+           longer than the recovery budget) is abandoned and the group
+           revisited after its backoff — maintenance must outlive any
+           single outage. *)
+        (try
+           Volume.monitor_once t.volume ~group:!g;
+           Volume.collect_garbage t.volume ~group:!g;
+           t.gc_rounds <- t.gc_rounds + 1;
+           record_success t !g
+         with Client.Stuck _ | Client.Data_loss _ -> record_failure t !g);
+        t.passes <- t.passes + 1;
+        g := (!g + 1) mod groups
+      end
   done
 
-let start sc ~id ?(ops_per_sec = 2000.) ?burst ~until () =
+let start sc ~id ?(ops_per_sec = 2000.) ?burst ?budget ?(backoff = 0.02)
+    ?(backoff_max = 0.32) ~until () =
+  if backoff <= 0. then invalid_arg "Maintenance.start: need backoff > 0";
+  if backoff_max < backoff then
+    invalid_arg "Maintenance.start: need backoff_max >= backoff";
   let volume = Volume.create sc ~id in
   let n = (Shard_cluster.config sc).Config.n in
-  let burst =
-    match burst with Some b -> b | None -> 2. *. float_of_int (n + 1)
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      let cap =
+        match burst with Some b -> b | None -> 2. *. float_of_int (n + 1)
+      in
+      Budget.create ~rate:ops_per_sec ~cap ~now:(fun () ->
+          Shard_cluster.now sc)
   in
+  let groups = Shard_cluster.groups sc in
   let t =
     {
       volume;
-      ops_per_sec;
-      burst;
+      budget;
       until;
+      backoff_base = backoff;
+      backoff_max;
+      now = (fun () -> Shard_cluster.now sc);
+      fail_streak = Array.make groups 0;
+      next_ok = Array.make groups 0.;
       stopped = false;
       passes = 0;
       gc_rounds = 0;
       errors = 0;
+      backoffs = 0;
+      deferred = 0;
     }
   in
   Shard_cluster.spawn sc (fun () -> run t);

@@ -3,11 +3,18 @@
     One fiber round-robins over the groups; each visit runs the
     Sec 3.10 monitor pass (probe sweep, recovery of flagged stripes —
     Fig 6) and one two-phase GC round (Fig 7), priced against a
-    token-bucket ops budget refilled at [ops_per_sec] — bounding how
-    much background repair can steal from foreground traffic.  A visit
-    that trips a retry limit (a pool node down longer than the recovery
-    budget) is absorbed, counted in {!errors}, and the group is
-    revisited on a later round.
+    token-bucket ops {!Budget} refilled at [ops_per_sec] — bounding how
+    much background repair can steal from foreground traffic.  The
+    bucket can be shared with the self-healing {!Supervisor}, whose
+    urgent repairs preempt routine sweeps but still pay into the same
+    budget.
+
+    A visit that trips a retry limit (a pool node down longer than the
+    recovery budget) is absorbed, counted in {!errors}, and the group
+    put on a capped exponential backoff: skipped by the round-robin
+    until its penalty (doubling per consecutive failure, capped at
+    [backoff_max]) expires, so a long outage cannot starve healthy
+    groups' sweeps.
 
     All pacing derives from the simulated clock, so a seeded run is
     deterministic.  The fiber exits at [until] or on {!stop} — without
@@ -20,13 +27,21 @@ val start :
   id:int ->
   ?ops_per_sec:float ->
   ?burst:float ->
+  ?budget:Budget.t ->
+  ?backoff:float ->
+  ?backoff_max:float ->
   until:float ->
   unit ->
   t
 (** Spawn the scheduler as client [id] (use an id no foreground client
     shares).  [ops_per_sec] (default 2000) is the budget in storage-node
     RPCs per simulated second; a group visit costs [n + 1] tokens.
-    [burst] is the bucket capacity (default [2 * (n + 1)]). *)
+    [burst] is the bucket capacity (default [2 * (n + 1)]).  Passing
+    [budget] overrides both with an externally shared bucket.
+    [backoff] (default 0.02 s) is the first per-group penalty after a
+    failed visit; it doubles per consecutive failure up to [backoff_max]
+    (default 0.32 s).  @raise Invalid_argument unless
+    [0 < backoff <= backoff_max]. *)
 
 val stop : t -> unit
 val passes : t -> int
@@ -34,7 +49,25 @@ val passes : t -> int
 
 val gc_rounds : t -> int
 val errors : t -> int
-(** Visits abandoned on a tripped retry limit (retried later). *)
+(** Visits abandoned on a tripped retry limit (retried after backoff). *)
+
+val backoffs : t -> int
+(** Backoff penalties applied (one per failed visit). *)
+
+val deferred : t -> int
+(** Scheduler rounds where every group was inside its backoff window
+    (the fiber slept instead of spending budget on doomed visits). *)
+
+val budget : t -> Budget.t
+(** The ops bucket — hand it to {!Supervisor.start} to price urgent
+    repair against the same budget. *)
 
 val recoveries : t -> int
 (** Recoveries the maintenance clients completed across all groups. *)
+
+(**/**)
+
+(* Test hooks: the backoff policy, unit-testable without a cluster. *)
+val record_failure : t -> int -> unit
+val record_success : t -> int -> unit
+val eligible_at : t -> int -> float

@@ -89,6 +89,24 @@ let logical t ~group ~block =
 
 let loads t = Array.copy t.loads
 
+(* Failover support: move one group member to another pool node.  The
+   initial sorted-by-pool-index member order is not preserved — member
+   order is only an addressing convention, and the directory entry for
+   [index] is rebuilt (remapped) by the caller right after. *)
+let reassign t ~group ~index ~node =
+  if group < 0 || group >= t.groups then
+    invalid_arg "Placement.reassign: group out of range";
+  if index < 0 || index >= t.nodes_per_group then
+    invalid_arg "Placement.reassign: member index out of range";
+  if node < 0 || node >= t.pool then
+    invalid_arg "Placement.reassign: pool node out of range";
+  if Array.exists (fun q -> q = node) t.members.(group) then
+    invalid_arg "Placement.reassign: node already hosts a member";
+  let old = t.members.(group).(index) in
+  t.members.(group).(index) <- node;
+  t.loads.(old) <- t.loads.(old) - 1;
+  t.loads.(node) <- t.loads.(node) + 1
+
 let groups_on t p =
   if p < 0 || p >= t.pool then invalid_arg "Placement.groups_on: out of range";
   let hit = ref [] in

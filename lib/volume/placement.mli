@@ -42,6 +42,14 @@ val logical : t -> group:int -> block:int -> int
 val loads : t -> int array
 (** Per-pool-node member count (group-members hosted), length [pool]. *)
 
+val reassign : t -> group:int -> index:int -> node:int -> unit
+(** Move member [index] of [group] to pool node [node] (failover: the
+    supervisor re-homes members off a dead node).  Updates {!loads};
+    the caller must remap the group's directory entry afterwards so the
+    member is rebuilt on its new host.
+    @raise Invalid_argument if out of range or [node] already hosts a
+    member of [group]. *)
+
 val groups_on : t -> int -> int list
 (** Groups with a member on the given pool node, ascending. *)
 

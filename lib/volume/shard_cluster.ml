@@ -42,6 +42,8 @@ type t = {
   groups : group array;
   client_nodes : (int, Net.node) Hashtbl.t;
   mutable note_hooks : (float -> string -> unit) list;
+  mutable pool_health_hooks :
+    (now:float -> node:int -> state:Health.state -> unit) list;
 }
 
 let pool_site i = Printf.sprintf "p%d" i
@@ -96,6 +98,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     groups = Array.init (Placement.groups placement) mk_group;
     client_nodes = Hashtbl.create 8;
     note_hooks = [];
+    pool_health_hooks = [];
   }
 
 let engine t = t.engine
@@ -159,7 +162,59 @@ let schedule_outage t ~at ~node ~down_for =
   Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
       restart_node t node)
 
+(* Supervisor-driven failover (Sec 3.5 remap, but event-driven): every
+   member hosted on the dead pool node is re-homed to an alive,
+   least-loaded pool node not already serving that group, and its
+   directory entry remapped to a fresh generation (INIT slots on the new
+   host).  Returns the affected groups, for targeted repair.  Members
+   with no legal destination (pool too degraded) are left in place —
+   calls to them keep reporting [`Node_down]. *)
+let fail_over t ~node =
+  if node < 0 || node >= Array.length t.pool then
+    invalid_arg "Shard_cluster.fail_over: pool index out of range";
+  if node_alive t node then
+    invalid_arg "Shard_cluster.fail_over: node is alive";
+  let moved = ref [] in
+  List.iter
+    (fun g ->
+      let grp = t.groups.(g) in
+      let members = Placement.group_nodes t.placement g in
+      let moved_any = ref false in
+      Array.iteri
+        (fun index q ->
+          if q = node then begin
+            let loads = Placement.loads t.placement in
+            let best = ref None in
+            Array.iteri
+              (fun cand load ->
+                if
+                  cand <> node && node_alive t cand
+                  && not
+                       (Array.exists
+                          (fun m -> m = cand)
+                          (Placement.group_nodes t.placement g))
+                then
+                  match !best with
+                  | Some (_, bl) when bl <= load -> ()
+                  | _ -> best := Some (cand, load))
+              loads;
+            match !best with
+            | None -> ()
+            | Some (cand, _) ->
+              Placement.reassign t.placement ~group:g ~index ~node:cand;
+              ignore (Directory.remap grp.g_dir index);
+              moved_any := true
+          end)
+        members;
+      if !moved_any then moved := g :: !moved)
+    (Placement.groups_on t.placement node);
+  List.rev !moved
+
 let set_faults t f = Net.set_faults t.net f
+
+let set_pool_link_faults t ~client ~node f =
+  Net.set_link_faults t.net ~src:(client_site client) ~dst:(pool_site node) f;
+  Net.set_link_faults t.net ~src:(pool_site node) ~dst:(client_site client) f
 
 let note t event =
   let key =
@@ -188,7 +243,7 @@ let client_node t ~id =
    restart has already remapped the entry out from under us, the call is
    retried against the fresh instance instead (the caller should never
    see a stale entry's failure). *)
-let rec rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts =
+let rec rpc_to_member ?deadline t ~g ~caller ~src ~lnode ~slot req ~attempts =
   let grp = t.groups.(g) in
   let entry = Directory.lookup grp.g_dir lnode in
   let dst = entry.Directory.net_node in
@@ -198,7 +253,7 @@ let rec rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts =
     (resp, Proto.response_bytes resp)
   in
   let result =
-    Net.rpc t.net ~src ~dst
+    Net.rpc ?timeout:deadline t.net ~src ~dst
       ~tag:(Proto.request_tag req)
       ~req_bytes:(Proto.request_bytes req) ~serve
   in
@@ -210,19 +265,22 @@ let rec rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts =
     if
       attempts < 3
       && current.Directory.generation <> entry.Directory.generation
-    then rpc_to_member t ~g ~caller ~src ~lnode ~slot req ~attempts:(attempts + 1)
+    then
+      rpc_to_member ?deadline t ~g ~caller ~src ~lnode ~slot req
+        ~attempts:(attempts + 1)
     else Error `Node_down
 
 let transport t ~id ~group:g : Transport.t =
   let src = client_node t ~id in
   let grp = t.groups.(g) in
-  let call ~slot ~pos req =
+  let call ?deadline ~slot ~pos req =
     touch t ~group:g ~slot;
     let lnode = Layout.node_of grp.g_layout ~stripe:slot ~pos in
-    rpc_to_member t ~g ~caller:id ~src ~lnode ~slot req ~attempts:0
+    rpc_to_member ?deadline t ~g ~caller:id ~src ~lnode ~slot req ~attempts:0
   in
-  let call_node ~node req =
-    rpc_to_member t ~g ~caller:id ~src ~lnode:node ~slot:0 req ~attempts:0
+  let call_node ?deadline ~node req =
+    rpc_to_member ?deadline t ~g ~caller:id ~src ~lnode:node ~slot:0 req
+      ~attempts:0
   in
   let broadcast ~slot ~poss req =
     let lnodes =
@@ -270,10 +328,28 @@ let transport t ~id ~group:g : Transport.t =
     let compute seconds = Net.cpu_use src seconds
   end : Transport.S)
 
+let on_pool_health t hook = t.pool_health_hooks <- hook :: t.pool_health_hooks
+
 let make_group_client t ~id ~group =
-  Client.of_transport
-    ~sink:(trace_sink t ~group)
-    t.cfg t.code (transport t ~id ~group)
+  let grp = t.groups.(group) in
+  let c =
+    Client.of_transport
+      ~sink:(trace_sink t ~group)
+      ~locate:(fun ~slot ~pos -> Layout.node_of grp.g_layout ~stripe:slot ~pos)
+      t.cfg t.code (transport t ~id ~group)
+  in
+  (* Aggregate every client's per-member failure detector into
+     pool-node-level health events: member index -> hosting pool node
+     via the (current) placement.  Hooks must only enqueue (they fire
+     inside a transport call stack — see Supervisor). *)
+  Health.on_transition (Client.health c) (fun (tr : Health.transition) ->
+      if t.pool_health_hooks <> [] then begin
+        let p = Placement.member t.placement ~group ~index:tr.Health.node in
+        List.iter
+          (fun hook -> hook ~now:tr.Health.at ~node:p ~state:tr.Health.to_)
+          t.pool_health_hooks
+      end);
+  c
 
 let spawn t f = Fiber.spawn t.engine f
 let run ?until t = Engine.run ?until t.engine

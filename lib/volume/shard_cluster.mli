@@ -66,9 +66,36 @@ val restart_node : t -> int -> unit
     (INIT slots).  No-op if the node is alive. *)
 
 val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
+
+val fail_over : t -> node:int -> int list
+(** Re-home every group member hosted on the {e dead} pool node [node]:
+    each moves to an alive, least-loaded pool node not already serving
+    its group ({!Placement.reassign}) and its directory entry is
+    remapped to a fresh generation (INIT slots on the new host, repaired
+    by Fig 6 recovery).  Returns the groups that had a member moved —
+    the supervisor's targeted-repair set.  Members with no legal
+    destination are left in place.
+    @raise Invalid_argument if [node] is alive or out of range. *)
+
 val set_faults : t -> Net.faults -> unit
 
+val set_pool_link_faults :
+  t -> client:int -> node:int -> Net.faults option -> unit
+(** Override (or clear) the fault policy of both directions of the link
+    between a client and a pool node — the lever for lossy-but-alive
+    (Suspect) nodes, as opposed to {!crash_node}'s fail-stop. *)
+
 val on_note : t -> (float -> string -> unit) -> unit
+
+val on_pool_health :
+  t -> (now:float -> node:int -> state:Health.state -> unit) -> unit
+(** Subscribe to pool-level health events: whenever any group client's
+    failure detector moves a member between states, the member is
+    translated to its hosting pool node (current placement) and every
+    hook runs.  Hooks fire synchronously inside the observing client's
+    call stack — they must only record/enqueue, never call back into
+    the protocol (see {!Supervisor}). *)
+
 val trace_sink : t -> group:int -> Trace.sink
 
 val transport : t -> id:int -> group:int -> Transport.t

@@ -1,0 +1,137 @@
+(* Self-healing supervisor for a sharded volume: subscribes to
+   pool-level health transitions (the per-client failure detectors of
+   {!Health}, aggregated by {!Shard_cluster.on_pool_health}) and drives
+   the existing repair machinery automatically — no scripted remap.
+
+   Event flow: a group client's detector moves a member to Down -> the
+   shard cluster translates the member to its hosting pool node and our
+   hook enqueues it (hooks run inside the observing client's call stack,
+   so they must never call back into the protocol).  The supervisor
+   fiber drains the queue: it double-checks the node against ground
+   truth ({!Shard_cluster.node_alive} — an accrual detector can reach
+   Down over a lossy-but-alive link, which needs no failover, only the
+   circuit breaker it already got), then re-homes every hosted group
+   member ({!Shard_cluster.fail_over}: placement reassign + directory
+   remap to INIT slots) and runs Fig 6 recovery over exactly the
+   affected groups' used stripes, rebuilding each on its new host.
+
+   Repair is priced against the shared background {!Budget} with the
+   urgent flag, so self-healing preempts the maintenance round-robin
+   but the two together still cannot exceed the background ops rate.
+   All pacing derives from the simulated clock — a seeded run detects,
+   fails over and repairs at byte-identical times. *)
+
+type t = {
+  sc : Shard_cluster.t;
+  volume : Volume.t;
+  budget : Budget.t;
+  poll : float;
+  until : float;
+  pending : int Queue.t;
+  queued : (int, unit) Hashtbl.t;
+  mutable stopped : bool;
+  mutable failovers : int; (* group members re-homed off dead nodes *)
+  mutable repairs : int; (* stripes recovered *)
+  mutable errors : int; (* Stuck / Data_loss absorbed *)
+  mutable false_alarms : int; (* Down verdicts on alive (lossy) nodes *)
+  mutable detections : (int * float) list; (* (node, time), reversed *)
+  mutable repaired : (int * float) list; (* (node, time), reversed *)
+}
+
+let failovers t = t.failovers
+let repairs t = t.repairs
+let errors t = t.errors
+let false_alarms t = t.false_alarms
+let detections t = List.rev t.detections
+let repaired t = List.rev t.repaired
+let stop t = t.stopped <- true
+
+let handle t node =
+  if Shard_cluster.node_alive t.sc node then
+    (* Accrual false positive: the node is reachable but lossy enough to
+       drive some client's suspicion over the Down threshold.  The
+       circuit breaker already shields the fast path; moving data would
+       be churn.  If the node goes on misbehaving, the detector's
+       Probation -> Down round trip re-enqueues it here. *)
+    t.false_alarms <- t.false_alarms + 1
+  else begin
+    let n = (Shard_cluster.config t.sc).Config.n in
+    let slot_cost = float_of_int (n + 1) in
+    Budget.begin_urgent t.budget;
+    Fun.protect
+      ~finally:(fun () -> Budget.end_urgent t.budget)
+      (fun () ->
+        let groups = Shard_cluster.fail_over t.sc ~node in
+        t.failovers <- t.failovers + List.length groups;
+        List.iter
+          (fun g ->
+            let client = Volume.group_client t.volume g in
+            List.iter
+              (fun slot ->
+                Budget.take ~urgent:true t.budget slot_cost;
+                try
+                  Client.recover_slot client ~slot;
+                  t.repairs <- t.repairs + 1
+                with Client.Stuck _ | Client.Data_loss _ ->
+                  t.errors <- t.errors + 1)
+              (Shard_cluster.used_slots t.sc ~group:g);
+            (* Sweep the group once more for anything recovery could not
+               see per-slot (stale unfinished writes flagged by probes). *)
+            Budget.take ~urgent:true t.budget slot_cost;
+            try Volume.monitor_once t.volume ~group:g
+            with Client.Stuck _ | Client.Data_loss _ ->
+              t.errors <- t.errors + 1)
+          groups;
+        if groups <> [] then
+          t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
+  end
+
+let run t =
+  while (not t.stopped) && Shard_cluster.now t.sc < t.until do
+    if Queue.is_empty t.pending then Fiber.sleep t.poll
+    else begin
+      let node = Queue.pop t.pending in
+      (* Un-mark before handling: a fresh Down transition arriving while
+         we repair (Probation re-trip) must be able to re-enqueue. *)
+      Hashtbl.remove t.queued node;
+      handle t node
+    end
+  done
+
+let start sc ~id ?budget ?(poll = 0.5e-3) ~until () =
+  if poll <= 0. then invalid_arg "Supervisor.start: need poll > 0";
+  let n = (Shard_cluster.config sc).Config.n in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      Budget.create ~rate:2000.
+        ~cap:(2. *. float_of_int (n + 1))
+        ~now:(fun () -> Shard_cluster.now sc)
+  in
+  let t =
+    {
+      sc;
+      volume = Volume.create sc ~id;
+      budget;
+      poll;
+      until;
+      pending = Queue.create ();
+      queued = Hashtbl.create 8;
+      stopped = false;
+      failovers = 0;
+      repairs = 0;
+      errors = 0;
+      false_alarms = 0;
+      detections = [];
+      repaired = [];
+    }
+  in
+  Shard_cluster.on_pool_health sc (fun ~now ~node ~state ->
+      if state = Health.Down && not (Hashtbl.mem t.queued node) then begin
+        Hashtbl.replace t.queued node ();
+        Queue.push node t.pending;
+        t.detections <- (node, now) :: t.detections
+      end);
+  Shard_cluster.spawn sc (fun () -> run t);
+  t

@@ -1,0 +1,61 @@
+(** Self-healing supervisor: event-driven failure handling for a
+    sharded volume.
+
+    Subscribes to pool-level health transitions
+    ({!Shard_cluster.on_pool_health}); when any client's failure
+    detector declares a member Down, the hosting pool node is enqueued.
+    The supervisor fiber drains the queue: it re-checks the node against
+    ground truth ({!Shard_cluster.node_alive} — an accrual detector can
+    reach Down over a lossy-but-alive link, which only needs the circuit
+    breaker, not data movement), then re-homes every hosted group member
+    ({!Shard_cluster.fail_over}) and runs Fig 6 recovery over exactly
+    the affected groups' used stripes, rebuilding each on its new host.
+
+    Repair draws from the shared background {!Budget} with the urgent
+    flag: self-healing preempts the maintenance round-robin but both
+    together stay inside the background ops rate.  Deterministic under a
+    fixed seed — detection, failover and repair land at byte-identical
+    simulated times. *)
+
+type t
+
+val start :
+  Shard_cluster.t ->
+  id:int ->
+  ?budget:Budget.t ->
+  ?poll:float ->
+  until:float ->
+  unit ->
+  t
+(** Spawn the supervisor as client [id] (an id no foreground client
+    shares).  [budget] should be the maintenance scheduler's bucket
+    ({!Maintenance.budget}) so repair is priced against the same ops
+    rate; a private 2000 ops/s bucket is created when omitted.  [poll]
+    (default 0.5 ms) is the queue-drain interval, the floor on
+    detection-to-action latency.  The fiber exits at [until] or on
+    {!stop}.  @raise Invalid_argument unless [poll > 0]. *)
+
+val stop : t -> unit
+
+val failovers : t -> int
+(** Group members re-homed off dead pool nodes. *)
+
+val repairs : t -> int
+(** Stripes successfully recovered on their new hosts. *)
+
+val errors : t -> int
+(** Per-stripe recoveries absorbed on Stuck/Data_loss (the routine
+    maintenance sweep retries them later). *)
+
+val false_alarms : t -> int
+(** Down verdicts whose pool node was actually alive (lossy link drove
+    the accrual score over the threshold) — no failover performed. *)
+
+val detections : t -> (int * float) list
+(** [(pool node, simulated time)] of each enqueued Down verdict, in
+    order — subtract the crash time for detection latency. *)
+
+val repaired : t -> (int * float) list
+(** [(pool node, simulated time)] when the last affected group of each
+    failed-over node finished its targeted repair — subtract the crash
+    time for MTTR. *)

@@ -20,6 +20,13 @@ type result = {
   maintenance_gc_rounds : int;
   maintenance_errors : int;
   maintenance_recoveries : int;
+  maintenance_backoffs : int;
+  failures : Report.failures; (* unified failure/health accounting *)
+  supervisor_failovers : int;
+  supervisor_repairs : int;
+  supervisor_false_alarms : int;
+  detections : (int * float) list; (* (pool node, time) Down verdicts *)
+  repaired_at : (int * float) list; (* (pool node, time) repair done *)
 }
 
 let next_tag = ref 1
@@ -46,11 +53,12 @@ type counters = {
   mutable read_samples : float list;
   mutable write_samples : float list;
   mutable stalls : int;
+  mutable abandoned : int;
 }
 
 let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
-    ?maintenance ?(gc_every = Some 0.05) ?check ~sc ~clients ~duration
-    ~workload () =
+    ?maintenance ?(supervise = false) ?(gc_every = Some 0.05) ?check ~sc
+    ~clients ~duration ~workload () =
   (match faults with Some f -> Shard_cluster.set_faults sc f | None -> ());
   let cfg = Shard_cluster.config sc in
   let block_size = cfg.Config.block_size in
@@ -66,6 +74,7 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       read_samples = [];
       write_samples = [];
       stalls = 0;
+      abandoned = 0;
     }
   in
   let in_window t = t >= measure_from && t <= t_end in
@@ -79,6 +88,15 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
     | None -> None
     | Some ops_per_sec ->
       Some (Maintenance.start sc ~id:9999 ~ops_per_sec ~until:t_end ())
+  in
+  (* Self-healing: the supervisor shares the maintenance bucket when
+     there is one, so event-driven repair preempts the round-robin but
+     both stay inside the same background ops rate. *)
+  let sup =
+    if not supervise then None
+    else
+      let budget = Option.map Maintenance.budget maint in
+      Some (Supervisor.start sc ~id:9998 ?budget ~until:t_end ())
   in
   for c = 0 to clients - 1 do
     let volume = Volume.create sc ~id:c in
@@ -123,6 +141,7 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
         end
       | exception Client.Write_abandoned _ ->
         (* Ambiguous swap timeout: unfinished for the checker. *)
+        ctr.abandoned <- ctr.abandoned + 1;
         (match check with
         | Some ck -> Checker.record_write ck ~block ~tag ~start:t0 ~finish:None
         | None -> ())
@@ -178,7 +197,16 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       Trace.all_recovery_phases
   in
   let metric_keys =
-    [ "rpc.retries"; "rpc.giveups"; "write.giveups" ] @ phase_keys
+    [
+      "rpc.retries";
+      "rpc.giveups";
+      "write.giveups";
+      "read.hedges";
+      "read.hedge_wins";
+      "session.fast_fails";
+      "health.to_down";
+    ]
+    @ phase_keys
   in
   let before =
     let m = Shard_cluster.metrics sc in
@@ -232,4 +260,23 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       (match maint with Some m -> Maintenance.errors m | None -> 0);
     maintenance_recoveries =
       (match maint with Some m -> Maintenance.recoveries m | None -> 0);
+    maintenance_backoffs =
+      (match maint with Some m -> Maintenance.backoffs m | None -> 0);
+    failures =
+      {
+        Report.write_abandoned = ctr.abandoned;
+        write_stuck = ctr.stalls;
+        hedges = delta "read.hedges";
+        hedge_wins = delta "read.hedge_wins";
+        fast_fails = delta "session.fast_fails";
+        quarantines = delta "health.to_down";
+      };
+    supervisor_failovers =
+      (match sup with Some s -> Supervisor.failovers s | None -> 0);
+    supervisor_repairs =
+      (match sup with Some s -> Supervisor.repairs s | None -> 0);
+    supervisor_false_alarms =
+      (match sup with Some s -> Supervisor.false_alarms s | None -> 0);
+    detections = (match sup with Some s -> Supervisor.detections s | None -> []);
+    repaired_at = (match sup with Some s -> Supervisor.repaired s | None -> []);
   }

@@ -24,6 +24,21 @@ type result = {
   maintenance_gc_rounds : int;
   maintenance_errors : int;
   maintenance_recoveries : int;
+  maintenance_backoffs : int;
+      (** per-group backoff penalties the scheduler applied *)
+  failures : Report.failures;
+      (** unified failure/health accounting — same record and JSON
+          schema as {!Runner.run}'s [failures] out-parameter *)
+  supervisor_failovers : int;  (** group members re-homed (supervise) *)
+  supervisor_repairs : int;  (** stripes rebuilt on new hosts *)
+  supervisor_false_alarms : int;
+      (** Down verdicts whose node was actually alive *)
+  detections : (int * float) list;
+      (** (pool node, simulated time) of each Down verdict the
+          supervisor acted on, in order *)
+  repaired_at : (int * float) list;
+      (** (pool node, simulated time) when each failed-over node's
+          groups finished targeted repair *)
 }
 
 val run :
@@ -32,6 +47,7 @@ val run :
   ?events:(float * (Shard_cluster.t -> unit)) list ->
   ?faults:Net.faults ->
   ?maintenance:float ->
+  ?supervise:bool ->
   ?gc_every:float option ->
   ?check:Checker.t ->
   sc:Shard_cluster.t ->
@@ -42,7 +58,11 @@ val run :
   result
 (** [maintenance], when given, is the background scheduler's ops budget
     in storage-node RPCs per simulated second (see {!Maintenance});
-    omitted, no scheduler runs.  [gc_every] (default [Some 0.05]) paces
+    omitted, no scheduler runs.  [supervise] (default false) starts a
+    self-healing {!Supervisor} sharing the maintenance bucket (or a
+    private one when no scheduler runs): dead pool nodes are detected,
+    failed over and repaired with {e no} scripted remap events.
+    [gc_every] (default [Some 0.05]) paces
     the per-client GC fibers — tids are per client, so each client
     collects its own completed writes across the groups it touched.
     [events] are scheduled actions relative to run start (outage

@@ -151,7 +151,7 @@ let client_node t ~id =
 (* One slot-addressed RPC to logical node [lnode]; under [`Auto] remap, a
    dead node is replaced once and the call retried against the fresh
    INIT instance, mirroring the paper's directory redirection. *)
-let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
+let rec rpc_to_logical ?deadline t ~id ~src ~lnode ~slot req ~attempts =
   if client_crashed t id then raise (Client_crashed id);
   let entry = Directory.lookup t.dir lnode in
   let dst = entry.Directory.net_node in
@@ -162,7 +162,8 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
     (resp, Proto.response_bytes resp)
   in
   let result =
-    Net.rpc t.net ~src ~dst ~tag ~req_bytes:(Proto.request_bytes req) ~serve
+    Net.rpc ?timeout:deadline t.net ~src ~dst ~tag
+      ~req_bytes:(Proto.request_bytes req) ~serve
   in
   if client_crashed t id then raise (Client_crashed id);
   match result with
@@ -190,10 +191,12 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
       then
         (* Remapped while we were blocked: go straight at the fresh
            instance instead of burning one of the caller's retries. *)
-        rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:(attempts + 1)
+        rpc_to_logical ?deadline t ~id ~src ~lnode ~slot req
+          ~attempts:(attempts + 1)
       else begin
         Stats.incr t.stats "rpc.timeout";
-        Fiber.sleep (Net.config t.net).Net.rpc_timeout;
+        Fiber.sleep
+          (Option.value deadline ~default:(Net.config t.net).Net.rpc_timeout);
         Error `Timeout
       end
     | `Auto ->
@@ -203,7 +206,8 @@ let rec rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts =
         let current = Directory.lookup t.dir lnode in
         if not (Net.is_alive current.Directory.net_node) then
           ignore (Directory.remap t.dir lnode);
-        rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:(attempts + 1)
+        rpc_to_logical ?deadline t ~id ~src ~lnode ~slot req
+          ~attempts:(attempts + 1)
       end)
 
 (* Legacy string-event hook: the pre-stack client called [env.note]
@@ -227,13 +231,13 @@ let trace_sink t ctx event =
 let transport t ~id : Transport.t =
   let src = client_node t ~id in
   let check_alive () = if client_crashed t id then raise (Client_crashed id) in
-  let call ~slot ~pos req =
+  let call ?deadline ~slot ~pos req =
     let lnode = Layout.node_of t.layout ~stripe:slot ~pos in
-    rpc_to_logical t ~id ~src ~lnode ~slot req ~attempts:0
+    rpc_to_logical ?deadline t ~id ~src ~lnode ~slot req ~attempts:0
   in
-  let call_node ~node req =
+  let call_node ?deadline ~node req =
     (* Node-addressed (probes): slot field is ignored by the server. *)
-    rpc_to_logical t ~id ~src ~lnode:node ~slot:0 req ~attempts:0
+    rpc_to_logical ?deadline t ~id ~src ~lnode:node ~slot:0 req ~attempts:0
   in
   let broadcast ~slot ~poss req =
     check_alive ();
@@ -298,7 +302,9 @@ let transport t ~id : Transport.t =
 let client_env t ~id = Client.env_of_transport ~note:(note t) (transport t ~id)
 
 let make_client t ~id =
-  Client.of_transport ~sink:(trace_sink t) t.cfg t.code (transport t ~id)
+  Client.of_transport ~sink:(trace_sink t)
+    ~locate:(fun ~slot ~pos -> Layout.node_of t.layout ~stripe:slot ~pos)
+    t.cfg t.code (transport t ~id)
 
 let make_volume t ~id =
   let client = make_client t ~id in

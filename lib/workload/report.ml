@@ -26,6 +26,28 @@ type run = {
   recovery_phases : (string * int) list;
 }
 
+(* Unified failure accounting: one record, one JSON schema, for both
+   the single-group runner and the sharded-volume runner — so "how did
+   this run degrade" reads the same everywhere. *)
+type failures = {
+  write_abandoned : int;
+  write_stuck : int;
+  hedges : int;
+  hedge_wins : int;
+  fast_fails : int;
+  quarantines : int;
+}
+
+let no_failures =
+  {
+    write_abandoned = 0;
+    write_stuck = 0;
+    hedges = 0;
+    hedge_wins = 0;
+    fast_fails = 0;
+    quarantines = 0;
+  }
+
 let phase_suffix key =
   match String.rindex_opt key '.' with
   | Some dot -> String.sub key (dot + 1) (String.length key - dot - 1)
@@ -123,3 +145,23 @@ let run_fields r =
     ("write_latency_ms", J_float (1000. *. r.write_latency, 4));
     ("msgs", J_float (r.msgs, 0));
   ]
+
+(* The standard failure/health block: same keys in every summary. *)
+let failure_fields f =
+  [
+    ("write_abandoned", J_int f.write_abandoned);
+    ("write_stuck", J_int f.write_stuck);
+    ("hedges", J_int f.hedges);
+    ("hedge_wins", J_int f.hedge_wins);
+    ("fast_fails", J_int f.fast_fails);
+    ("quarantines", J_int f.quarantines);
+  ]
+
+let print_failures ~label f =
+  if f <> no_failures then
+    Printf.printf
+      "%-34s    abandoned %d | stuck %d | hedges %d (won %d) | fast-fails %d \
+       | quarantines %d\n\
+       %!"
+      label f.write_abandoned f.write_stuck f.hedges f.hedge_wins f.fast_fails
+      f.quarantines

@@ -26,6 +26,19 @@ type run = {
   recovery_phases : (string * int) list;  (** nonzero phase counters *)
 }
 
+(** Unified failure/health accounting — one record and one JSON schema
+    shared by the single-group runner and the sharded-volume runner. *)
+type failures = {
+  write_abandoned : int;  (** ambiguous swap timeouts *)
+  write_stuck : int;  (** writes that drained a retry limit *)
+  hedges : int;  (** hedged reads launched *)
+  hedge_wins : int;  (** hedges whose degraded decode won the race *)
+  fast_fails : int;  (** circuit-breaker fast-fails *)
+  quarantines : int;  (** health transitions into Down *)
+}
+
+val no_failures : failures
+
 val print_run : label:string -> run -> unit
 (** The classic two-line run summary (second line only when retries,
     give-ups or recovery phases occurred). *)
@@ -49,3 +62,10 @@ val write_file : string -> json -> unit
 val run_fields : run -> (string * json) list
 (** The standard per-run stats block (clients, ops, MB/s, latencies,
     msgs) embedded in every JSON summary. *)
+
+val failure_fields : failures -> (string * json) list
+(** The standard failure/health block — identical keys in every
+    summary. *)
+
+val print_failures : label:string -> failures -> unit
+(** One-line failure summary; silent when the record is all zero. *)

@@ -25,6 +25,9 @@ type counters = {
   (* window counters for the sampler *)
   mutable w_read_ops : int;
   mutable w_write_ops : int;
+  (* failure accounting (Report.failures) *)
+  mutable abandoned : int;
+  mutable stalls : int;
 }
 
 let next_tag = ref 1
@@ -34,8 +37,8 @@ let fresh_tag () =
   !next_tag
 
 let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
-    ?(sample_every = 1.0) ?(gc_every = Some 0.05) ?check ~cluster ~clients
-    ~duration ~workload () =
+    ?(sample_every = 1.0) ?(gc_every = Some 0.05) ?check ?failures ~cluster
+    ~clients ~duration ~workload () =
   (match faults with Some f -> Cluster.set_faults cluster f | None -> ());
   let cfg = Cluster.config cluster in
   let block_size = cfg.Config.block_size in
@@ -50,6 +53,8 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
       c_write_lat = 0.;
       w_read_ops = 0;
       w_write_ops = 0;
+      abandoned = 0;
+      stalls = 0;
     }
   in
   let in_window t = t >= measure_from && t <= t_end in
@@ -65,18 +70,23 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
     let gen = Generator.create ~seed:(0x1234 + (c * 97)) workload in
     let do_read block =
       let t0 = Cluster.now cluster in
-      let v = Volume.read volume block in
-      let t1 = Cluster.now cluster in
-      (match check with
-      | Some ck ->
-        Checker.record_read ck ~block ~tag:(Checker.tag_of_block v) ~start:t0
-          ~finish:t1
-      | None -> ());
-      if in_window t1 then begin
-        ctr.c_read_ops <- ctr.c_read_ops + 1;
-        ctr.c_read_lat <- ctr.c_read_lat +. (t1 -. t0);
-        ctr.w_read_ops <- ctr.w_read_ops + 1
-      end
+      match Volume.read volume block with
+      | v ->
+        let t1 = Cluster.now cluster in
+        (match check with
+        | Some ck ->
+          Checker.record_read ck ~block ~tag:(Checker.tag_of_block v) ~start:t0
+            ~finish:t1
+        | None -> ());
+        if in_window t1 then begin
+          ctr.c_read_ops <- ctr.c_read_ops + 1;
+          ctr.c_read_lat <- ctr.c_read_lat +. (t1 -. t0);
+          ctr.w_read_ops <- ctr.w_read_ops + 1
+        end
+      | exception Client.Stuck _ ->
+        (* Retry limit drained (an outage outlasting the budget): count
+           and move on — the workload must outlive the fault schedule. *)
+        ctr.stalls <- ctr.stalls + 1
     in
     let do_write block =
       let t0 = Cluster.now cluster in
@@ -100,6 +110,12 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
         | Client.Write_abandoned _ ->
           (* Ambiguous swap timeout: the value may or may not become
              visible — exactly an unfinished write for the checker. *)
+          ctr.abandoned <- ctr.abandoned + 1;
+          Checker.record_write ck ~block ~tag ~start:t0 ~finish:None
+        | Client.Stuck _ ->
+          (* Retry limit drained: the write may or may not land —
+             unfinished for the checker, and counted. *)
+          ctr.stalls <- ctr.stalls + 1;
           Checker.record_write ck ~block ~tag ~start:t0 ~finish:None)
       | None -> (
         let v = Bytes.make block_size (Char.chr (block land 0xff)) in
@@ -111,7 +127,9 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
             ctr.c_write_lat <- ctr.c_write_lat +. (t1 -. t0);
             ctr.w_write_ops <- ctr.w_write_ops + 1
           end
-        with Client.Write_abandoned _ -> ())
+        with
+        | Client.Write_abandoned _ -> ctr.abandoned <- ctr.abandoned + 1
+        | Client.Stuck _ -> ctr.stalls <- ctr.stalls + 1)
     in
     let request_loop () =
       let rec go () =
@@ -176,13 +194,34 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults ?on_sample
       Trace.all_recovery_phases
   in
   let metric_keys =
-    [ "rpc.retries"; "rpc.giveups"; "write.giveups" ] @ phase_keys
+    [
+      "rpc.retries";
+      "rpc.giveups";
+      "write.giveups";
+      "read.hedges";
+      "read.hedge_wins";
+      "session.fast_fails";
+      "health.to_down";
+    ]
+    @ phase_keys
   in
   let before = List.map (fun key -> (key, Metrics.counter metrics key)) metric_keys in
   let msgs_before = Stats.counter stats "msgs" in
   let recov_before = Stats.counter stats "note.recovery.done" in
   Cluster.run cluster;
   let delta key = Metrics.counter metrics key - List.assoc key before in
+  (match failures with
+  | None -> ()
+  | Some out ->
+    out :=
+      {
+        Report.write_abandoned = ctr.abandoned;
+        write_stuck = ctr.stalls;
+        hedges = delta "read.hedges";
+        hedge_wins = delta "read.hedge_wins";
+        fast_fails = delta "session.fast_fails";
+        quarantines = delta "health.to_down";
+      });
   let msgs = Stats.counter stats "msgs" -. msgs_before in
   let recoveries = Stats.counter stats "note.recovery.done" -. recov_before in
   let mb ops = float_of_int (ops * block_size) /. 1.0e6 /. duration in

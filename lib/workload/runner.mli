@@ -33,6 +33,7 @@ val run :
   ?sample_every:float ->
   ?gc_every:float option ->
   ?check:Checker.t ->
+  ?failures:Report.failures ref ->
   cluster:Cluster.t ->
   clients:int ->
   duration:float ->
@@ -48,7 +49,11 @@ val run :
     are recorded as unfinished and the client moves on.
     [sample_every]/[on_sample] stream windowed throughput for timeline
     figures.  [check], when given, records every operation for the
-    regular-register checker: writes stamp blocks with fresh tags. *)
+    regular-register checker: writes stamp blocks with fresh tags.
+    Operations that drain a retry limit ({!Client.Stuck}) are absorbed
+    (stuck writes are recorded as unfinished) and counted.  [failures],
+    when given, receives the run's unified failure/health accounting
+    ({!Report.failures} — the same record the volume runner reports). *)
 
 val print_result : string -> result -> unit
 (** One-line summary to stdout. *)

@@ -1,0 +1,183 @@
+(* Unit tests for the per-node failure detector: accrual scoring and
+   the Healthy/Suspect/Down/Probation machine, adaptive deadlines from
+   observed RTTs, and the circuit breaker's quarantine/probation cycle.
+   Driven directly — the detector only ever sees (clock, outcome)
+   pairs, so no cluster is needed. *)
+
+let cfg () = Config.make ~t_p:1 ~block_size:64 ~k:3 ~n:5 ()
+let hp = Config.default_health
+
+let st =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Health.state_to_string s))
+    ( = )
+
+let test_escalation () =
+  (* Consecutive timeouts at one instant (no decay): Healthy at 1,
+     Suspect once the score crosses suspect_score, Down at down_score. *)
+  let h = Health.create (cfg ()) in
+  let timeout () = Health.observe_timeout h ~now:0. ~node:2 in
+  ignore (timeout ());
+  Alcotest.check st "one timeout: still healthy" Health.Healthy
+    (Health.state h ~node:2);
+  ignore (timeout ());
+  Alcotest.check st "score 2: suspect" Health.Suspect (Health.state h ~node:2);
+  for _ = 3 to 5 do
+    ignore (timeout ())
+  done;
+  Alcotest.check st "score 5: still suspect" Health.Suspect
+    (Health.state h ~node:2);
+  ignore (timeout ());
+  Alcotest.check st "score 6: down" Health.Down (Health.state h ~node:2);
+  Alcotest.(check int) "one quarantine" 1 (Health.quarantines h ~node:2);
+  (* Other nodes are untouched. *)
+  Alcotest.check st "neighbour unaffected" Health.Healthy
+    (Health.state h ~node:1)
+
+let test_score_decays_and_success_halves () =
+  let h = Health.create (cfg ()) in
+  ignore (Health.observe_timeout h ~now:0. ~node:0);
+  ignore (Health.observe_timeout h ~now:0. ~node:0);
+  Alcotest.check st "suspect" Health.Suspect (Health.state h ~node:0);
+  (* Ten half-lives later the old score is negligible: one more timeout
+     leaves the node Suspect but nowhere near Down. *)
+  let later = 10. *. hp.Config.decay_halflife in
+  ignore (Health.observe_timeout h ~now:later ~node:0);
+  Alcotest.(check bool)
+    (Printf.sprintf "score decayed (%.3f)" (Health.score h ~node:0))
+    true
+    (Health.score h ~node:0 < 1.1);
+  (* One success halves what is left and readmits the node. *)
+  let tr = Health.observe_ok h ~now:later ~node:0 ~rtt:100e-6 in
+  Alcotest.check st "readmitted" Health.Healthy (Health.state h ~node:0);
+  (match tr with
+  | Some { Health.from_ = Health.Suspect; to_ = Health.Healthy; _ } -> ()
+  | _ -> Alcotest.fail "expected a suspect->healthy transition")
+
+let test_breaker_quarantine_and_probation () =
+  let h = Health.create (cfg ()) in
+  (* Fail-stop evidence: straight to Down. *)
+  ignore (Health.observe_down h ~now:1.0 ~node:3);
+  Alcotest.check st "down" Health.Down (Health.state h ~node:3);
+  (* Inside the quarantine the breaker fast-fails without a transition. *)
+  let blocked, tr =
+    Health.fast_fail h ~now:(1.0 +. (hp.Config.quarantine /. 2.)) ~node:3
+  in
+  Alcotest.(check bool) "blocked in quarantine" true blocked;
+  Alcotest.(check bool) "no transition yet" true (tr = None);
+  (* Once the quarantine elapses it half-opens: Probation, call allowed. *)
+  let trial = 1.0 +. hp.Config.quarantine in
+  let blocked, tr = Health.fast_fail h ~now:trial ~node:3 in
+  Alcotest.(check bool) "trial call allowed" false blocked;
+  (match tr with
+  | Some { Health.from_ = Health.Down; to_ = Health.Probation; _ } -> ()
+  | _ -> Alcotest.fail "expected down->probation on half-open");
+  (* probation_oks consecutive successes readmit with a clean score. *)
+  for k = 1 to hp.Config.probation_oks - 1 do
+    ignore (Health.observe_ok h ~now:trial ~node:3 ~rtt:100e-6);
+    Alcotest.check st
+      (Printf.sprintf "still on probation after %d oks" k)
+      Health.Probation (Health.state h ~node:3)
+  done;
+  ignore (Health.observe_ok h ~now:trial ~node:3 ~rtt:100e-6);
+  Alcotest.check st "readmitted after trial" Health.Healthy
+    (Health.state h ~node:3);
+  Alcotest.(check (float 1e-9)) "score reset" 0. (Health.score h ~node:3)
+
+let test_probation_retrip () =
+  let h = Health.create (cfg ()) in
+  ignore (Health.observe_down h ~now:0. ~node:1);
+  let _, _ = Health.fast_fail h ~now:hp.Config.quarantine ~node:1 in
+  Alcotest.check st "probation" Health.Probation (Health.state h ~node:1);
+  (* A timeout during the trial re-trips the breaker immediately. *)
+  ignore (Health.observe_timeout h ~now:hp.Config.quarantine ~node:1);
+  Alcotest.check st "re-tripped" Health.Down (Health.state h ~node:1);
+  Alcotest.(check int) "second quarantine" 2 (Health.quarantines h ~node:1);
+  (* And the new quarantine window holds. *)
+  let blocked, _ =
+    Health.fast_fail h ~now:(hp.Config.quarantine *. 1.5) ~node:1
+  in
+  Alcotest.(check bool) "blocked again" true blocked
+
+let test_down_passthrough_success () =
+  (* Control-plane ops bypass the breaker; if one succeeds against a
+     Down node, that is hard up-evidence: probation starts at once. *)
+  let h = Health.create (cfg ()) in
+  ignore (Health.observe_down h ~now:0. ~node:4);
+  let tr = Health.observe_ok h ~now:10e-6 ~node:4 ~rtt:80e-6 in
+  (match tr with
+  | Some { Health.from_ = Health.Down; to_ = Health.Probation; _ } -> ()
+  | _ -> Alcotest.fail "expected down->probation");
+  (* It already banked one success; the rest complete the trial. *)
+  for _ = 2 to hp.Config.probation_oks do
+    ignore (Health.observe_ok h ~now:10e-6 ~node:4 ~rtt:80e-6)
+  done;
+  Alcotest.check st "readmitted" Health.Healthy (Health.state h ~node:4)
+
+let test_adaptive_deadline () =
+  let h = Health.create (cfg ()) in
+  (* No history: the deadline is the ceiling (the legacy fixed timeout),
+     so behavior is unchanged until samples accumulate. *)
+  Alcotest.(check (float 1e-12)) "no samples -> ceiling"
+    hp.Config.timeout_ceil (Health.deadline h ~node:0);
+  (* One 100us RTT: deadline = mult * 100us, inside the clamp. *)
+  ignore (Health.observe_ok h ~now:0. ~node:0 ~rtt:100e-6);
+  Alcotest.(check (float 1e-9)) "tracks observed rtt"
+    (hp.Config.timeout_mult *. 100e-6)
+    (Health.deadline h ~node:0);
+  (* Very fast node: clamped at the floor, never hair-trigger. *)
+  ignore (Health.observe_ok h ~now:0. ~node:1 ~rtt:5e-6);
+  Alcotest.(check (float 1e-9)) "floor clamp" hp.Config.timeout_floor
+    (Health.deadline h ~node:1);
+  (* Very slow node: clamped at the ceiling, never slower than the old
+     fixed timeout. *)
+  ignore (Health.observe_ok h ~now:0. ~node:2 ~rtt:0.5);
+  Alcotest.(check (float 1e-9)) "ceiling clamp" hp.Config.timeout_ceil
+    (Health.deadline h ~node:2);
+  (* The peak decays toward the average, so one ancient outlier does not
+     pin the deadline forever. *)
+  for _ = 1 to 200 do
+    ignore (Health.observe_ok h ~now:0. ~node:2 ~rtt:100e-6)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "outlier decays (%.0fus)" (1e6 *. Health.deadline h ~node:2))
+    true
+    (Health.deadline h ~node:2 < hp.Config.timeout_ceil)
+
+let test_hooks_fire_in_order () =
+  let h = Health.create (cfg ()) in
+  let seen = ref [] in
+  Health.on_transition h (fun tr ->
+      seen := (1, tr.Health.node, tr.Health.to_) :: !seen);
+  Health.on_transition h (fun tr ->
+      seen := (2, tr.Health.node, tr.Health.to_) :: !seen);
+  for _ = 1 to 6 do
+    ignore (Health.observe_timeout h ~now:0. ~node:0)
+  done;
+  (* Two transitions (-> Suspect, -> Down), each seen by both hooks in
+     registration order. *)
+  Alcotest.(check (list (triple int int st)))
+    "both hooks, registration order, state threaded"
+    [
+      (1, 0, Health.Suspect);
+      (2, 0, Health.Suspect);
+      (1, 0, Health.Down);
+      (2, 0, Health.Down);
+    ]
+    (List.rev !seen)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "health",
+    [
+      t "timeouts escalate healthy->suspect->down" test_escalation;
+      t "score decays; success halves and readmits"
+        test_score_decays_and_success_halves;
+      t "breaker quarantine then probation trial"
+        test_breaker_quarantine_and_probation;
+      t "probation timeout re-trips the breaker" test_probation_retrip;
+      t "pass-through success ends quarantine early"
+        test_down_passthrough_success;
+      t "adaptive deadline clamps and tracks rtt" test_adaptive_deadline;
+      t "transition hooks fire in order" test_hooks_fire_in_order;
+    ] )

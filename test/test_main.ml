@@ -24,4 +24,5 @@ let () =
       Test_model.suite;
       Test_find_consistent.suite;
       Test_trace.suite;
+      Test_health.suite;
     ]

@@ -344,6 +344,80 @@ let test_online_recovery_under_load () =
       (stripe_consistent cluster ~slot)
   done
 
+let test_takeover_under_chaos () =
+  (* The Fig 6 lines 8-9 takeover must also work under message chaos.
+     Over a small seed range: moderate loss/duplication on every link, a
+     recoverer crashed mid-recovery at a seed-staggered time, and a
+     second client that must finish the job by adopting the recons_set.
+     A watcher fiber crashes the recoverer the moment any node turns
+     RECONS — deterministically inside the phase-3 window regardless of
+     how the loss pattern stretched the earlier phases — so every seed
+     must both exercise the adopt path and end consistent with the
+     committed values intact. *)
+  let seed_offset =
+    match Sys.getenv_opt "ECS_SEED_OFFSET" with
+    | Some s -> ( try int_of_string s with _ -> 0)
+    | None -> 0
+  in
+  let adopts = ref 0. in
+  List.iter
+    (fun seed ->
+      let seed = seed + seed_offset in
+      let cluster =
+        Cluster.create ~seed
+          ~faults:{ Net.no_faults with drop = 0.05; dup = 0.05 }
+          (cfg_3_5 ())
+      in
+      let setup = Cluster.make_client cluster ~id:10 in
+      run_to_completion cluster (fun () ->
+          for i = 0 to 2 do
+            Client.write setup ~slot:0 ~i (block_of cluster (Char.chr (97 + i)))
+          done;
+          Cluster.crash_and_remap_storage cluster 0);
+      let r1 = Cluster.make_client cluster ~id:0 in
+      Cluster.spawn cluster (fun () ->
+          try Client.recover_slot r1 ~slot:0
+          with Cluster.Client_crashed _ -> ());
+      Cluster.spawn cluster (fun () ->
+          let deadline = Cluster.now cluster +. 1.0 in
+          let layout = Cluster.layout cluster in
+          let rec watch () =
+            if Cluster.now cluster > deadline then ()
+            else if
+              List.exists
+                (fun pos ->
+                  let node = Layout.node_of layout ~stripe:0 ~pos in
+                  let e = Cluster.storage_entry cluster node in
+                  Storage_node.peek_opmode e.Directory.store ~slot:0
+                  = Proto.Recons)
+                (List.init 5 Fun.id)
+            then Cluster.crash_client cluster 0
+            else begin
+              Fiber.sleep 2e-5;
+              watch ()
+            end
+          in
+          watch ());
+      Cluster.run cluster;
+      let r2 = Cluster.make_client cluster ~id:1 in
+      run_to_completion cluster (fun () ->
+          Fiber.sleep 0.5;
+          Client.recover_slot r2 ~slot:0;
+          for i = 0 to 2 do
+            Alcotest.(check bytes)
+              (Printf.sprintf "seed %d block %d after takeover" seed i)
+              (block_of cluster (Char.chr (97 + i)))
+              (Client.read r2 ~slot:0 ~i)
+          done);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d consistent" seed)
+        true
+        (stripe_consistent cluster ~slot:0);
+      adopts :=
+        !adopts +. Stats.counter (Cluster.stats cluster) "note.recovery.adopt")
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool) "adopt path exercised across seeds" true (!adopts >= 1.)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "recovery",
@@ -362,4 +436,5 @@ let suite =
       t "monitor repairs INIT node" test_monitor_detects_init_node;
       t "manual remap: write abandoned, not killed" test_no_remap_write_abandons;
       t "online recovery under load" test_online_recovery_under_load;
+      t "recoverer takeover under chaos" test_takeover_under_chaos;
     ] )

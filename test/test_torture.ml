@@ -14,6 +14,15 @@
    crashes-or-delays, so the same assertions must hold.  Every run is
    deterministic in its seed: a failure replays exactly. *)
 
+(* CI chaos matrix: ECS_SEED_OFFSET shifts every hardcoded seed so each
+   matrix job explores a different deterministic slice of crash/fault
+   schedules while any failure still replays exactly from its shifted
+   seed. *)
+let seed_offset =
+  match Sys.getenv_opt "ECS_SEED_OFFSET" with
+  | Some s -> ( try int_of_string s with _ -> 0)
+  | None -> 0
+
 let stripe_consistent cluster ~slot =
   let cfg = Cluster.config cluster in
   let layout = Cluster.layout cluster in
@@ -32,6 +41,7 @@ let stripe_consistent cluster ~slot =
    eat throughput. *)
 let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~seed
     ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
+  let seed = seed + seed_offset in
   let cfg =
     Config.make ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01 ()
   in

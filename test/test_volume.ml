@@ -189,6 +189,227 @@ let test_outage_p99_bounded () =
     (faulted.Vrunner.p99_write < bound)
 
 (* ------------------------------------------------------------------ *)
+(* Maintenance backoff: the capped exponential per-group penalty. *)
+
+let test_maintenance_backoff_policy () =
+  let placement = placement ~groups:3 ~pool:8 in
+  let sc = Shard_cluster.create ~seed:0x33 ~placement (cfg ()) in
+  (* until = 0: the scheduler fiber exits immediately if run; the policy
+     itself is driven by hand (the simulated clock stays at 0). *)
+  let m = Maintenance.start sc ~id:99 ~backoff:0.02 ~backoff_max:0.08 ~until:0. () in
+  Alcotest.(check (float 0.)) "initially eligible" 0. (Maintenance.eligible_at m 1);
+  Maintenance.record_failure m 1;
+  Alcotest.(check (float 1e-9)) "first penalty = base" 0.02
+    (Maintenance.eligible_at m 1);
+  Maintenance.record_failure m 1;
+  Alcotest.(check (float 1e-9)) "doubles" 0.04 (Maintenance.eligible_at m 1);
+  Maintenance.record_failure m 1;
+  Alcotest.(check (float 1e-9)) "doubles again" 0.08
+    (Maintenance.eligible_at m 1);
+  Maintenance.record_failure m 1;
+  Alcotest.(check (float 1e-9)) "capped" 0.08 (Maintenance.eligible_at m 1);
+  Alcotest.(check (float 0.)) "other groups unaffected" 0.
+    (Maintenance.eligible_at m 0);
+  Alcotest.(check int) "each failure counted" 4 (Maintenance.backoffs m);
+  Alcotest.(check int) "errors tracked" 4 (Maintenance.errors m);
+  Maintenance.record_success m 1;
+  Alcotest.(check (float 0.)) "success resets" 0. (Maintenance.eligible_at m 1);
+  Maintenance.record_failure m 1;
+  Alcotest.(check (float 1e-9)) "streak restarts at base" 0.02
+    (Maintenance.eligible_at m 1)
+
+let test_maintenance_backs_off_doomed_group () =
+  (* Crash three of group 0's five member nodes permanently (beyond the
+     n - k = 2 failure bound, no remap): every monitor visit to that
+     group trips a retry limit.  The scheduler must absorb the failures,
+     back the group off, and keep sweeping the healthy groups. *)
+  let placement = placement ~groups:4 ~pool:12 in
+  let sc = Shard_cluster.create ~seed:0x0d ~placement (cfg ()) in
+  let doomed = Placement.group_nodes placement 0 in
+  let events =
+    [
+      ( 0.08,
+        fun sc ->
+          Shard_cluster.crash_node sc doomed.(0);
+          Shard_cluster.crash_node sc doomed.(1);
+          Shard_cluster.crash_node sc doomed.(2) );
+    ]
+  in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~maintenance:4000. ~sc ~clients:4
+      ~duration:0.3
+      ~workload:(Generator.Random_mix { blocks = 128; write_frac = 0.5 })
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "visits failed (%d errors)" r.Vrunner.maintenance_errors)
+    true
+    (r.Vrunner.maintenance_errors > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff applied (%d)" r.Vrunner.maintenance_backoffs)
+    true
+    (r.Vrunner.maintenance_backoffs > 0);
+  (* Backoff must cut the futile retries: far fewer failed visits than
+     an every-round hammering of the doomed group would produce. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "failures sublinear in passes (%d errors / %d passes)"
+       r.Vrunner.maintenance_errors r.Vrunner.maintenance_passes)
+    true
+    (r.Vrunner.maintenance_errors * 3 < r.Vrunner.maintenance_passes)
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing: a pool node crashes with NO scripted remap or restart;
+   the health layer must detect it, the supervisor fail the members
+   over, and targeted recovery restore full resiliency — all within a
+   deterministic, bounded time. *)
+
+let crash_at = 0.08
+
+let self_heal_run () =
+  let placement = placement ~groups:4 ~pool:12 in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ()) in
+  let down_node = (Placement.group_nodes placement 0).(0) in
+  let events =
+    [ (crash_at, fun sc -> Shard_cluster.crash_node sc down_node) ]
+  in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~maintenance:4000. ~supervise:true
+      ~check:ck ~sc ~clients:4 ~duration:0.4
+      ~workload:(Generator.Random_mix { blocks = 128; write_frac = 0.5 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (sc, down_node, r, consistent)
+
+let test_self_healing_end_to_end () =
+  let sc, down_node, r, consistent = self_heal_run () in
+  Alcotest.(check bool) "history consistent" true consistent;
+  Alcotest.(check bool)
+    (Printf.sprintf "members failed over (%d)" r.Vrunner.supervisor_failovers)
+    true
+    (r.Vrunner.supervisor_failovers >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "stripes repaired (%d)" r.Vrunner.supervisor_repairs)
+    true
+    (r.Vrunner.supervisor_repairs >= 1);
+  (* Detection latency: the first Down verdict for the crashed node must
+     land within 20 ms of the crash. *)
+  let detected =
+    List.filter (fun (node, _) -> node = down_node) r.Vrunner.detections
+  in
+  (match detected with
+  | (_, t) :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "detected %.4fs after crash" (t -. crash_at))
+      true
+      (t >= crash_at && t -. crash_at < 0.02)
+  | [] -> Alcotest.fail "crashed node never detected");
+  (* MTTR: the node's groups finish targeted repair within 150 ms. *)
+  let repaired =
+    List.filter (fun (node, _) -> node = down_node) r.Vrunner.repaired_at
+  in
+  (match repaired with
+  | (_, t) :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "repaired %.4fs after crash" (t -. crash_at))
+      true
+      (t -. crash_at < 0.15)
+  | [] -> Alcotest.fail "crashed node never repaired");
+  (* Foreground survived the whole episode. *)
+  Alcotest.(check bool) "foreground still made progress" true
+    (r.Vrunner.run.Report.write_ops > 1000);
+  (* Full resiliency restored: after a final monitor sweep, every used
+     stripe of every group is healthy — all n members answer, none is
+     INIT (the failed-over members really were rebuilt). *)
+  let v = Volume.create sc ~id:77 in
+  Shard_cluster.spawn sc (fun () ->
+      for g = 0 to Volume.groups v - 1 do
+        Volume.monitor_once v ~group:g
+      done);
+  Shard_cluster.run sc;
+  let unhealthy = ref 0 in
+  Shard_cluster.spawn sc (fun () ->
+      for g = 0 to Volume.groups v - 1 do
+        let client = Volume.group_client v g in
+        List.iter
+          (fun slot ->
+            let h = Client.verify_slot client ~slot in
+            if not h.Client.sh_healthy then incr unhealthy)
+          (Shard_cluster.used_slots sc ~group:g)
+      done);
+  Shard_cluster.run sc;
+  Alcotest.(check int) "every used stripe fully healthy" 0 !unhealthy
+
+let test_self_healing_deterministic () =
+  let go () =
+    let _, _, r, consistent = self_heal_run () in
+    ( consistent,
+      r.Vrunner.detections,
+      r.Vrunner.repaired_at,
+      r.Vrunner.supervisor_failovers,
+      r.Vrunner.supervisor_repairs,
+      r.Vrunner.failures,
+      Report.to_string (Report.J_obj (Report.run_fields r.Vrunner.run)) )
+  in
+  let a = go () in
+  let b = go () in
+  Alcotest.(check bool) "identical self-healing runs" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Hedged reads: a lossy-but-alive pool node turns Suspect, reads with
+   a suspect data node race a degraded decode against the primary. *)
+
+let hedge_run ~hedge =
+  let placement = placement ~groups:2 ~pool:8 in
+  let cfg =
+    Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5
+      ~health:{ Config.default_health with Config.hedge } ()
+  in
+  let sc = Shard_cluster.create ~seed:0x1e ~placement cfg in
+  let victim = (Placement.group_nodes placement 0).(0) in
+  let events =
+    [
+      ( 0.05,
+        fun sc ->
+          for c = 0 to 3 do
+            Shard_cluster.set_pool_link_faults sc ~client:c ~node:victim
+              (Some { Net.no_faults with Net.drop = 0.4 })
+          done );
+    ]
+  in
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events ~check:ck ~sc ~clients:4 ~duration:0.3
+      ~workload:(Generator.Random_mix { blocks = 64; write_frac = 0.3 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with
+    | Ok _ -> true
+    | Error violations ->
+      List.iter (fun v -> Printf.printf "violation: %s\n%!" v) violations;
+      false
+  in
+  (r, consistent)
+
+let test_hedged_reads_fire_when_suspect () =
+  let r, consistent = hedge_run ~hedge:true in
+  Alcotest.(check bool) "history consistent" true consistent;
+  Alcotest.(check bool)
+    (Printf.sprintf "hedges launched (%d)" r.Vrunner.failures.Report.hedges)
+    true
+    (r.Vrunner.failures.Report.hedges > 0);
+  Alcotest.(check bool) "suspicion raised" true
+    (r.Vrunner.failures.Report.quarantines >= 0);
+  let off, off_consistent = hedge_run ~hedge:false in
+  Alcotest.(check bool) "hedge-off history consistent" true off_consistent;
+  Alcotest.(check int) "no hedges when disabled" 0
+    off.Vrunner.failures.Report.hedges
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: identical seeds, identical everything. *)
 
 let test_volume_run_deterministic () =
@@ -216,5 +437,11 @@ let suite =
       t "throughput scales with G" test_scaling_with_groups;
       t "outage repaired in background" test_outage_repaired_in_background;
       t "p99 bounded under outage + maintenance" test_outage_p99_bounded;
+      t "maintenance backoff policy" test_maintenance_backoff_policy;
+      t "maintenance backs off a doomed group"
+        test_maintenance_backs_off_doomed_group;
+      t "self-healing end to end" test_self_healing_end_to_end;
+      t "self-healing deterministic" test_self_healing_deterministic;
+      t "hedged reads fire when suspect" test_hedged_reads_fire_when_suspect;
       t "volume run deterministic" test_volume_run_deterministic;
     ] )
