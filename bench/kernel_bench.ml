@@ -1,0 +1,106 @@
+(* Kernel microbenchmark: per-kernel MB/s and allocated-bytes-per-op
+   for the four bulk coding operations (paper Fig 8a / Sec 5.1), over
+   every kernel implementation — the scalar references and the
+   optimized table kernels for GF(2^8) and GF(2^16).
+
+   This seeds the perf trajectory for the data plane: CI uploads the
+   JSON and asserts the table kernels beat their scalar references
+   (and that the optimized kernels are allocation-free in steady
+   state).  MB/s counts source bytes processed. *)
+
+let block_size = 65536
+
+(* Iteration counts sized so each (kernel, op) cell runs for a fraction
+   of a second: the scalar references are ~1-2 orders of magnitude
+   slower than the table kernels. *)
+let iters_for name = if String.length name >= 6 && String.sub name 0 6 = "scalar" then 192 else 2048
+
+type cell = {
+  kernel : string;
+  h : int;
+  op : string;
+  iters : int;
+  mb_per_s : float;
+  alloc_bytes_per_op : int;
+}
+
+let bench_kernel (module K : Kernel.S) =
+  let st = Random.State.make [| 0xBE2C; K.h |] in
+  let mk () =
+    Bytes.init block_size (fun _ -> Char.chr (Random.State.int st 256))
+  in
+  let dst = mk () and src = mk () and v = mk () and w = mk () in
+  (* A nontrivial alpha exercising both split-table halves at h = 16. *)
+  let alpha = if K.h = 8 then 0x53 else 0x1c53 in
+  let iters = iters_for K.name in
+  let ops =
+    [
+      ("xor", fun () -> K.xor_into ~dst ~src);
+      ("scale", fun () -> K.scale_into alpha ~dst ~src);
+      ("scale_xor", fun () -> K.scale_xor_into alpha ~dst ~src);
+      ("delta", fun () -> K.delta_into alpha ~dst ~v ~w);
+    ]
+  in
+  List.map
+    (fun (op, f) ->
+      f ();
+      (* warm-up: build the per-alpha tables outside the window *)
+      let a0 = Stdlib.Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      let t1 = Unix.gettimeofday () in
+      let a1 = Stdlib.Gc.allocated_bytes () in
+      let bytes = float_of_int (block_size * iters) in
+      let mb_per_s = bytes /. (1024. *. 1024.) /. (t1 -. t0) in
+      let alloc_bytes_per_op =
+        int_of_float ((a1 -. a0) /. float_of_int iters)
+      in
+      { kernel = K.name; h = K.h; op; iters; mb_per_s; alloc_bytes_per_op })
+    ops
+
+let kernels : (module Kernel.S) list =
+  [
+    (module Kernel.Scalar8);
+    (module Kernel.Table8);
+    (module Kernel.Scalar16);
+    (module Kernel.Split16);
+  ]
+
+let run ?json () =
+  let cells = List.concat_map bench_kernel kernels in
+  Printf.printf "kernel throughput, %d KiB blocks (MB/s; alloc B/op)\n"
+    (block_size / 1024);
+  Printf.printf "%-10s %4s %-10s %10s %10s\n" "kernel" "h" "op" "MB/s" "B/op";
+  List.iter
+    (fun c ->
+      Printf.printf "%-10s %4d %-10s %10.1f %10d\n" c.kernel c.h c.op
+        c.mb_per_s c.alloc_bytes_per_op)
+    cells;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let open Report in
+    let doc =
+      J_obj
+        [
+          ("block_size", J_int block_size);
+          ( "results",
+            J_arr
+              (List.map
+                 (fun c ->
+                   J_obj
+                     [
+                       ("kernel", J_str c.kernel);
+                       ("h", J_int c.h);
+                       ("op", J_str c.op);
+                       ("iters", J_int c.iters);
+                       ("mb_per_s", J_float (c.mb_per_s, 1));
+                       ("alloc_bytes_per_op", J_int c.alloc_bytes_per_op);
+                     ])
+                 cells) );
+        ]
+    in
+    Report.write_file path doc;
+    Printf.printf "wrote %s\n%!" path)

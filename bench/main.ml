@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- fig9a   # one experiment
      dune exec bench/main.exe -- --list  # list experiment names
      dune exec bench/main.exe -- smoke --json out.json   # CI smoke run
-     dune exec bench/main.exe -- volume --json out.json  # volume scaling curve *)
+     dune exec bench/main.exe -- volume --json out.json  # volume scaling curve
+     dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench *)
 
 let experiments =
   [
@@ -47,6 +48,16 @@ let () =
         exit 1
     in
     Smoke.run ?json ()
+  | "kernel" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: kernel [--json FILE]\n";
+        exit 1
+    in
+    Kernel_bench.run ?json ()
   | "volume" :: rest ->
     let json =
       match rest with

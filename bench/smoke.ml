@@ -3,6 +3,110 @@
    retry/backoff, fault injection) in a few seconds of wall clock — with
    an optional machine-readable JSON summary for the CI artifact. *)
 
+(* Allocation profile of the steady-state data plane: a separate
+   no-fault cluster (so op counts and hence Stdlib.Gc.allocated_bytes deltas
+   are deterministic and the CI byte-identical-rerun check still holds),
+   with manual remap so a crashed data node stays down for the degraded
+   reads.  Reports GC bytes per op for write / read / degraded read plus
+   the buffer-pool counter deltas across the measured writes: after the
+   warm-up, every fan-out scratch block must come from the pool
+   ([steady_misses] = 0 — CI asserts this). *)
+type alloc_profile = {
+  ap_block_size : int;
+  ap_ops : int;
+  ap_write_bytes_per_op : int;
+  ap_read_bytes_per_op : int;
+  ap_degraded_bytes_per_op : int;
+  ap_degraded_ok : bool;
+  ap_steady_gets : int;
+  ap_steady_hits : int;
+  ap_steady_misses : int;
+}
+
+let alloc_profile () =
+  let cfg = Config.make ~k:3 ~n:5 ~block_size:4096 () in
+  let cluster = Cluster.create ~seed:0xA11 ~remap_policy:`Manual cfg in
+  let client = Cluster.make_client cluster ~id:0 in
+  let n_ops = 32 in
+  let result = ref None in
+  Cluster.spawn cluster (fun () ->
+      let bs = cfg.Config.block_size in
+      (* Swap hands payload ownership to the data node, so alternate two
+         constant buffers (never mutated, so stray aliases in
+         recentlists stay valid). *)
+      let payloads = [| Bytes.make bs 'a'; Bytes.make bs 'b' |] in
+      let write x = Client.write client ~slot:0 ~i:0 payloads.(x land 1) in
+      (* Warm-up: populate the stripe and grow the pool to its
+         steady-state footprint. *)
+      for x = 0 to 7 do
+        write x
+      done;
+      ignore (Client.read client ~slot:0 ~i:0);
+      let per_op a b = int_of_float ((b -. a) /. float_of_int n_ops) in
+      let s0 = Buf_pool.stats () in
+      let a0 = Stdlib.Gc.allocated_bytes () in
+      for x = 0 to n_ops - 1 do
+        write x
+      done;
+      let a1 = Stdlib.Gc.allocated_bytes () in
+      let s1 = Buf_pool.stats () in
+      for _ = 1 to n_ops do
+        ignore (Client.read client ~slot:0 ~i:0)
+      done;
+      let a2 = Stdlib.Gc.allocated_bytes () in
+      (* Crash the node holding data position 0 of slot 0; manual remap
+         keeps it down, so reads must decode from survivors. *)
+      Cluster.crash_storage cluster
+        (Layout.node_of (Cluster.layout cluster) ~stripe:0 ~pos:0);
+      let ok = ref true in
+      ignore (Client.read_degraded client ~slot:0 ~i:0);
+      let a3 = Stdlib.Gc.allocated_bytes () in
+      for _ = 1 to n_ops do
+        match Client.read_degraded client ~slot:0 ~i:0 with
+        | Some _ -> ()
+        | None -> ok := false
+      done;
+      let a4 = Stdlib.Gc.allocated_bytes () in
+      result :=
+        Some
+          {
+            ap_block_size = bs;
+            ap_ops = n_ops;
+            ap_write_bytes_per_op = per_op a0 a1;
+            ap_read_bytes_per_op = per_op a1 a2;
+            ap_degraded_bytes_per_op = per_op a3 a4;
+            ap_degraded_ok = !ok;
+            ap_steady_gets = s1.Buf_pool.gets - s0.Buf_pool.gets;
+            ap_steady_hits = s1.Buf_pool.hits - s0.Buf_pool.hits;
+            ap_steady_misses = s1.Buf_pool.misses - s0.Buf_pool.misses;
+          });
+  Cluster.run cluster;
+  match !result with
+  | Some p -> p
+  | None -> failwith "alloc profile fiber did not finish"
+
+let alloc_fields p =
+  let open Report in
+  [
+    ( "alloc",
+      J_obj
+        [
+          ("block_size", J_int p.ap_block_size);
+          ("ops", J_int p.ap_ops);
+          ("write_bytes_per_op", J_int p.ap_write_bytes_per_op);
+          ("read_bytes_per_op", J_int p.ap_read_bytes_per_op);
+          ("degraded_read_bytes_per_op", J_int p.ap_degraded_bytes_per_op);
+          ("degraded_reads_ok", J_bool p.ap_degraded_ok);
+          ( "pool",
+            J_obj
+              [
+                ("steady_gets", J_int p.ap_steady_gets);
+                ("steady_hits", J_int p.ap_steady_hits);
+                ("steady_misses", J_int p.ap_steady_misses);
+              ] );
+        ] );
+  ]
+
 let run ?json () =
   let cfg = Config.make ~k:3 ~n:5 ~block_size:1024 () in
   let faults = { Net.drop = 0.02; dup = 0.02; delay = 0.; jitter = 20e-6 } in
@@ -25,6 +129,13 @@ let run ?json () =
      else "INCONSISTENT");
   let stats = Cluster.stats cluster in
   let c name = Stats.counter stats name in
+  let prof = alloc_profile () in
+  Printf.printf
+    "alloc/op (B): write %d, read %d, degraded read %d; pool steady \
+     gets/hits/misses %d/%d/%d\n%!"
+    prof.ap_write_bytes_per_op prof.ap_read_bytes_per_op
+    prof.ap_degraded_bytes_per_op prof.ap_steady_gets prof.ap_steady_hits
+    prof.ap_steady_misses;
   (match json with
   | None -> ()
   | Some path ->
@@ -48,6 +159,9 @@ let run ?json () =
             ("faults_dropped", J_float (c "faults.dropped", 0));
             ("faults_duplicated", J_float (c "faults.duplicated", 0));
             ("history_consistent", J_bool consistent);
+          ]
+        @ alloc_fields prof
+        @ [
             ( "metrics",
               J_raw
                 (String.trim

@@ -52,6 +52,7 @@ type t = {
   k : int;
   n : int;
   block_size : int;
+  field : Field.choice;
   strategy : strategy;
   t_p : int;
   t_d : int;
@@ -84,7 +85,8 @@ let strategy_to_string = function
   | Bcast -> "bcast"
 
 let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
-    ?(costs = default_costs) ?(retry_delay = 200e-6) ?(order_retry_limit = 8)
+    ?(field = `Gf8) ?(costs = default_costs) ?(retry_delay = 200e-6)
+    ?(order_retry_limit = 8)
     ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
     ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ?(rpc_retry_limit = 8)
     ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3)
@@ -94,6 +96,11 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
   if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
   if t_p < 0 then invalid_arg "Config.make: negative t_p";
   if block_size <= 0 then invalid_arg "Config.make: block_size";
+  (* GF(2^h) symbols occupy h/8 little-endian bytes in a block. *)
+  if block_size mod (Field.h_of field / 8) <> 0 then
+    invalid_arg "Config.make: block_size not a multiple of the symbol size";
+  if n > (match field with `Gf8 -> 255 | `Gf16 -> 65535) then
+    invalid_arg "Config.make: n exceeds the field's code-width cap";
   (match strategy with
   | Hybrid g when g <= 0 -> invalid_arg "Config.make: hybrid group size"
   | _ -> ());
@@ -114,6 +121,7 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     k;
     n;
     block_size;
+    field;
     strategy;
     t_p;
     t_d = t_d_for strategy ~t_p ~p:(n - k);
@@ -131,3 +139,4 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
   }
 
 let p t = t.n - t.k
+let h t = Field.h_of t.field

@@ -48,6 +48,10 @@ type t = {
   k : int;
   n : int;
   block_size : int;
+  field : Field.choice;
+      (** the GF(2^h) the code computes over; [`Gf8] is the paper's
+          regime, [`Gf16] lifts the n <= 255 cap (block_size must be a
+          multiple of the 2-byte symbol) *)
   strategy : strategy;
   t_p : int;  (** client-failure threshold (Sec 4) *)
   t_d : int;  (** storage-failure tolerance implied by strategy and t_p *)
@@ -73,6 +77,7 @@ val make :
   ?strategy:strategy ->
   ?t_p:int ->
   ?block_size:int ->
+  ?field:Field.choice ->
   ?costs:cost_model ->
   ?retry_delay:float ->
   ?order_retry_limit:int ->
@@ -89,13 +94,18 @@ val make :
   unit ->
   t
 (** Build a configuration.  Defaults: parallel strategy, [t_p = 1],
-    1 KB blocks.  [t_d] is derived from the strategy's theorem (clamped
-    at 0).  Requires [2 <= k < n] and [n - k <= k] (the paper's
-    correctness precondition, Sec 4).
+    1 KB blocks, GF(2^8).  [t_d] is derived from the strategy's theorem
+    (clamped at 0).  Requires [2 <= k < n] and [n - k <= k] (the
+    paper's correctness precondition, Sec 4), [block_size] a multiple
+    of the field's symbol size, and [n] within the field's code-width
+    cap.
     @raise Invalid_argument on violations. *)
 
 val p : t -> int
 (** Redundancy [n - k]. *)
+
+val h : t -> int
+(** Symbol width in bits of the configured field (8 or 16). *)
 
 val t_d_for : strategy -> t_p:int -> p:int -> int
 (** The storage-failure tolerance a strategy provides (>= 0 clamp). *)

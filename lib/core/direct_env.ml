@@ -18,7 +18,9 @@ type t = {
 let tick = 1e-6
 
 let create ?(rotate = true) cfg =
-  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let code =
+    Rs_code.create ~field:cfg.Config.field ~k:cfg.Config.k ~n:cfg.Config.n ()
+  in
   let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
   let failed_clients = Hashtbl.create 4 in
   let t =
@@ -35,6 +37,7 @@ let create ?(rotate = true) cfg =
     Storage_node.create
       ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
       ~client_failed:(Hashtbl.mem failed_clients)
+      ~h:(Config.h cfg)
       ~now:(fun () -> t.clock)
       ~block_size:cfg.Config.block_size ~init ()
   in
@@ -58,6 +61,7 @@ let remap_node t i =
     Storage_node.create
       ~alpha_for:(Layout.alpha_oracle t.layout t.code ~node:i)
       ~client_failed:(Hashtbl.mem t.failed_clients)
+      ~h:(Config.h t.cfg)
       ~now:(fun () -> t.clock)
       ~block_size:t.cfg.Config.block_size ~init:`Garbage ()
 

@@ -33,18 +33,35 @@ let add_result_of_call = function
     { ar_status = Proto.Add_fail; ar_opmode = Proto.Init; ar_lmode = Proto.Unl }
 
 (* One batch of adds over the target positions, honouring the update
-   strategy.  Returns per-position results. *)
+   strategy.  Returns per-position results.
+
+   Allocation discipline: the block difference [v XOR w] is computed
+   ONCE into a pooled buffer and shared by the whole fan-out; each
+   unicast scales it by the target's coefficient into a second pooled
+   buffer (Rs_code.update_delta_into), so the steady-state fan-out
+   allocates no block-sized memory at all.  Recycling after
+   Session.call returns is safe: the simulated network serves every
+   delivery (including duplicates) synchronously within the call, so no
+   reference to the payload survives it. *)
 let dispatch_adds t ctx ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
   let s = t.session in
   let cfg = Session.cfg s in
   let costs = cfg.Config.costs in
   let results = ref [] in
   let record pos r = results := (pos, r) :: !results in
+  let len = Bytes.length v in
+  (* diff = v - w = v XOR w, identical bits in any GF(2^h). *)
+  let diff = Buf_pool.get len in
+  Bytes.blit v 0 diff 0 len;
+  Rs_code.xor_into t.code ~dst:diff ~src:blk;
   let unicast pos =
     Session.compute s (Session.block_cost s costs.Config.delta_per_byte);
-    let dv = Rs_code.update_delta t.code ~j:pos ~i ~v ~w:blk in
+    let dv = Buf_pool.get len in
+    Rs_code.update_delta_into t.code ~j:pos ~i ~dst:dv ~diff;
     let req = Proto.Add { dv; ntid; otid; epoch } in
-    record pos (add_result_of_call (Session.call s ctx ~slot ~pos req))
+    let r = Session.call s ctx ~slot ~pos req in
+    Buf_pool.put dv;
+    record pos (add_result_of_call r)
   in
   (match cfg.Config.strategy with
   | Config.Serial -> List.iter unicast targets
@@ -75,11 +92,11 @@ let dispatch_adds t ctx ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
     | None -> Session.pfor s (List.map (fun pos () -> unicast pos) targets)
     | Some bcast ->
       Session.compute s (Session.block_cost s costs.Config.delta_per_byte);
-      let dv = Block_ops.xor v blk in
-      let req = Proto.Add_bcast { dv; dblk = i; ntid; otid; epoch } in
+      let req = Proto.Add_bcast { dv = diff; dblk = i; ntid; otid; epoch } in
       List.iter
         (fun (pos, r) -> record pos (add_result_of_call r))
         (bcast ~slot ~poss:targets req)));
+  Buf_pool.put diff;
   !results
 
 (* WRITE (Fig 5). *)

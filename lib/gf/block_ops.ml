@@ -1,82 +1,26 @@
-(* Bulk kernels.  The XOR kernel works 8 bytes at a time through
-   Bytes.get_int64 / set_int64; the multiply kernels go through a per-alpha
-   256-entry product table, mirroring the optimized C kernels the paper
-   describes (Sec 5.1, Sec 6.1). *)
+(* GF(2^8) bulk operations — the historical front door to what is now
+   [Kernel.Table8] (word-sliced XOR, per-alpha product tables,
+   mirroring the optimized C kernels the paper describes in Sec 5.1 and
+   6.1).  The in-place [_into] family comes straight from the kernel;
+   this module adds the allocating conveniences used by cold paths and
+   tests. *)
 
-let check_same_length a b =
-  if Bytes.length a <> Bytes.length b then
-    invalid_arg "Block_ops: blocks of different lengths"
-
-let xor_into ~dst ~src =
-  check_same_length dst src;
-  let len = Bytes.length dst in
-  let words = len / 8 in
-  for i = 0 to words - 1 do
-    let off = i * 8 in
-    Bytes.set_int64_ne dst off
-      (Int64.logxor (Bytes.get_int64_ne dst off) (Bytes.get_int64_ne src off))
-  done;
-  for i = words * 8 to len - 1 do
-    Bytes.unsafe_set dst i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get dst i)
-          lxor Char.code (Bytes.unsafe_get src i)))
-  done
+include Kernel.Table8
 
 let xor a b =
   let r = Bytes.copy a in
   xor_into ~dst:r ~src:b;
   r
 
-(* Cache of per-alpha multiplication tables; 256 possible alphas, built
-   lazily.  Each table maps a byte to alpha * byte. *)
-let mul_tables : bytes option array = Array.make 256 None
-
-let mul_table alpha =
-  match mul_tables.(alpha) with
-  | Some t -> t
-  | None ->
-    let t = Bytes.create 256 in
-    for x = 0 to 255 do
-      Bytes.unsafe_set t x (Char.unsafe_chr (Gf256.mul alpha x))
-    done;
-    mul_tables.(alpha) <- Some t;
-    t
-
-let scale_into alpha ~dst ~src =
-  check_same_length dst src;
-  let t = mul_table alpha in
-  for i = 0 to Bytes.length src - 1 do
-    Bytes.unsafe_set dst i
-      (Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i)))
-  done
-
 let scale alpha b =
   let r = Bytes.create (Bytes.length b) in
   scale_into alpha ~dst:r ~src:b;
   r
 
-let scale_xor_into alpha ~dst ~src =
-  check_same_length dst src;
-  let t = mul_table alpha in
-  for i = 0 to Bytes.length src - 1 do
-    let p = Char.code (Bytes.unsafe_get t (Char.code (Bytes.unsafe_get src i))) in
-    Bytes.unsafe_set dst i
-      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor p))
-  done
-
 let delta alpha ~v ~w =
-  let d = xor v w in
-  (* In GF(2^h), v - w = v XOR w. *)
-  if alpha = Gf256.one then d
-  else begin
-    scale_into alpha ~dst:d ~src:d;
-    d
-  end
-
-let is_zero b =
-  let rec go i = i >= Bytes.length b || (Bytes.get b i = '\000' && go (i + 1)) in
-  go 0
+  let d = Bytes.create (Bytes.length v) in
+  delta_into alpha ~dst:d ~v ~w;
+  d
 
 let random st len =
   Bytes.init len (fun _ -> Char.chr (Random.State.int st 256))

@@ -1,6 +1,7 @@
-(** Bulk GF(2^8) kernels over data blocks ([bytes]).
+(** Bulk GF(2^8) kernels over data blocks ([bytes]) — the historical
+    front door to {!Kernel.Table8}.
 
-    These are the three operations the protocol spends compute time on
+    These are the operations the protocol spends compute time on
     (paper Fig 8a):
     - {b Add}: XOR one block into another (storage node applying an [add]);
     - {b Delta}: [alpha * (v - w)] over a whole block (client preparing an
@@ -8,8 +9,9 @@
     - scale: multiply a block by a field constant (broadcast optimization,
       where the storage node does the scaling).
 
-    All functions require blocks of equal length and raise
-    [Invalid_argument] otherwise. *)
+    The [_into] family is allocation-free; field-generic callers should
+    go through {!Kernel.S} instead.  All functions require blocks of
+    equal length and raise [Invalid_argument] otherwise. *)
 
 val xor_into : dst:bytes -> src:bytes -> unit
 (** [xor_into ~dst ~src] sets [dst.(i) <- dst.(i) lxor src.(i)] for all i.
@@ -33,6 +35,9 @@ val delta : Gf256.t -> v:bytes -> w:bytes -> bytes
 (** [delta alpha ~v ~w] is [alpha * (v - w)] per byte: the redundant-block
     update a client sends for a write that changed a data block from [w]
     to [v]. *)
+
+val delta_into : Gf256.t -> dst:bytes -> v:bytes -> w:bytes -> unit
+(** Allocation-free {!delta}: [dst.(i) <- alpha * (v.(i) - w.(i))]. *)
 
 val is_zero : bytes -> bool
 (** [is_zero b] is true iff every byte of [b] is 0. *)

@@ -1,0 +1,83 @@
+(* Size-classed free list of block buffers for the coding hot paths.
+
+   The write fan-out needs one scratch block per redundant node per
+   write; allocating them fresh churns the minor heap with block-sized
+   garbage.  This pool recycles buffers by exact length (the data plane
+   only ever uses a handful of distinct block sizes, so exact classes
+   beat rounding).
+
+   Contract: [get] returns a buffer with ARBITRARY contents — callers
+   must fully overwrite it.  [put] hands the buffer back; the caller
+   must not touch it afterwards.  Losing a buffer (e.g. an exception
+   between get and put) is safe: the pool is only a cache, the GC
+   reclaims strays, and the stats just show an extra miss later.
+
+   The pool is global, single-domain (like the discrete-event simulator
+   it serves) and deterministic: free lists are LIFO, so a replayed run
+   recycles the same buffers in the same order. *)
+
+type stats = {
+  gets : int;  (* total get calls *)
+  hits : int;  (* gets served from a free list *)
+  misses : int;  (* gets that had to allocate *)
+  puts : int;  (* total put calls *)
+  drops : int;  (* puts discarded because the class was full *)
+}
+
+let zero_stats = { gets = 0; hits = 0; misses = 0; puts = 0; drops = 0 }
+
+(* Bounded per-class free lists: a burst (deep pipeline of writes) can
+   park at most [max_per_class] blocks of each size here. *)
+let max_per_class = 128
+
+let classes : (int, bytes list ref) Hashtbl.t = Hashtbl.create 8
+let counts : (int, int ref) Hashtbl.t = Hashtbl.create 8
+let st = ref zero_stats
+
+let free_list len =
+  match Hashtbl.find_opt classes len with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add classes len l;
+    Hashtbl.add counts len (ref 0);
+    l
+
+let count len =
+  match Hashtbl.find_opt counts len with
+  | Some c -> c
+  | None ->
+    ignore (free_list len);
+    Hashtbl.find counts len
+
+let get len =
+  if len < 0 then invalid_arg "Buf_pool.get: negative length";
+  let fl = free_list len in
+  match !fl with
+  | b :: rest ->
+    fl := rest;
+    decr (count len);
+    st := { !st with gets = !st.gets + 1; hits = !st.hits + 1 };
+    b
+  | [] ->
+    st := { !st with gets = !st.gets + 1; misses = !st.misses + 1 };
+    Bytes.create len
+
+let put b =
+  let len = Bytes.length b in
+  let c = count len in
+  if !c >= max_per_class then
+    st := { !st with puts = !st.puts + 1; drops = !st.drops + 1 }
+  else begin
+    let fl = free_list len in
+    fl := b :: !fl;
+    incr c;
+    st := { !st with puts = !st.puts + 1 }
+  end
+
+let stats () = !st
+
+let reset () =
+  Hashtbl.reset classes;
+  Hashtbl.reset counts;
+  st := zero_stats

@@ -1,0 +1,38 @@
+(** Size-classed free list of block buffers for the coding hot paths.
+
+    The write fan-out needs one scratch block per redundant node per
+    write; recycling them here keeps the steady-state data plane free
+    of block-sized allocations (the CI smoke job asserts this via
+    {!stats}).
+
+    Contract: {!get} returns a buffer with {e arbitrary} contents — the
+    caller must fully overwrite it before use.  {!put} returns the
+    buffer to the pool; the caller must not touch it afterwards.
+    Dropping a buffer without [put] (exception between get and put) is
+    safe — the pool is only a cache and the GC reclaims strays.
+
+    Global and single-domain, like the discrete-event simulator it
+    serves; free lists are LIFO so replayed runs recycle buffers in the
+    same order (determinism). *)
+
+type stats = {
+  gets : int;  (** total {!get} calls *)
+  hits : int;  (** gets served from a free list *)
+  misses : int;  (** gets that had to allocate *)
+  puts : int;  (** total {!put} calls *)
+  drops : int;  (** puts discarded because the size class was full *)
+}
+
+val get : int -> bytes
+(** [get len] returns a buffer of exactly [len] bytes, reusing a pooled
+    one when available.  Contents are arbitrary.
+    @raise Invalid_argument on negative [len]. *)
+
+val put : bytes -> unit
+(** Return a buffer to its size class (bounded; surplus is dropped to
+    the GC). *)
+
+val stats : unit -> stats
+
+val reset : unit -> unit
+(** Drop every pooled buffer and zero the counters (test isolation). *)

@@ -1,0 +1,66 @@
+(* The FIELD abstraction the coding data plane is generic over.
+
+   The paper's protocol works over "some finite field, usually GF(2^h)"
+   (Sec 3.3); everything above this module — matrices, RS codes, bulk
+   kernels — only needs the operations below, so GF(2^8) and GF(2^16)
+   plug in interchangeably.  Elements are [int] in [0, field_size - 1];
+   blocks store them as [h/8] little-endian bytes per symbol. *)
+
+module type S = sig
+  val h : int
+  (** Symbol width in bits; symbols occupy [h / 8] bytes in a block. *)
+
+  val field_size : int
+  (** [2^h]. *)
+
+  val group_order : int
+  (** [2^h - 1], the order of the multiplicative group. *)
+
+  val zero : int
+  val one : int
+  val generator : int
+  val add : int -> int -> int
+  val sub : int -> int -> int
+  val mul : int -> int -> int
+  val inv : int -> int
+  val div : int -> int -> int
+  val pow : int -> int -> int
+  val exp : int -> int
+  val log : int -> int
+end
+
+module Gf8 : S = struct
+  let h = 8
+  let field_size = 256
+  let group_order = 255
+
+  include Gf256
+end
+
+module Gf16 : S = struct
+  let h = 16
+  let field_size = 65536
+  let group_order = 65535
+
+  include Gf65536
+end
+
+(* Runtime field selection, threaded from Config down to the code and
+   the storage nodes.  [`Gf8] is the paper's regime (n <= 32 in every
+   experiment); [`Gf16] lifts the n <= 255 code-width cap. *)
+type choice = [ `Gf8 | `Gf16 ]
+
+let of_choice : choice -> (module S) = function
+  | `Gf8 -> (module Gf8)
+  | `Gf16 -> (module Gf16)
+
+let h_of : choice -> int = function `Gf8 -> 8 | `Gf16 -> 16
+
+let choice_of_h = function
+  | 8 -> `Gf8
+  | 16 -> `Gf16
+  | h -> invalid_arg (Printf.sprintf "Field.choice_of_h: no GF(2^%d) field" h)
+
+let choice_to_string : choice -> string = function
+  | `Gf8 -> "gf8"
+  | `Gf16 -> "gf16"

@@ -1,0 +1,60 @@
+(** The finite-field signature the coding data plane is generic over.
+
+    The paper's protocol is parameterized over GF(2^h) (Sec 3.3); the
+    matrices, RS codes and bulk kernels above this module only use the
+    operations of {!S}, so {!Gf8} (= {!Gf256}) and {!Gf16}
+    (= {!Gf65536}) plug in interchangeably.  Elements are [int] in
+    [0, field_size - 1]; blocks store them as [h/8] little-endian bytes
+    per symbol. *)
+
+module type S = sig
+  val h : int
+  (** Symbol width in bits; symbols occupy [h / 8] bytes in a block. *)
+
+  val field_size : int
+  (** [2^h]. *)
+
+  val group_order : int
+  (** [2^h - 1], the order of the multiplicative group. *)
+
+  val zero : int
+  val one : int
+  val generator : int
+  val add : int -> int -> int
+  val sub : int -> int -> int
+  val mul : int -> int -> int
+
+  val inv : int -> int
+  (** @raise Division_by_zero on 0. *)
+
+  val div : int -> int -> int
+  (** @raise Division_by_zero if the divisor is 0. *)
+
+  val pow : int -> int -> int
+  (** [pow a e] for [e >= 0]. *)
+
+  val exp : int -> int
+  (** [exp i] is [generator^i], [i] reduced mod [group_order]. *)
+
+  val log : int -> int
+  (** @raise Invalid_argument on 0. *)
+end
+
+module Gf8 : S
+(** GF(2^8), realized by {!Gf256} ([h = 8]). *)
+
+module Gf16 : S
+(** GF(2^16), realized by {!Gf65536} ([h = 16]). *)
+
+type choice = [ `Gf8 | `Gf16 ]
+(** Runtime field selection, threaded from [Config] down to the code
+    and the storage nodes. *)
+
+val of_choice : choice -> (module S)
+val h_of : choice -> int
+
+val choice_of_h : int -> choice
+(** @raise Invalid_argument unless [h] is 8 or 16. *)
+
+val choice_to_string : choice -> string
+(** ["gf8"] / ["gf16"] — stable labels for JSON and test names. *)

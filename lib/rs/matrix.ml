@@ -1,133 +1,166 @@
-(* Dense GF(2^8) matrices; row-major int arrays. *)
+(* Dense matrices over GF(2^h); row-major int arrays.  Functorized over
+   the field so the same Gauss-Jordan / Vandermonde / Cauchy machinery
+   serves both GF(2^8) and GF(2^16) codes; the top level remains the
+   historical GF(2^8) instance. *)
 
-type t = {
-  rows : int;
-  cols : int;
-  data : int array; (* length rows * cols *)
-}
+module type S = sig
+  type t
 
-let make ~rows ~cols =
-  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make: non-positive size";
-  { rows; cols; data = Array.make (rows * cols) 0 }
+  val make : rows:int -> cols:int -> t
+  val init : rows:int -> cols:int -> (int -> int -> int) -> t
+  val identity : int -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> int
+  val set : t -> int -> int -> int -> unit
+  val copy : t -> t
+  val row : t -> int -> int array
+  val mul : t -> t -> t
+  val mul_vec : t -> int array -> int array
+  val invert : t -> t
+  val vandermonde : rows:int -> cols:int -> t
+  val cauchy : rows:int -> cols:int -> t
+  val submatrix_rows : t -> int list -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
 
-let init ~rows ~cols f =
-  let m = make ~rows ~cols in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      m.data.((r * cols) + c) <- f r c
-    done
-  done;
-  m
+module Make (F : Field.S) = struct
+  type t = {
+    rows : int;
+    cols : int;
+    data : int array; (* length rows * cols *)
+  }
 
-let identity n = init ~rows:n ~cols:n (fun r c -> if r = c then 1 else 0)
+  let make ~rows ~cols =
+    if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make: non-positive size";
+    { rows; cols; data = Array.make (rows * cols) 0 }
 
-let rows m = m.rows
-let cols m = m.cols
-
-let get m r c = m.data.((r * m.cols) + c)
-let set m r c v = m.data.((r * m.cols) + c) <- v
-
-let copy m = { m with data = Array.copy m.data }
-
-let row m r = Array.sub m.data (r * m.cols) m.cols
-
-let mul a b =
-  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
-  let r = make ~rows:a.rows ~cols:b.cols in
-  for i = 0 to a.rows - 1 do
-    for j = 0 to b.cols - 1 do
-      let acc = ref 0 in
-      for t = 0 to a.cols - 1 do
-        acc := Gf256.add !acc (Gf256.mul (get a i t) (get b t j))
-      done;
-      set r i j !acc
-    done
-  done;
-  r
-
-let mul_vec m v =
-  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
-  Array.init m.rows (fun i ->
-      let acc = ref 0 in
-      for t = 0 to m.cols - 1 do
-        acc := Gf256.add !acc (Gf256.mul (get m i t) v.(t))
-      done;
-      !acc)
-
-(* Gauss-Jordan with partial "pivoting" (any nonzero pivot works in a
-   field of characteristic 2). *)
-let invert m0 =
-  if m0.rows <> m0.cols then invalid_arg "Matrix.invert: not square";
-  let n = m0.rows in
-  let a = copy m0 in
-  let inv = identity n in
-  let swap_rows m r1 r2 =
-    if r1 <> r2 then
-      for c = 0 to n - 1 do
-        let t = get m r1 c in
-        set m r1 c (get m r2 c);
-        set m r2 c t
+  let init ~rows ~cols f =
+    let m = make ~rows ~cols in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        m.data.((r * cols) + c) <- f r c
       done
-  in
-  for col = 0 to n - 1 do
-    (* Find a nonzero pivot at or below [col]. *)
-    let pivot = ref (-1) in
-    (try
-       for r = col to n - 1 do
-         if get a r col <> 0 then begin
-           pivot := r;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !pivot < 0 then failwith "Matrix.invert: singular matrix";
-    swap_rows a col !pivot;
-    swap_rows inv col !pivot;
-    let pinv = Gf256.inv (get a col col) in
-    for c = 0 to n - 1 do
-      set a col c (Gf256.mul pinv (get a col c));
-      set inv col c (Gf256.mul pinv (get inv col c))
     done;
-    for r = 0 to n - 1 do
-      if r <> col then begin
-        let factor = get a r col in
-        if factor <> 0 then
-          for c = 0 to n - 1 do
-            set a r c (Gf256.sub (get a r c) (Gf256.mul factor (get a col c)));
-            set inv r c (Gf256.sub (get inv r c) (Gf256.mul factor (get inv col c)))
-          done
-      end
+    m
+
+  let identity n = init ~rows:n ~cols:n (fun r c -> if r = c then 1 else 0)
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let get m r c = m.data.((r * m.cols) + c)
+  let set m r c v = m.data.((r * m.cols) + c) <- v
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let row m r = Array.sub m.data (r * m.cols) m.cols
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+    let r = make ~rows:a.rows ~cols:b.cols in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to b.cols - 1 do
+        let acc = ref 0 in
+        for t = 0 to a.cols - 1 do
+          acc := F.add !acc (F.mul (get a i t) (get b t j))
+        done;
+        set r i j !acc
+      done
+    done;
+    r
+
+  let mul_vec m v =
+    if Array.length v <> m.cols then
+      invalid_arg "Matrix.mul_vec: dimension mismatch";
+    Array.init m.rows (fun i ->
+        let acc = ref 0 in
+        for t = 0 to m.cols - 1 do
+          acc := F.add !acc (F.mul (get m i t) v.(t))
+        done;
+        !acc)
+
+  (* Gauss-Jordan with partial "pivoting" (any nonzero pivot works in a
+     field of characteristic 2). *)
+  let invert m0 =
+    if m0.rows <> m0.cols then invalid_arg "Matrix.invert: not square";
+    let n = m0.rows in
+    let a = copy m0 in
+    let inv = identity n in
+    let swap_rows m r1 r2 =
+      if r1 <> r2 then
+        for c = 0 to n - 1 do
+          let t = get m r1 c in
+          set m r1 c (get m r2 c);
+          set m r2 c t
+        done
+    in
+    for col = 0 to n - 1 do
+      (* Find a nonzero pivot at or below [col]. *)
+      let pivot = ref (-1) in
+      (try
+         for r = col to n - 1 do
+           if get a r col <> 0 then begin
+             pivot := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot < 0 then failwith "Matrix.invert: singular matrix";
+      swap_rows a col !pivot;
+      swap_rows inv col !pivot;
+      let pinv = F.inv (get a col col) in
+      for c = 0 to n - 1 do
+        set a col c (F.mul pinv (get a col c));
+        set inv col c (F.mul pinv (get inv col c))
+      done;
+      for r = 0 to n - 1 do
+        if r <> col then begin
+          let factor = get a r col in
+          if factor <> 0 then
+            for c = 0 to n - 1 do
+              set a r c (F.sub (get a r c) (F.mul factor (get a col c)));
+              set inv r c (F.sub (get inv r c) (F.mul factor (get inv col c)))
+            done
+        end
+      done
+    done;
+    inv
+
+  let vandermonde ~rows ~cols =
+    init ~rows ~cols (fun r c -> F.pow r c)
+
+  (* Cauchy matrix: entry (i, j) = 1 / (x_i XOR y_j) with x_i = i and
+     y_j = rows + j.  The x and y sets are disjoint, so the denominator
+     is never zero; every square submatrix of a Cauchy matrix is
+     nonsingular, which makes any [cols] rows independent. *)
+  let cauchy ~rows ~cols =
+    if rows + cols > F.field_size then
+      invalid_arg
+        (Printf.sprintf "Matrix.cauchy: rows + cols > %d" F.field_size);
+    init ~rows ~cols (fun r c -> F.inv (F.add r (rows + c)))
+
+  let submatrix_rows m rs =
+    let nrows = List.length rs in
+    let out = make ~rows:nrows ~cols:m.cols in
+    List.iteri
+      (fun i r ->
+        if r < 0 || r >= m.rows then invalid_arg "Matrix.submatrix_rows: bad row";
+        Array.blit m.data (r * m.cols) out.data (i * m.cols) m.cols)
+      rs;
+    out
+
+  let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+  let pp fmt m =
+    for r = 0 to m.rows - 1 do
+      for c = 0 to m.cols - 1 do
+        Format.fprintf fmt "%3d " (get m r c)
+      done;
+      Format.pp_print_newline fmt ()
     done
-  done;
-  inv
+end
 
-let vandermonde ~rows ~cols =
-  init ~rows ~cols (fun r c -> Gf256.pow r c)
-
-(* Cauchy matrix over GF(2^8): entry (i, j) = 1 / (x_i XOR y_j) with
-   x_i = i and y_j = rows + j.  The x and y sets are disjoint, so the
-   denominator is never zero; every square submatrix of a Cauchy matrix
-   is nonsingular, which makes any [cols] rows independent. *)
-let cauchy ~rows ~cols =
-  if rows + cols > 256 then invalid_arg "Matrix.cauchy: rows + cols > 256";
-  init ~rows ~cols (fun r c -> Gf256.inv (Gf256.add r (rows + c)))
-
-let submatrix_rows m rs =
-  let nrows = List.length rs in
-  let out = make ~rows:nrows ~cols:m.cols in
-  List.iteri
-    (fun i r ->
-      if r < 0 || r >= m.rows then invalid_arg "Matrix.submatrix_rows: bad row";
-      Array.blit m.data (r * m.cols) out.data (i * m.cols) m.cols)
-    rs;
-  out
-
-let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
-
-let pp fmt m =
-  for r = 0 to m.rows - 1 do
-    for c = 0 to m.cols - 1 do
-      Format.fprintf fmt "%3d " (get m r c)
-    done;
-    Format.pp_print_newline fmt ()
-  done
+(* The historical top-level API: GF(2^8). *)
+include Make (Field.Gf8)

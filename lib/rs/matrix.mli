@@ -1,51 +1,62 @@
-(** Dense matrices over GF(2^8), sized for erasure-code work
-    (dimensions up to 255). *)
+(** Dense matrices over GF(2^h), sized for erasure-code work
+    (dimensions up to [field_size - 1]).
 
-type t
-(** A rows x cols matrix of field elements. *)
+    {!Make} builds the machinery for any {!Field.S}; the top level is
+    the historical GF(2^8) instance. *)
 
-val make : rows:int -> cols:int -> t
-(** Zero matrix. *)
+module type S = sig
+  type t
+  (** A rows x cols matrix of field elements. *)
 
-val init : rows:int -> cols:int -> (int -> int -> Gf256.t) -> t
-(** [init ~rows ~cols f] has entry [f r c] at row [r], column [c]. *)
+  val make : rows:int -> cols:int -> t
+  (** Zero matrix. *)
 
-val identity : int -> t
+  val init : rows:int -> cols:int -> (int -> int -> int) -> t
+  (** [init ~rows ~cols f] has entry [f r c] at row [r], column [c]. *)
 
-val rows : t -> int
-val cols : t -> int
+  val identity : int -> t
 
-val get : t -> int -> int -> Gf256.t
-val set : t -> int -> int -> Gf256.t -> unit
+  val rows : t -> int
+  val cols : t -> int
 
-val copy : t -> t
+  val get : t -> int -> int -> int
+  val set : t -> int -> int -> int -> unit
 
-val row : t -> int -> Gf256.t array
-(** [row m r] is a fresh array holding row [r]. *)
+  val copy : t -> t
 
-val mul : t -> t -> t
-(** Matrix product.  @raise Invalid_argument on dimension mismatch. *)
+  val row : t -> int -> int array
+  (** [row m r] is a fresh array holding row [r]. *)
 
-val mul_vec : t -> Gf256.t array -> Gf256.t array
-(** Matrix-vector product. *)
+  val mul : t -> t -> t
+  (** Matrix product.  @raise Invalid_argument on dimension mismatch. *)
 
-val invert : t -> t
-(** Inverse of a square matrix by Gauss-Jordan elimination.
-    @raise Invalid_argument if not square.
-    @raise Failure if singular. *)
+  val mul_vec : t -> int array -> int array
+  (** Matrix-vector product. *)
 
-val vandermonde : rows:int -> cols:int -> t
-(** [vandermonde ~rows ~cols] has entry [i^j] at row [i], column [j]
-    (with [0^0 = 1]).  Any [cols] rows are linearly independent when
-    [rows <= 255]. *)
+  val invert : t -> t
+  (** Inverse of a square matrix by Gauss-Jordan elimination.
+      @raise Invalid_argument if not square.
+      @raise Failure if singular. *)
 
-val cauchy : rows:int -> cols:int -> t
-(** [cauchy ~rows ~cols] has entry [1 / (x_i + y_j)] for disjoint sets
-    [x_i = i] and [y_j = rows + j]; every square submatrix is
-    invertible.  Requires [rows + cols <= 256]. *)
+  val vandermonde : rows:int -> cols:int -> t
+  (** [vandermonde ~rows ~cols] has entry [i^j] at row [i], column [j]
+      (with [0^0 = 1]).  Any [cols] rows are linearly independent when
+      [rows <= field_size - 1]. *)
 
-val submatrix_rows : t -> int list -> t
-(** [submatrix_rows m rs] stacks the rows of [m] listed in [rs], in order. *)
+  val cauchy : rows:int -> cols:int -> t
+  (** [cauchy ~rows ~cols] has entry [1 / (x_i + y_j)] for disjoint sets
+      [x_i = i] and [y_j = rows + j]; every square submatrix is
+      invertible.  Requires [rows + cols <= field_size]. *)
 
-val equal : t -> t -> bool
-val pp : Format.formatter -> t -> unit
+  val submatrix_rows : t -> int list -> t
+  (** [submatrix_rows m rs] stacks the rows of [m] listed in [rs], in
+      order. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (_ : Field.S) : S
+
+include S
+(** The GF(2^8) instance. *)

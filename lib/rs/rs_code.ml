@@ -4,125 +4,196 @@
      inverse of its top k x k square, preserving the
      any-k-rows-invertible (MDS) property;
    - Cauchy: stack the identity on a (n-k) x k Cauchy matrix, MDS
-     because every square submatrix of a Cauchy matrix is nonsingular. *)
+     because every square submatrix of a Cauchy matrix is nonsingular.
+
+   The machinery is a functor over the field and its bulk kernel; the
+   public [t] is a small dispatch wrapper over the GF(2^8) and GF(2^16)
+   instances so every existing caller keeps a single monomorphic type. *)
 
 type construction = [ `Vandermonde | `Cauchy ]
 
-type t = {
-  k : int;
-  n : int;
-  construction : construction;
-  gen : Matrix.t; (* n x k, systematic *)
-}
+module Make (F : Field.S) (K : Kernel.S) = struct
+  module M = Matrix.Make (F)
 
-let create ?(construction = `Vandermonde) ~k ~n () =
-  if k < 1 || n <= k || n > 255 then
-    invalid_arg "Rs_code.create: need 1 <= k < n <= 255";
-  let gen =
-    match construction with
-    | `Vandermonde ->
-      let v = Matrix.vandermonde ~rows:n ~cols:k in
-      let top = Matrix.submatrix_rows v (List.init k Fun.id) in
-      Matrix.mul v (Matrix.invert top)
-    | `Cauchy ->
-      let c = Matrix.cauchy ~rows:(n - k) ~cols:k in
-      Matrix.init ~rows:n ~cols:k (fun r col ->
-          if r < k then if r = col then 1 else 0
-          else Matrix.get c (r - k) col)
-  in
-  { k; n; construction; gen }
+  type t = {
+    k : int;
+    n : int;
+    construction : construction;
+    gen : M.t; (* n x k, systematic *)
+  }
 
-let construction t = t.construction
+  let create ?(construction = `Vandermonde) ~k ~n () =
+    if k < 1 || n <= k || n > F.group_order then
+      invalid_arg
+        (Printf.sprintf "Rs_code.create: need 1 <= k < n <= %d" F.group_order);
+    let gen =
+      match construction with
+      | `Vandermonde ->
+        let v = M.vandermonde ~rows:n ~cols:k in
+        let top = M.submatrix_rows v (List.init k Fun.id) in
+        M.mul v (M.invert top)
+      | `Cauchy ->
+        let c = M.cauchy ~rows:(n - k) ~cols:k in
+        M.init ~rows:n ~cols:k (fun r col ->
+            if r < k then if r = col then 1 else 0 else M.get c (r - k) col)
+    in
+    { k; n; construction; gen }
 
-let k t = t.k
-let n t = t.n
-let p t = t.n - t.k
+  let construction t = t.construction
+  let k t = t.k
+  let n t = t.n
+  let p t = t.n - t.k
+
+  let alpha t ~j ~i =
+    if j < t.k || j >= t.n then invalid_arg "Rs_code.alpha: j not redundant";
+    if i < 0 || i >= t.k then invalid_arg "Rs_code.alpha: bad data index";
+    M.get t.gen j i
+
+  let check_data t data =
+    if Array.length data <> t.k then
+      invalid_arg "Rs_code: expected k data blocks";
+    let len = Bytes.length data.(0) in
+    Array.iter
+      (fun b ->
+        if Bytes.length b <> len then
+          invalid_arg "Rs_code: blocks of different lengths")
+      data;
+    len
+
+  let encode t data =
+    let len = check_data t data in
+    Array.init (p t) (fun r ->
+        let j = t.k + r in
+        let out = Bytes.make len '\000' in
+        for i = 0 to t.k - 1 do
+          let a = M.get t.gen j i in
+          if a <> 0 then K.scale_xor_into a ~dst:out ~src:data.(i)
+        done;
+        out)
+
+  let stripe t data =
+    let redundant = encode t data in
+    Array.append (Array.map Bytes.copy data) redundant
+
+  let distinct_prefix avail kneed =
+    (* First [kneed] distinct-index pairs from [avail]. *)
+    let seen = Hashtbl.create 16 in
+    let rec go acc count = function
+      | [] -> List.rev acc
+      | _ when count = kneed -> List.rev acc
+      | (idx, blk) :: rest ->
+        if Hashtbl.mem seen idx then go acc count rest
+        else begin
+          Hashtbl.add seen idx ();
+          go ((idx, blk) :: acc) (count + 1) rest
+        end
+    in
+    let chosen = go [] 0 avail in
+    if List.length chosen < kneed then
+      invalid_arg "Rs_code.decode: fewer than k distinct blocks";
+    chosen
+
+  let decode t avail =
+    let chosen = distinct_prefix avail t.k in
+    List.iter
+      (fun (idx, _) ->
+        if idx < 0 || idx >= t.n then invalid_arg "Rs_code.decode: bad index")
+      chosen;
+    let rows = List.map fst chosen in
+    let blocks = List.map snd chosen in
+    let sub = M.submatrix_rows t.gen rows in
+    let dec = M.invert sub in
+    let len = Bytes.length (List.hd blocks) in
+    let block_arr = Array.of_list blocks in
+    Array.init t.k (fun i ->
+        let out = Bytes.make len '\000' in
+        Array.iteri
+          (fun c src ->
+            let a = M.get dec i c in
+            if a <> 0 then K.scale_xor_into a ~dst:out ~src)
+          block_arr;
+        out)
+
+  let reconstruct_stripe t avail =
+    let data = decode t avail in
+    stripe t data
+
+  let update_delta t ~j ~i ~v ~w =
+    let d = Bytes.create (Bytes.length v) in
+    K.delta_into (alpha t ~j ~i) ~dst:d ~v ~w;
+    d
+
+  (* [diff] is v XOR w (field subtraction), computed once per write;
+     this scales it by node [j]'s coefficient into a caller-provided
+     (pooled) buffer — the allocation-free fan-out step. *)
+  let update_delta_into t ~j ~i ~dst ~diff =
+    let a = alpha t ~j ~i in
+    if a = F.one then Bytes.blit diff 0 dst 0 (Bytes.length diff)
+    else K.scale_into a ~dst ~src:diff
+
+  let verify_stripe t blocks =
+    if Array.length blocks <> t.n then
+      invalid_arg "Rs_code.verify_stripe: expected n blocks";
+    let data = Array.sub blocks 0 t.k in
+    let expect = encode t data in
+    let ok = ref true in
+    for r = 0 to p t - 1 do
+      if not (Bytes.equal expect.(r) blocks.(t.k + r)) then ok := false
+    done;
+    !ok
+end
+
+module Rs8 = Make (Field.Gf8) (Kernel.Table8)
+module Rs16 = Make (Field.Gf16) (Kernel.Split16)
+
+type t = G8 of Rs8.t | G16 of Rs16.t
+
+let create ?construction ?(field = `Gf8) ~k ~n () =
+  match (field : Field.choice) with
+  | `Gf8 -> G8 (Rs8.create ?construction ~k ~n ())
+  | `Gf16 -> G16 (Rs16.create ?construction ~k ~n ())
+
+let field = function G8 _ -> `Gf8 | G16 _ -> `Gf16
+let h t = Field.h_of (field t)
+
+let construction = function
+  | G8 c -> Rs8.construction c
+  | G16 c -> Rs16.construction c
+
+let k = function G8 c -> Rs8.k c | G16 c -> Rs16.k c
+let n = function G8 c -> Rs8.n c | G16 c -> Rs16.n c
+let p = function G8 c -> Rs8.p c | G16 c -> Rs16.p c
 
 let alpha t ~j ~i =
-  if j < t.k || j >= t.n then invalid_arg "Rs_code.alpha: j not redundant";
-  if i < 0 || i >= t.k then invalid_arg "Rs_code.alpha: bad data index";
-  Matrix.get t.gen j i
+  match t with G8 c -> Rs8.alpha c ~j ~i | G16 c -> Rs16.alpha c ~j ~i
 
-let check_data t data =
-  if Array.length data <> t.k then
-    invalid_arg "Rs_code: expected k data blocks";
-  let len = Bytes.length data.(0) in
-  Array.iter
-    (fun b ->
-      if Bytes.length b <> len then
-        invalid_arg "Rs_code: blocks of different lengths")
-    data;
-  len
+let encode = function G8 c -> Rs8.encode c | G16 c -> Rs16.encode c
+let stripe = function G8 c -> Rs8.stripe c | G16 c -> Rs16.stripe c
+let decode = function G8 c -> Rs8.decode c | G16 c -> Rs16.decode c
 
-let encode t data =
-  let len = check_data t data in
-  Array.init (p t) (fun r ->
-      let j = t.k + r in
-      let out = Bytes.make len '\000' in
-      for i = 0 to t.k - 1 do
-        let a = Matrix.get t.gen j i in
-        if a <> 0 then Block_ops.scale_xor_into a ~dst:out ~src:data.(i)
-      done;
-      out)
+let reconstruct_stripe = function
+  | G8 c -> Rs8.reconstruct_stripe c
+  | G16 c -> Rs16.reconstruct_stripe c
 
-let stripe t data =
-  let redundant = encode t data in
-  Array.append (Array.map Bytes.copy data) redundant
+let update_delta t ~j ~i ~v ~w =
+  match t with
+  | G8 c -> Rs8.update_delta c ~j ~i ~v ~w
+  | G16 c -> Rs16.update_delta c ~j ~i ~v ~w
 
-let distinct_prefix avail kneed =
-  (* First [kneed] distinct-index pairs from [avail]. *)
-  let seen = Hashtbl.create 16 in
-  let rec go acc count = function
-    | [] -> List.rev acc
-    | _ when count = kneed -> List.rev acc
-    | (idx, blk) :: rest ->
-      if Hashtbl.mem seen idx then go acc count rest
-      else begin
-        Hashtbl.add seen idx ();
-        go ((idx, blk) :: acc) (count + 1) rest
-      end
-  in
-  let chosen = go [] 0 avail in
-  if List.length chosen < kneed then
-    invalid_arg "Rs_code.decode: fewer than k distinct blocks";
-  chosen
+let update_delta_into t ~j ~i ~dst ~diff =
+  match t with
+  | G8 c -> Rs8.update_delta_into c ~j ~i ~dst ~diff
+  | G16 c -> Rs16.update_delta_into c ~j ~i ~dst ~diff
 
-let decode t avail =
-  let chosen = distinct_prefix avail t.k in
-  List.iter
-    (fun (idx, _) ->
-      if idx < 0 || idx >= t.n then invalid_arg "Rs_code.decode: bad index")
-    chosen;
-  let rows = List.map fst chosen in
-  let blocks = List.map snd chosen in
-  let sub = Matrix.submatrix_rows t.gen rows in
-  let dec = Matrix.invert sub in
-  let len = Bytes.length (List.hd blocks) in
-  let block_arr = Array.of_list blocks in
-  Array.init t.k (fun i ->
-      let out = Bytes.make len '\000' in
-      Array.iteri
-        (fun c src ->
-          let a = Matrix.get dec i c in
-          if a <> 0 then Block_ops.scale_xor_into a ~dst:out ~src)
-        block_arr;
-      out)
-
-let reconstruct_stripe t avail =
-  let data = decode t avail in
-  stripe t data
-
-let update_delta t ~j ~i ~v ~w = Block_ops.delta (alpha t ~j ~i) ~v ~w
+(* XOR is the same bit pattern in every GF(2^h) — delegate to the
+   kernel anyway so length checks match the code's field. *)
+let xor_into t ~dst ~src =
+  match t with
+  | G8 _ -> Kernel.Table8.xor_into ~dst ~src
+  | G16 _ -> Kernel.Split16.xor_into ~dst ~src
 
 let apply_update ~redundant ~delta = Block_ops.xor_into ~dst:redundant ~src:delta
 
-let verify_stripe t blocks =
-  if Array.length blocks <> t.n then
-    invalid_arg "Rs_code.verify_stripe: expected n blocks";
-  let data = Array.sub blocks 0 t.k in
-  let expect = encode t data in
-  let ok = ref true in
-  for r = 0 to p t - 1 do
-    if not (Bytes.equal expect.(r) blocks.(t.k + r)) then ok := false
-  done;
-  !ok
+let verify_stripe = function
+  | G8 c -> Rs8.verify_stripe c
+  | G16 c -> Rs16.verify_stripe c

@@ -1,12 +1,14 @@
-(** Systematic k-of-n Reed-Solomon (MDS) erasure codes over GF(2^8).
+(** Systematic k-of-n Reed-Solomon (MDS) erasure codes over GF(2^h).
 
     A code instance fixes [k] data blocks and [p = n - k] redundant blocks
     per stripe.  Block [j] (for [k <= j < n]) holds the linear combination
     [sum_i alpha(j,i) * b_i] of the data blocks, and any [k] of the [n]
     stripe blocks reconstruct the data (paper Sec 3.3).
 
-    The generator is a Vandermonde matrix put in systematic form, so the
-    code is MDS for any [n <= 255].
+    The machinery is field-generic ({!Make}); a code built over [`Gf8]
+    (the default, the paper's regime) caps [n] at 255, one over [`Gf16]
+    at 65535.  Blocks store field symbols as [h/8] little-endian bytes,
+    so a GF(2^16) code requires even block lengths.
 
     Indices are 0-based throughout: data blocks are [0 .. k-1], redundant
     blocks are [k .. n-1]. *)
@@ -21,12 +23,24 @@ type t
       directly (the construction most storage systems use). *)
 type construction = [ `Vandermonde | `Cauchy ]
 
-val create : ?construction:construction -> k:int -> n:int -> unit -> t
-(** [create ~k ~n] builds a code (default [`Vandermonde]).  Requires
-    [1 <= k < n <= 255].
+val create :
+  ?construction:construction ->
+  ?field:Field.choice ->
+  k:int ->
+  n:int ->
+  unit ->
+  t
+(** [create ~k ~n] builds a code (defaults: [`Vandermonde], [`Gf8]).
+    Requires [1 <= k < n <= 2^h - 1].
     @raise Invalid_argument otherwise. *)
 
 val construction : t -> construction
+
+val field : t -> Field.choice
+(** The field this code computes over. *)
+
+val h : t -> int
+(** Symbol width in bits (8 or 16). *)
 
 val k : t -> int
 val n : t -> int
@@ -34,7 +48,7 @@ val n : t -> int
 val p : t -> int
 (** Number of redundant blocks, [n - k]. *)
 
-val alpha : t -> j:int -> i:int -> Gf256.t
+val alpha : t -> j:int -> i:int -> int
 (** [alpha t ~j ~i] is the coefficient of data block [i] in redundant
     block [j] ([k <= j < n], [0 <= i < k]) — the constant a client
     multiplies a write delta by before adding it at node [j]. *)
@@ -59,7 +73,18 @@ val reconstruct_stripe : t -> (int * bytes) list -> bytes array
 val update_delta : t -> j:int -> i:int -> v:bytes -> w:bytes -> bytes
 (** [update_delta t ~j ~i ~v ~w] is [alpha(j,i) * (v - w)]: the payload a
     client sends to redundant node [j] when changing data block [i] from
-    [w] to [v] (paper Fig 3/Fig 5, line 10). *)
+    [w] to [v] (paper Fig 3/Fig 5, line 10).  Allocates; the hot path
+    uses {!update_delta_into} on pooled buffers instead. *)
+
+val update_delta_into : t -> j:int -> i:int -> dst:bytes -> diff:bytes -> unit
+(** [update_delta_into t ~j ~i ~dst ~diff] sets
+    [dst <- alpha(j,i) * diff], where [diff = v XOR w] is the write's
+    block difference computed once and shared across the fan-out — the
+    allocation-free form of {!update_delta}. *)
+
+val xor_into : t -> dst:bytes -> src:bytes -> unit
+(** Field addition of blocks through the code's kernel (XOR in any
+    GF(2^h)). *)
 
 val apply_update : redundant:bytes -> delta:bytes -> unit
 (** [apply_update ~redundant ~delta] adds (XORs) the delta into the
@@ -68,3 +93,23 @@ val apply_update : redundant:bytes -> delta:bytes -> unit
 val verify_stripe : t -> bytes array -> bool
 (** [verify_stripe t blocks] checks that an [n]-block stripe satisfies the
     code (each redundant block equals its linear combination). *)
+
+(** The field-generic machinery itself, for callers that want a
+    monomorphic code over a specific field (tests, benchmarks). *)
+module Make (_ : Field.S) (_ : Kernel.S) : sig
+  type t
+
+  val create : ?construction:construction -> k:int -> n:int -> unit -> t
+  val construction : t -> construction
+  val k : t -> int
+  val n : t -> int
+  val p : t -> int
+  val alpha : t -> j:int -> i:int -> int
+  val encode : t -> bytes array -> bytes array
+  val stripe : t -> bytes array -> bytes array
+  val decode : t -> (int * bytes) list -> bytes array
+  val reconstruct_stripe : t -> (int * bytes) list -> bytes array
+  val update_delta : t -> j:int -> i:int -> v:bytes -> w:bytes -> bytes
+  val update_delta_into : t -> j:int -> i:int -> dst:bytes -> diff:bytes -> unit
+  val verify_stripe : t -> bytes array -> bool
+end

@@ -34,11 +34,12 @@ type t = {
   alpha_for : (slot:int -> dblk:int -> int) option;
   block_size : int;
   init : [ `Zeroed | `Garbage ];
+  kernel : (module Kernel.S); (* bulk kernel for the configured field *)
   mutable garbage_seed : int;
 }
 
-let create ?alpha_for ?(client_failed = fun _ -> false) ~now ~block_size ~init
-    () =
+let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8) ~now
+    ~block_size ~init () =
   {
     slots = Hashtbl.create 64;
     now;
@@ -46,6 +47,7 @@ let create ?alpha_for ?(client_failed = fun _ -> false) ~now ~block_size ~init
     alpha_for;
     block_size;
     init;
+    kernel = Kernel.for_h h;
     garbage_seed = 0x5eed;
   }
 
@@ -103,9 +105,16 @@ let expire_if_holder_failed t s =
     s.lid <- None
   | _ -> ()
 
+(* Read and swap hand out (and take in) block references without
+   copying.  This is safe because data-slot blocks are never mutated in
+   place — a data slot only changes by pointer replacement (swap,
+   reconstruct) and adds land exclusively on redundant positions — so a
+   reader's view is immutable, and a swapped-in payload is owned by the
+   node from then on (the simulator serves calls synchronously, and
+   writers hand over freshly built blocks). *)
 let do_read s =
   if s.opmode <> Norm || s.lmode <> Unl then R_read { block = None; lmode = s.lmode }
-  else R_read { block = Some (Bytes.copy s.block); lmode = s.lmode }
+  else R_read { block = Some s.block; lmode = s.lmode }
 
 let do_swap t s ~v ~ntid =
   if s.opmode <> Norm || s.lmode <> Unl then
@@ -119,8 +128,7 @@ let do_swap t s ~v ~ntid =
          Re-applying would clobber any successor write, so answer from
          the remembered pre-swap value instead; the current epoch is the
          conservative one for the adds that follow. *)
-      R_swap
-        { block = Some (Bytes.copy old); epoch = s.epoch; otid; lmode = s.lmode }
+      R_swap { block = Some old; epoch = s.epoch; otid; lmode = s.lmode }
     | Some { e_swap = None; _ } ->
       R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
     | None ->
@@ -129,19 +137,26 @@ let do_swap t s ~v ~ntid =
         R_swap { block = None; epoch = s.epoch; otid = None; lmode = s.lmode }
       else begin
         let retblk = s.block in
-        s.block <- Bytes.copy v;
+        s.block <- v;
         (* Previous write = recentlist entry with the largest time; the
-           list is newest-first so that is the head. *)
+           list is newest-first so that is the head.  The saved pre-swap
+           value and the returned block share [retblk]: neither side
+           mutates it (see the aliasing note above do_read). *)
         let otid =
           match s.recentlist with [] -> None | e :: _ -> Some e.e_tid
         in
         s.recentlist <-
-          { e_tid = ntid; e_time = t.now (); e_swap = Some (Bytes.copy retblk, otid) }
+          { e_tid = ntid; e_time = t.now (); e_swap = Some (retblk, otid) }
           :: s.recentlist;
         R_swap { block = Some retblk; epoch = s.epoch; otid; lmode = s.lmode }
       end
 
-let apply_add t s ~dv ~ntid ~otid ~epoch =
+(* [alpha] is the coefficient this node applies to the incoming delta:
+   1 for a unicast add (the client already scaled it), the node's own
+   erasure-code coefficient for a broadcast add.  Scaling happens
+   directly into the slot block via the fused kernel — no intermediate
+   scaled buffer is ever materialized. *)
+let apply_add t s ~dv ~alpha ~ntid ~otid ~epoch =
   if s.opmode <> Norm || not (s.lmode = Unl || s.lmode = L0) || epoch < s.epoch
   then R_add { status = Add_fail; opmode = s.opmode; lmode = s.lmode }
   else if mem_tid ntid s.recentlist || mem_tid ntid s.oldlist then
@@ -158,7 +173,9 @@ let apply_add t s ~dv ~ntid ~otid ~epoch =
     if not order_ok then
       R_add { status = Add_order; opmode = s.opmode; lmode = s.lmode }
     else begin
-      Block_ops.xor_into ~dst:s.block ~src:dv;
+      let (module K : Kernel.S) = t.kernel in
+      if alpha = 1 then K.xor_into ~dst:s.block ~src:dv
+      else K.scale_xor_into alpha ~dst:s.block ~src:dv;
       s.recentlist <-
         { e_tid = ntid; e_time = t.now (); e_swap = None } :: s.recentlist;
       R_add { status = Add_ok; opmode = s.opmode; lmode = s.lmode }
@@ -196,7 +213,12 @@ let do_setlock s ~caller lm =
    crashed recovery (opmode = RECONS) must decode from the adopted
    recons_set, whose members may already have been reconstructed; their
    RECONS blocks are exactly the consistent values, so we return blocks
-   for RECONS slots as well.  INIT slots still return no block. *)
+   for RECONS slots as well.  INIT slots still return no block.
+
+   Unlike read/swap, get_state must COPY the block: redundant-slot
+   blocks are mutated in place by adds, and find_consistent compares
+   state snapshots taken at different times — an aliased view could
+   mutate between poll and comparison. *)
 let do_get_state s =
   R_state
     {
@@ -283,15 +305,14 @@ and handle_slot t ~caller ~slot:slot_id req =
   match req with
   | Read -> do_read s
   | Swap { v; ntid } -> do_swap t s ~v ~ntid
-  | Add { dv; ntid; otid; epoch } -> apply_add t s ~dv ~ntid ~otid ~epoch
+  | Add { dv; ntid; otid; epoch } -> apply_add t s ~dv ~alpha:1 ~ntid ~otid ~epoch
   | Add_bcast { dv; dblk; ntid; otid; epoch } ->
     let alpha =
       match t.alpha_for with
       | Some f -> f ~slot:slot_id ~dblk
       | None -> invalid_arg "Storage_node: broadcast add without alpha_for"
     in
-    let scaled = if alpha = 1 then dv else Block_ops.scale alpha dv in
-    apply_add t s ~dv:scaled ~ntid ~otid ~epoch
+    apply_add t s ~dv ~alpha ~ntid ~otid ~epoch
   | Checktid { ntid; otid } -> do_checktid s ~ntid ~otid
   | Trylock lm -> do_trylock s ~caller lm
   | Setlock lm -> do_setlock s ~caller lm

@@ -22,6 +22,7 @@ type t
 val create :
   ?alpha_for:(slot:int -> dblk:int -> int) ->
   ?client_failed:(int -> bool) ->
+  ?h:int ->
   now:(unit -> float) ->
   block_size:int ->
   init:[ `Zeroed | `Garbage ] ->
@@ -30,8 +31,17 @@ val create :
 (** [alpha_for] gives this node's erasure-code coefficient for data block
     [dblk] of stripe [slot]; it is required only to serve broadcast adds.
     [client_failed] is the failure detector (defaults to "nobody ever
-    fails").  [now] supplies the node-local clock used to timestamp
-    recentlist entries. *)
+    fails").  [h] selects the GF(2^h) bulk kernel used to apply adds
+    (default 8; must match the client's code).  [now] supplies the
+    node-local clock used to timestamp recentlist entries.
+
+    {b Buffer ownership.}  The node applies adds in place and avoids
+    block copies on read and swap: a [Read]/[Swap] response may alias
+    node-internal state, and a swapped-in payload becomes node-owned.
+    Callers must treat returned blocks as immutable and must not reuse
+    a [Swap] payload buffer after the call.  (Data-slot blocks are only
+    ever replaced wholesale, never mutated in place, so aliased reads
+    stay stable.) *)
 
 val handle : t -> caller:int -> slot:int -> Proto.request -> Proto.response
 (** Serve one remote procedure call on a slot.  [caller] identifies the

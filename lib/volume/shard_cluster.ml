@@ -57,7 +57,9 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
   let stats = Stats.create () in
   let net = Net.create engine ~config:net_config stats in
   (match faults with Some f -> Net.set_faults net f | None -> ());
-  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let code =
+    Rs_code.create ~field:cfg.Config.field ~k:cfg.Config.k ~n:cfg.Config.n ()
+  in
   let pool =
     Array.init (Placement.pool placement) (fun i ->
         let node = Net.add_node net ~name:(pool_site i) in
@@ -73,6 +75,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
         store =
           Storage_node.create
             ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
+            ~h:(Config.h cfg)
             ~now:(fun () -> Engine.now engine)
             ~block_size:cfg.Config.block_size
             ~init:(if generation = 0 then `Zeroed else `Garbage)

@@ -49,7 +49,9 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
   let stats = Stats.create () in
   let net = Net.create engine ~config:net_config stats in
   (match faults with Some f -> Net.set_faults net f | None -> ());
-  let code = Rs_code.create ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let code =
+    Rs_code.create ~field:cfg.Config.field ~k:cfg.Config.k ~n:cfg.Config.n ()
+  in
   let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
   let crashed_clients = Hashtbl.create 8 in
   let client_failed id = Hashtbl.mem crashed_clients id in
@@ -65,7 +67,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
       store =
         Storage_node.create
           ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
-          ~client_failed
+          ~client_failed ~h:(Config.h cfg)
           ~now:(fun () -> Engine.now engine)
           ~block_size:cfg.Config.block_size ~init ();
       generation;

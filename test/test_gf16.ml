@@ -89,6 +89,32 @@ let test_add_self_inverse () =
     check "a+a=0" 0 (Gf65536.add a a)
   done
 
+(* --- qcheck properties (mirroring test_gf's Gf256 coverage) -------- *)
+
+let elem = QCheck.int_range 0 65535
+
+let prop_assoc =
+  QCheck.Test.make ~name:"gf16 mul associative" ~count:1000
+    QCheck.(triple elem elem elem)
+    (fun (a, b, c) ->
+      Gf65536.mul a (Gf65536.mul b c) = Gf65536.mul (Gf65536.mul a b) c)
+
+let prop_distrib =
+  QCheck.Test.make ~name:"gf16 mul distributes over add" ~count:1000
+    QCheck.(triple elem elem elem)
+    (fun (a, b, c) ->
+      Gf65536.mul a (Gf65536.add b c)
+      = Gf65536.add (Gf65536.mul a b) (Gf65536.mul a c))
+
+let prop_comm =
+  QCheck.Test.make ~name:"gf16 mul commutative" ~count:1000
+    QCheck.(pair elem elem)
+    (fun (a, b) -> Gf65536.mul a b = Gf65536.mul b a)
+
+let prop_inverse =
+  QCheck.Test.make ~name:"gf16 multiplicative inverse" ~count:1000 elem
+    (fun a -> a = 0 || Gf65536.mul a (Gf65536.inv a) = 1)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   ( "gf65536",
@@ -100,4 +126,6 @@ let suite =
       t "div and pow" test_div_and_pow;
       t "exp/log roundtrip" test_exp_log_roundtrip;
       t "characteristic 2" test_add_self_inverse;
-    ] )
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_assoc; prop_distrib; prop_comm; prop_inverse ] )

@@ -6,6 +6,7 @@ let () =
     [
       Test_gf.suite;
       Test_gf16.suite;
+      Test_kernels.suite;
       Test_rs.suite;
       Test_sim.suite;
       Test_storage.suite;

@@ -39,11 +39,12 @@ let stripe_consistent cluster ~slot =
    [outages] are (at, node, down_for) crash/restart schedules.
    [min_ops] lowers the progress bar for runs where timeouts legitimately
    eat throughput. *)
-let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~seed
-    ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
+let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~field
+    ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
   let seed = seed + seed_offset in
   let cfg =
-    Config.make ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01 ()
+    Config.make ~field ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01
+      ()
   in
   let cluster = Cluster.create ~seed ?faults cfg in
   let ck = Checker.create () in
@@ -117,51 +118,51 @@ let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~seed
     true
     (result.Runner.read_ops + result.Runner.write_ops > min_ops)
 
-let test_storage_crash_seeds () =
+let test_storage_crash_seeds ~field () =
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+      torture ~field ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
         ~storage_crashes:1 ~client_crashes:0 ())
     [ 101; 102; 103; 104 ]
 
-let test_client_crash_seeds () =
+let test_client_crash_seeds ~field () =
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+      torture ~field ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
         ~storage_crashes:0 ~client_crashes:1 ())
     [ 201; 202; 203; 204 ]
 
-let test_combined_crash_seeds () =
+let test_combined_crash_seeds ~field () =
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+      torture ~field ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
         ~storage_crashes:1 ~client_crashes:1 ())
     [ 301; 302; 303 ]
 
-let test_serial_strategy_crashes () =
+let test_serial_strategy_crashes ~field () =
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Serial ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
+      torture ~field ~seed ~strategy:Config.Serial ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
         ~client_crashes:1 ())
     [ 401; 402 ]
 
-let test_bcast_strategy_crashes () =
+let test_bcast_strategy_crashes ~field () =
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Bcast ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
+      torture ~field ~seed ~strategy:Config.Bcast ~k:3 ~n:5 ~t_p:1 ~storage_crashes:1
         ~client_crashes:0 ())
     [ 501; 502 ]
 
-let test_larger_code_crashes () =
+let test_larger_code_crashes ~field () =
   (* 6-of-10 (p=4) with t_p=1 parallel tolerates t_d=2: crash two. *)
   List.iter
     (fun seed ->
-      torture ~seed ~strategy:Config.Parallel ~k:6 ~n:10 ~t_p:1
+      torture ~field ~seed ~strategy:Config.Parallel ~k:6 ~n:10 ~t_p:1
         ~storage_crashes:2 ~client_crashes:1 ())
     [ 601; 602 ]
 
-let test_hybrid_strategy_crashes () =
-  torture ~seed:701 ~strategy:(Config.Hybrid 2) ~k:4 ~n:8 ~t_p:1
+let test_hybrid_strategy_crashes ~field () =
+  torture ~field ~seed:701 ~strategy:(Config.Hybrid 2) ~k:4 ~n:8 ~t_p:1
     ~storage_crashes:1 ~client_crashes:1 ()
 
 (* ------------------------------------------------------------------ *)
@@ -172,34 +173,34 @@ let test_hybrid_strategy_crashes () =
 
 let lossy = { Net.drop = 0.05; dup = 0.05; delay = 0.; jitter = 30e-6 }
 
-let test_faults_parallel () =
+let test_faults_parallel ~field () =
   List.iter
     (fun seed ->
-      torture ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Parallel ~k:3
+      torture ~field ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Parallel ~k:3
         ~n:5 ~t_p:1 ~storage_crashes:0 ~client_crashes:0 ())
     [ 801; 802; 803 ]
 
-let test_faults_serial () =
+let test_faults_serial ~field () =
   List.iter
     (fun seed ->
-      torture ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Serial ~k:3 ~n:5
+      torture ~field ~faults:lossy ~min_ops:30 ~seed ~strategy:Config.Serial ~k:3 ~n:5
         ~t_p:1 ~storage_crashes:0 ~client_crashes:0 ())
     [ 811; 812 ]
 
-let test_faults_with_crashes () =
+let test_faults_with_crashes ~field () =
   List.iter
     (fun seed ->
-      torture ~faults:lossy ~min_ops:20 ~seed ~strategy:Config.Parallel ~k:3
+      torture ~field ~faults:lossy ~min_ops:20 ~seed ~strategy:Config.Parallel ~k:3
         ~n:5 ~t_p:1 ~storage_crashes:1 ~client_crashes:1 ())
     [ 821; 822 ]
 
-let test_partition_heal () =
+let test_partition_heal ~field () =
   (* One-way cuts between a client and a storage node, both directions
      in turn: lost requests (serve never runs) and lost replies (serve
      runs, caller times out).  Healed well before the run ends. *)
   List.iter
     (fun seed ->
-      torture ~min_ops:40 ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
+      torture ~field ~min_ops:40 ~seed ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1
         ~storage_crashes:0 ~client_crashes:0
         ~partitions:
           [
@@ -209,29 +210,34 @@ let test_partition_heal () =
         ())
     [ 831; 832 ]
 
-let test_outage_restart () =
+let test_outage_restart ~field () =
   (* Crash/restart schedule under background loss: the node comes back
      (or is remapped first under the `Auto policy) as a fresh INIT
      replacement that re-enters service via the monitoring path. *)
-  torture ~faults:lossy ~min_ops:20 ~seed:841 ~strategy:Config.Parallel ~k:3
+  torture ~field ~faults:lossy ~min_ops:20 ~seed:841 ~strategy:Config.Parallel ~k:3
     ~n:5 ~t_p:1 ~storage_crashes:0 ~client_crashes:0
     ~outages:[ (0.03, 2, 0.03) ]
     ()
 
+(* The whole matrix runs once per field: the protocol layer is
+   field-oblivious, so the same crash/fault schedules must produce the
+   same guarantees over GF(2^8) and GF(2^16). *)
 let suite =
   let t name f = Alcotest.test_case name `Slow f in
-  ( "torture",
+  let cases field tag =
     [
-      t "random storage crashes x4 seeds" test_storage_crash_seeds;
-      t "random client crashes x4 seeds" test_client_crash_seeds;
-      t "combined crashes x3 seeds" test_combined_crash_seeds;
-      t "serial strategy under crashes x2" test_serial_strategy_crashes;
-      t "bcast strategy under crashes x2" test_bcast_strategy_crashes;
-      t "6-of-10, two storage crashes x2" test_larger_code_crashes;
-      t "hybrid strategy under crashes" test_hybrid_strategy_crashes;
-      t "5% loss+dup+jitter, parallel x3 seeds" test_faults_parallel;
-      t "5% loss+dup+jitter, serial x2 seeds" test_faults_serial;
-      t "faults combined with crashes x2 seeds" test_faults_with_crashes;
-      t "one-way partitions with heal x2 seeds" test_partition_heal;
-      t "crash/restart outage under loss" test_outage_restart;
-    ] )
+      t (tag ^ "random storage crashes x4 seeds") (test_storage_crash_seeds ~field);
+      t (tag ^ "random client crashes x4 seeds") (test_client_crash_seeds ~field);
+      t (tag ^ "combined crashes x3 seeds") (test_combined_crash_seeds ~field);
+      t (tag ^ "serial strategy under crashes x2") (test_serial_strategy_crashes ~field);
+      t (tag ^ "bcast strategy under crashes x2") (test_bcast_strategy_crashes ~field);
+      t (tag ^ "6-of-10, two storage crashes x2") (test_larger_code_crashes ~field);
+      t (tag ^ "hybrid strategy under crashes") (test_hybrid_strategy_crashes ~field);
+      t (tag ^ "5% loss+dup+jitter, parallel x3 seeds") (test_faults_parallel ~field);
+      t (tag ^ "5% loss+dup+jitter, serial x2 seeds") (test_faults_serial ~field);
+      t (tag ^ "faults combined with crashes x2 seeds") (test_faults_with_crashes ~field);
+      t (tag ^ "one-way partitions with heal x2 seeds") (test_partition_heal ~field);
+      t (tag ^ "crash/restart outage under loss") (test_outage_restart ~field);
+    ]
+  in
+  ("torture", cases `Gf8 "gf8: " @ cases `Gf16 "gf16: ")

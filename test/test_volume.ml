@@ -6,8 +6,8 @@
 
 open Ecs_volume
 
-let cfg ?(block_size = 512) () =
-  Config.make ~t_p:1 ~block_size ~k:3 ~n:5 ()
+let cfg ?(field = `Gf8) ?(block_size = 512) () =
+  Config.make ~field ~t_p:1 ~block_size ~k:3 ~n:5 ()
 
 let placement ~groups ~pool =
   Placement.make ~seed:0x7ace ~groups ~nodes_per_group:5 ~pool ()
@@ -65,9 +65,9 @@ let test_placement_locate_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* Volume routing and roundtrips. *)
 
-let test_volume_roundtrip_across_groups () =
+let test_volume_roundtrip_across_groups ~field () =
   let placement = placement ~groups:4 ~pool:12 in
-  let sc = Shard_cluster.create ~seed:0x11 ~placement (cfg ()) in
+  let sc = Shard_cluster.create ~seed:0x11 ~placement (cfg ~field ()) in
   let v = Volume.create sc ~id:0 in
   let block l = Bytes.make 512 (Char.chr (0x30 + l)) in
   Shard_cluster.spawn sc (fun () ->
@@ -85,9 +85,9 @@ let test_volume_roundtrip_across_groups () =
       (Shard_cluster.used_slots sc ~group:g <> [])
   done
 
-let test_volume_range_io () =
+let test_volume_range_io ~field () =
   let placement = placement ~groups:3 ~pool:8 in
-  let sc = Shard_cluster.create ~seed:0x12 ~placement (cfg ()) in
+  let sc = Shard_cluster.create ~seed:0x12 ~placement (cfg ~field ()) in
   let v = Volume.create sc ~id:0 in
   let data =
     Bytes.init (512 * 9) (fun i -> Char.chr ((i / 37) land 0xff))
@@ -139,9 +139,9 @@ let test_scaling_with_groups () =
    background after restart, the history stays consistent, and the tail
    latency of foreground writes is bounded (no starvation). *)
 
-let outage_run ~with_outage =
+let outage_run ?(field = `Gf8) ~with_outage () =
   let placement = placement ~groups:4 ~pool:12 in
-  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ()) in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ~field ()) in
   let down_node = (Placement.group_nodes placement 0).(0) in
   let events =
     if with_outage then
@@ -162,8 +162,8 @@ let outage_run ~with_outage =
   in
   (r, consistent)
 
-let test_outage_repaired_in_background () =
-  let r, consistent = outage_run ~with_outage:true in
+let test_outage_repaired_in_background ~field () =
+  let r, consistent = outage_run ~field ~with_outage:true () in
   Alcotest.(check bool) "history consistent" true consistent;
   Alcotest.(check bool) "maintenance ran" true (r.Vrunner.maintenance_passes > 0);
   Alcotest.(check bool)
@@ -176,8 +176,8 @@ let test_outage_repaired_in_background () =
     (r.Vrunner.run.Report.write_ops > 1000)
 
 let test_outage_p99_bounded () =
-  let clean, _ = outage_run ~with_outage:false in
-  let faulted, _ = outage_run ~with_outage:true in
+  let clean, _ = outage_run ~with_outage:false () in
+  let faulted, _ = outage_run ~with_outage:true () in
   (* The affected group stalls for at most the outage + repair, so the
      p99 over all writes must stay within the outage length plus slack —
      background repair must not starve the foreground indefinitely. *)
@@ -265,9 +265,9 @@ let test_maintenance_backs_off_doomed_group () =
 
 let crash_at = 0.08
 
-let self_heal_run () =
+let self_heal_run ?(field = `Gf8) () =
   let placement = placement ~groups:4 ~pool:12 in
-  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ()) in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ~field ()) in
   let down_node = (Placement.group_nodes placement 0).(0) in
   let events =
     [ (crash_at, fun sc -> Shard_cluster.crash_node sc down_node) ]
@@ -284,8 +284,8 @@ let self_heal_run () =
   in
   (sc, down_node, r, consistent)
 
-let test_self_healing_end_to_end () =
-  let sc, down_node, r, consistent = self_heal_run () in
+let test_self_healing_end_to_end ~field () =
+  let sc, down_node, r, consistent = self_heal_run ~field () in
   Alcotest.(check bool) "history consistent" true consistent;
   Alcotest.(check bool)
     (Printf.sprintf "members failed over (%d)" r.Vrunner.supervisor_failovers)
@@ -362,10 +362,10 @@ let test_self_healing_deterministic () =
 (* Hedged reads: a lossy-but-alive pool node turns Suspect, reads with
    a suspect data node race a degraded decode against the primary. *)
 
-let hedge_run ~hedge =
+let hedge_run ?(field = `Gf8) ~hedge () =
   let placement = placement ~groups:2 ~pool:8 in
   let cfg =
-    Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5
+    Config.make ~field ~t_p:1 ~block_size:512 ~k:3 ~n:5
       ~health:{ Config.default_health with Config.hedge } ()
   in
   let sc = Shard_cluster.create ~seed:0x1e ~placement cfg in
@@ -395,8 +395,8 @@ let hedge_run ~hedge =
   in
   (r, consistent)
 
-let test_hedged_reads_fire_when_suspect () =
-  let r, consistent = hedge_run ~hedge:true in
+let test_hedged_reads_fire_when_suspect ~field () =
+  let r, consistent = hedge_run ~field ~hedge:true () in
   Alcotest.(check bool) "history consistent" true consistent;
   Alcotest.(check bool)
     (Printf.sprintf "hedges launched (%d)" r.Vrunner.failures.Report.hedges)
@@ -404,7 +404,7 @@ let test_hedged_reads_fire_when_suspect () =
     (r.Vrunner.failures.Report.hedges > 0);
   Alcotest.(check bool) "suspicion raised" true
     (r.Vrunner.failures.Report.quarantines >= 0);
-  let off, off_consistent = hedge_run ~hedge:false in
+  let off, off_consistent = hedge_run ~field ~hedge:false () in
   Alcotest.(check bool) "hedge-off history consistent" true off_consistent;
   Alcotest.(check int) "no hedges when disabled" 0
     off.Vrunner.failures.Report.hedges
@@ -414,7 +414,7 @@ let test_hedged_reads_fire_when_suspect () =
 
 let test_volume_run_deterministic () =
   let go () =
-    let r, consistent = outage_run ~with_outage:true in
+    let r, consistent = outage_run ~with_outage:true () in
     let rendered =
       Report.to_string (Report.J_obj (Report.run_fields r.Vrunner.run))
     in
@@ -426,22 +426,31 @@ let test_volume_run_deterministic () =
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
+  (* Everything that exercises the coding path runs at both fields; the
+     placement and backoff-policy tests never touch a block and run
+     once. *)
+  let coding field tag =
+    [
+      t (tag ^ "roundtrip across groups") (test_volume_roundtrip_across_groups ~field);
+      t (tag ^ "range I/O") (test_volume_range_io ~field);
+      t (tag ^ "outage repaired in background") (test_outage_repaired_in_background ~field);
+      t (tag ^ "self-healing end to end") (test_self_healing_end_to_end ~field);
+      t (tag ^ "hedged reads fire when suspect") (test_hedged_reads_fire_when_suspect ~field);
+    ]
+  in
   ( "volume",
     [
       t "placement is seed-stable" test_placement_deterministic;
       t "placement members distinct and in pool" test_placement_members_distinct;
       t "placement load balance" test_placement_load_balance;
       t "locate/logical roundtrip" test_placement_locate_roundtrip;
-      t "roundtrip across groups" test_volume_roundtrip_across_groups;
-      t "range I/O" test_volume_range_io;
       t "throughput scales with G" test_scaling_with_groups;
-      t "outage repaired in background" test_outage_repaired_in_background;
       t "p99 bounded under outage + maintenance" test_outage_p99_bounded;
       t "maintenance backoff policy" test_maintenance_backoff_policy;
       t "maintenance backs off a doomed group"
         test_maintenance_backs_off_doomed_group;
-      t "self-healing end to end" test_self_healing_end_to_end;
       t "self-healing deterministic" test_self_healing_deterministic;
-      t "hedged reads fire when suspect" test_hedged_reads_fire_when_suspect;
       t "volume run deterministic" test_volume_run_deterministic;
-    ] )
+    ]
+    @ coding `Gf8 "gf8: "
+    @ coding `Gf16 "gf16: " )
