@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- --list  # list experiment names
      dune exec bench/main.exe -- smoke --json out.json   # CI smoke run
      dune exec bench/main.exe -- volume --json out.json  # volume scaling curve
-     dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench *)
+     dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench
+     dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix *)
 
 let experiments =
   [
@@ -68,6 +69,16 @@ let () =
         exit 1
     in
     Volume_bench.run ?json ()
+  | "profiles" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: profiles [--json FILE]\n";
+        exit 1
+    in
+    Profile_bench.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

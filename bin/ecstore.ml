@@ -5,6 +5,7 @@
      ecstore resilience -- print tolerated failures for a code/strategy
      ecstore codes      -- inspect a Reed-Solomon code's coefficients
      ecstore crashdemo  -- scripted crash + online recovery run
+     ecstore compare    -- classify a bench-profiles run against a baseline
 
    All knobs (k, n, strategy, clients, duration, ...) are flags; see
    `ecstore COMMAND --help`. *)
@@ -269,6 +270,83 @@ let scrubdemo_cmd =
     (Cmd.info "scrub" ~doc:"Verify and repair every stripe of a demo volume")
     Term.(const scrubdemo $ k_arg $ n_arg $ strategy_arg $ t_p_arg $ seed_arg)
 
+(* --- compare ----------------------------------------------------------- *)
+
+(* Exit-code contract (the CI regression gate relies on it):
+   0 = no key regressed; 1 = at least one key regressed or went missing
+   from the new run; 2 = unreadable or malformed input. *)
+let compare_runs old_path new_path tolerance quiet =
+  let load path =
+    try Ok (Report.read_file path) with
+    | Sys_error m -> Error m
+    | Report.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+  in
+  match (load old_path, load new_path) with
+  | Error m, _ | _, Error m ->
+    prerr_endline m;
+    2
+  | Ok old_doc, Ok new_doc -> (
+    match Compare.classify ~tolerance ~old_doc ~new_doc with
+    | exception Report.Parse_error m ->
+      prerr_endline m;
+      2
+    | rows ->
+      if not quiet then Compare.print rows;
+      let bad = Compare.regressions rows in
+      let count v =
+        List.length (List.filter (fun r -> r.Compare.verdict = v) rows)
+      in
+      Printf.printf
+        "%d keys: %d improved, %d unchanged, %d regressed, %d added, %d \
+         missing (tolerance %.1f%%)\n"
+        (List.length rows) (count Compare.Improved) (count Compare.Unchanged)
+        (count Compare.Regressed) (count Compare.Added)
+        (count Compare.Missing) (100. *. tolerance);
+      if bad = [] then 0
+      else begin
+        List.iter
+          (fun r ->
+            Printf.printf "FAIL %s: %s\n" r.Compare.key
+              (match r.Compare.verdict with
+              | Compare.Missing -> "present in baseline, missing from new run"
+              | _ ->
+                Printf.sprintf "%.3f MB/s -> %.3f MB/s" r.Compare.old_mbs
+                  r.Compare.new_mbs))
+          bad;
+        1
+      end)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench-profiles JSON summary.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Fresh bench-profiles JSON summary.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.02
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Relative tolerance: a key regresses when its throughput drops \
+             below old*(1-$(docv)).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the verdict.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Classify each profile x block-size x G key of a bench-profiles run \
+          against a baseline (exit 1 on regression)")
+    Term.(const compare_runs $ old_arg $ new_arg $ tolerance $ quiet)
+
 (* --- main ------------------------------------------------------------- *)
 
 let () =
@@ -280,4 +358,11 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "ecstore" ~version:"1.0.0" ~doc)
-          [ simulate_cmd; resilience_cmd; codes_cmd; crashdemo_cmd; scrubdemo_cmd ]))
+          [
+            simulate_cmd;
+            resilience_cmd;
+            codes_cmd;
+            crashdemo_cmd;
+            scrubdemo_cmd;
+            compare_cmd;
+          ]))

@@ -43,6 +43,15 @@ let end_urgent t =
    busy-spinning the scheduler: one token's worth of refill time. *)
 let poll_interval t = 1. /. t.rate
 
+let try_take t cost =
+  if cost < 0. then invalid_arg "Budget.try_take: negative cost";
+  refill t;
+  if t.urgent_pending = 0 && t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false
+
 let take ?(urgent = false) t cost =
   if cost < 0. then invalid_arg "Budget.take: negative cost";
   (* Low-priority takers yield while urgent work is in flight. *)

@@ -21,6 +21,14 @@ val take : ?urgent:bool -> t -> float -> unit
     them.  Non-urgent callers additionally wait for every open urgent
     section to close first.  @raise Invalid_argument on negative cost. *)
 
+val try_take : t -> float -> bool
+(** Non-blocking variant: spend [cost] tokens and return [true] if they
+    are available right now (and no urgent section is open), else leave
+    the bucket untouched and return [false].  Never fiber-sleeps, so it
+    is safe outside a fiber — the lever for shed-instead-of-wait
+    admission (per-tenant QoS metering).
+    @raise Invalid_argument on negative cost. *)
+
 val begin_urgent : t -> unit
 (** Open an urgent section: until the matching {!end_urgent}, non-urgent
     {!take}s park.  Sections nest (counted). *)

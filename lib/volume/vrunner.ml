@@ -280,3 +280,298 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
     detections = (match sup with Some s -> Supervisor.detections s | None -> []);
     repaired_at = (match sup with Some s -> Supervisor.repaired s | None -> []);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Profile-driven, multi-tenant runs.
+
+   Several tenants share one volume (same shard cluster, same logical
+   block space), each driving its own {!Profile} — closed-loop with a
+   fixed fiber count, or open-loop with seeded Poisson arrivals and
+   bounded in-flight admission (excess arrivals are shed and counted,
+   never queued, so latency-under-load is visible instead of being
+   masked by head-of-line blocking).  A tenant may be metered by a
+   per-tenant token bucket ({!Budget}, in blocks per simulated second):
+   every request pays its size in tokens before being issued, so a
+   greedy tenant is admission-limited to its configured share while an
+   unmetered one competes freely. *)
+
+type tenant = {
+  tn_name : string;
+  tn_profile : Profile.t;
+  tn_qos_blocks_per_sec : float option;
+  tn_seed : int;
+}
+
+type tenant_result = {
+  tr_name : string;
+  tr_read_reqs : int;
+  tr_write_reqs : int;
+  tr_read_blocks : int;
+  tr_write_blocks : int;
+  tr_drops : int;
+  tr_stalls : int;
+  tr_mean : float; (* seconds; 0 when no sample *)
+  tr_p50 : float;
+  tr_p99 : float;
+  tr_mbs : float;
+}
+
+type size_stats = {
+  ss_reqs : int;
+  ss_p50 : float;
+  ss_p99 : float;
+  ss_mbs : float;
+}
+
+type profile_result = {
+  pf_label : string;
+  pf_duration : float;
+  pf_read_reqs : int;
+  pf_write_reqs : int;
+  pf_read_mbs : float;
+  pf_write_mbs : float;
+  pf_p50_read : float;
+  pf_p50_write : float;
+  pf_p99_read : float;
+  pf_p99_write : float;
+  pf_drops : int;
+  pf_stalls : int;
+  pf_mean_inflight : float;
+  pf_max_inflight : int;
+  pf_sizes : (int * size_stats) list; (* keyed by request size in blocks *)
+  pf_tenants : tenant_result list;
+}
+
+type tenant_ctr = {
+  mutable t_read_reqs : int;
+  mutable t_write_reqs : int;
+  mutable t_read_blocks : int;
+  mutable t_write_blocks : int;
+  mutable t_drops : int;
+  mutable t_stalls : int;
+  mutable t_samples : float list; (* all request latencies *)
+  mutable t_read_samples : float list;
+  mutable t_write_samples : float list;
+  mutable t_by_size : (int * float) list; (* (size, latency) per request *)
+  mutable t_inflight : int;
+  mutable t_depth_sum : int; (* in-flight seen at each in-window arrival *)
+  mutable t_depth_samples : int;
+  mutable t_depth_max : int;
+}
+
+let run_profile ?(warmup = 0.05) ?(events = []) ?(blocks = 256) ~sc ~tenants
+    ~duration () =
+  if tenants = [] then invalid_arg "Vrunner.run_profile: no tenants";
+  let cfg = Shard_cluster.config sc in
+  let block_size = cfg.Config.block_size in
+  let start = Shard_cluster.now sc in
+  let measure_from = start +. warmup in
+  let t_end = measure_from +. duration in
+  let in_window t = t >= measure_from && t <= t_end in
+  List.iter
+    (fun (at, action) ->
+      Engine.schedule (Shard_cluster.engine sc) ~at:(start +. at) (fun () ->
+          action sc))
+    events;
+  let ctrs =
+    List.mapi
+      (fun idx tn ->
+        let ctr =
+          {
+            t_read_reqs = 0;
+            t_write_reqs = 0;
+            t_read_blocks = 0;
+            t_write_blocks = 0;
+            t_drops = 0;
+            t_stalls = 0;
+            t_samples = [];
+            t_read_samples = [];
+            t_write_samples = [];
+            t_by_size = [];
+            t_inflight = 0;
+            t_depth_sum = 0;
+            t_depth_samples = 0;
+            t_depth_max = 0;
+          }
+        in
+        let volume = Volume.create sc ~id:idx in
+        let gen = Profile.generator tn.tn_profile ~seed:tn.tn_seed ~blocks in
+        let bucket =
+          Option.map
+            (fun rate ->
+              (* Burst of ~50 ms of tokens, but always at least one
+                 largest request so big transfers cannot deadlock. *)
+              let cap =
+                Float.max (rate /. 20.)
+                  (float_of_int (Profile.max_size tn.tn_profile))
+              in
+              Budget.create ~rate ~cap ~now:(fun () -> Shard_cluster.now sc))
+            tn.tn_qos_blocks_per_sec
+        in
+        (* One block op, exception-safe: a Stuck/abandoned op must fail
+           the request, never escape its fiber and kill the engine. *)
+        let block_op op l =
+          try
+            (match op with
+            | Generator.Op_read -> ignore (Volume.read volume l)
+            | Generator.Op_write ->
+              Volume.write volume l
+                (Bytes.make block_size (Char.chr (l land 0xff))));
+            true
+          with Client.Stuck _ | Client.Write_abandoned _ -> false
+        in
+        let issue ({ Profile.op; block; size } as _req) =
+          (* QoS: pay the request's size in tokens before touching the
+             volume (blocking take — admission already happened). *)
+          (match bucket with
+          | Some b -> Budget.take b (float_of_int size)
+          | None -> ());
+          let t0 = Shard_cluster.now sc in
+          let ok =
+            if size = 1 then block_op op block
+            else
+              Fiber.fork_all
+                (List.init size (fun j () -> block_op op (block + j)))
+              |> List.for_all Fun.id
+          in
+          let t1 = Shard_cluster.now sc in
+          if not ok then ctr.t_stalls <- ctr.t_stalls + 1
+          else if in_window t1 then begin
+            let lat = t1 -. t0 in
+            (match op with
+            | Generator.Op_read ->
+              ctr.t_read_reqs <- ctr.t_read_reqs + 1;
+              ctr.t_read_blocks <- ctr.t_read_blocks + size;
+              ctr.t_read_samples <- lat :: ctr.t_read_samples
+            | Generator.Op_write ->
+              ctr.t_write_reqs <- ctr.t_write_reqs + 1;
+              ctr.t_write_blocks <- ctr.t_write_blocks + size;
+              ctr.t_write_samples <- lat :: ctr.t_write_samples);
+            ctr.t_samples <- lat :: ctr.t_samples;
+            ctr.t_by_size <- (size, lat) :: ctr.t_by_size
+          end
+        in
+        let sample_depth () =
+          if in_window (Shard_cluster.now sc) then begin
+            ctr.t_depth_sum <- ctr.t_depth_sum + ctr.t_inflight;
+            ctr.t_depth_samples <- ctr.t_depth_samples + 1;
+            ctr.t_depth_max <- max ctr.t_depth_max ctr.t_inflight
+          end
+        in
+        (match tn.tn_profile.Profile.arrival with
+        | Profile.Closed { outstanding } ->
+          for _ = 1 to outstanding do
+            Shard_cluster.spawn sc (fun () ->
+                let rec go () =
+                  if Shard_cluster.now sc < t_end then begin
+                    let req = Profile.next gen in
+                    sample_depth ();
+                    ctr.t_inflight <- ctr.t_inflight + 1;
+                    issue req;
+                    ctr.t_inflight <- ctr.t_inflight - 1;
+                    go ()
+                  end
+                in
+                go ())
+          done
+        | Profile.Open { max_inflight; _ } ->
+          (* Open loop: the dispatcher samples the arrival schedule from
+             its own seeded stream — gaps and requests are drawn whether
+             or not the arrival is admitted, so the schedule never
+             depends on service times or drops. *)
+          Shard_cluster.spawn sc (fun () ->
+              let rec go () =
+                let gap = Profile.next_gap gen in
+                Fiber.sleep gap;
+                if Shard_cluster.now sc < t_end then begin
+                  let req = Profile.next gen in
+                  sample_depth ();
+                  if ctr.t_inflight >= max_inflight then begin
+                    if in_window (Shard_cluster.now sc) then
+                      ctr.t_drops <- ctr.t_drops + 1
+                  end
+                  else begin
+                    ctr.t_inflight <- ctr.t_inflight + 1;
+                    Shard_cluster.spawn sc (fun () ->
+                        issue req;
+                        ctr.t_inflight <- ctr.t_inflight - 1)
+                  end;
+                  go ()
+                end
+              in
+              go ()));
+        (tn, ctr))
+      tenants
+  in
+  Shard_cluster.run sc;
+  let mbs nblocks =
+    float_of_int (nblocks * block_size) /. 1.0e6 /. duration
+  in
+  let mean = function
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  let tenant_results =
+    List.map
+      (fun (tn, c) ->
+        {
+          tr_name = tn.tn_name;
+          tr_read_reqs = c.t_read_reqs;
+          tr_write_reqs = c.t_write_reqs;
+          tr_read_blocks = c.t_read_blocks;
+          tr_write_blocks = c.t_write_blocks;
+          tr_drops = c.t_drops;
+          tr_stalls = c.t_stalls;
+          tr_mean = mean c.t_samples;
+          tr_p50 = percentile 0.5 c.t_samples;
+          tr_p99 = percentile 0.99 c.t_samples;
+          tr_mbs = mbs (c.t_read_blocks + c.t_write_blocks);
+        })
+      ctrs
+  in
+  let all_reads = List.concat_map (fun (_, c) -> c.t_read_samples) ctrs in
+  let all_writes = List.concat_map (fun (_, c) -> c.t_write_samples) ctrs in
+  let by_size = List.concat_map (fun (_, c) -> c.t_by_size) ctrs in
+  let sizes =
+    List.sort_uniq compare (List.map fst by_size)
+    |> List.map (fun size ->
+           let lats = List.filter_map
+               (fun (s, l) -> if s = size then Some l else None)
+               by_size
+           in
+           let reqs = List.length lats in
+           ( size,
+             {
+               ss_reqs = reqs;
+               ss_p50 = percentile 0.5 lats;
+               ss_p99 = percentile 0.99 lats;
+               ss_mbs = mbs (reqs * size);
+             } ))
+  in
+  let sum f = List.fold_left (fun acc (_, c) -> acc + f c) 0 ctrs in
+  let depth_sum = sum (fun c -> c.t_depth_sum) in
+  let depth_samples = sum (fun c -> c.t_depth_samples) in
+  {
+    pf_label =
+      String.concat "+"
+        (List.sort_uniq compare
+           (List.map (fun t -> t.tn_profile.Profile.name) tenants));
+    pf_duration = duration;
+    pf_read_reqs = sum (fun c -> c.t_read_reqs);
+    pf_write_reqs = sum (fun c -> c.t_write_reqs);
+    pf_read_mbs = mbs (sum (fun c -> c.t_read_blocks));
+    pf_write_mbs = mbs (sum (fun c -> c.t_write_blocks));
+    pf_p50_read = percentile 0.5 all_reads;
+    pf_p50_write = percentile 0.5 all_writes;
+    pf_p99_read = percentile 0.99 all_reads;
+    pf_p99_write = percentile 0.99 all_writes;
+    pf_drops = sum (fun c -> c.t_drops);
+    pf_stalls = sum (fun c -> c.t_stalls);
+    pf_mean_inflight =
+      (if depth_samples = 0 then 0.
+       else float_of_int depth_sum /. float_of_int depth_samples);
+    pf_max_inflight =
+      List.fold_left (fun m (_, c) -> max m c.t_depth_max) 0 ctrs;
+    pf_sizes = sizes;
+    pf_tenants = tenant_results;
+  }

@@ -67,3 +67,85 @@ val run :
     collects its own completed writes across the groups it touched.
     [events] are scheduled actions relative to run start (outage
     injection).  Other parameters as in {!Runner.run}. *)
+
+(** {1 Profile-driven, multi-tenant runs}
+
+    Several tenants share one volume (same shard cluster, same logical
+    block space), each driving its own {!Profile} — closed-loop, or
+    open-loop with seeded Poisson arrivals and bounded in-flight
+    admission (excess arrivals are shed and counted as drops, never
+    queued).  A tenant may be metered by a per-tenant token bucket in
+    blocks per simulated second: each request pays its size in tokens
+    before being issued, so a greedy tenant cannot push a metered
+    neighbour past its configured share. *)
+
+type tenant = {
+  tn_name : string;
+  tn_profile : Profile.t;
+  tn_qos_blocks_per_sec : float option;
+      (** token-bucket rate; [None] = unmetered *)
+  tn_seed : int;
+}
+
+type tenant_result = {
+  tr_name : string;
+  tr_read_reqs : int;
+  tr_write_reqs : int;
+  tr_read_blocks : int;
+  tr_write_blocks : int;
+  tr_drops : int;  (** open-loop arrivals shed at admission *)
+  tr_stalls : int;  (** requests with a stuck/abandoned block op *)
+  tr_mean : float;  (** seconds; 0 when no sample *)
+  tr_p50 : float;
+  tr_p99 : float;
+  tr_mbs : float;
+}
+
+(** Per-request-size latency/throughput breakdown — the
+    profile x block-size x G key the regression gate compares on. *)
+type size_stats = {
+  ss_reqs : int;
+  ss_p50 : float;
+  ss_p99 : float;
+  ss_mbs : float;
+}
+
+type profile_result = {
+  pf_label : string;  (** distinct tenant profile names, joined *)
+  pf_duration : float;
+  pf_read_reqs : int;
+  pf_write_reqs : int;
+  pf_read_mbs : float;
+  pf_write_mbs : float;
+  pf_p50_read : float;
+  pf_p50_write : float;
+  pf_p99_read : float;
+  pf_p99_write : float;
+  pf_drops : int;
+  pf_stalls : int;
+  pf_mean_inflight : float;
+      (** mean in-flight requests seen at arrival instants, in-window *)
+  pf_max_inflight : int;
+  pf_sizes : (int * size_stats) list;
+      (** keyed by request size in blocks, ascending *)
+  pf_tenants : tenant_result list;  (** in tenant order *)
+}
+
+val run_profile :
+  ?warmup:float ->
+  ?events:(float * (Shard_cluster.t -> unit)) list ->
+  ?blocks:int ->
+  sc:Shard_cluster.t ->
+  tenants:tenant list ->
+  duration:float ->
+  unit ->
+  profile_result
+(** Run every tenant's profile concurrently over one shard cluster for
+    [duration] simulated seconds (after [warmup]); tenants address the
+    logical blocks [0 .. blocks-1] (default 256).  Latency percentiles
+    come from the complete in-window sample, so a seeded run reports
+    byte-identical numbers.  The open-loop arrival schedule is drawn
+    from each tenant's seed independently of admission outcomes — drops
+    never perturb the schedule.
+    @raise Invalid_argument if [tenants] is empty or [blocks] is smaller
+    than a profile's largest request. *)

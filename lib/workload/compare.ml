@@ -1,0 +1,135 @@
+(* Baseline comparison for bench-profiles summaries.
+
+   The unit of comparison is the size-class row: every entry of
+   results[].sizes[] contributes one key "profile/size_bytes/G" whose
+   throughput (mbs) is classified against the baseline under a relative
+   tolerance.  Simulated counters are deterministic for a fixed seed, so
+   in CI the expected outcome is an exact match; the tolerance absorbs
+   intentional re-baselining slack, not noise. *)
+
+type verdict = Improved | Regressed | Unchanged | Added | Missing
+
+type row = {
+  key : string;
+  old_mbs : float;
+  new_mbs : float;
+  old_p99_ms : float;
+  new_p99_ms : float;
+  verdict : verdict;
+}
+
+let shape_error what = raise (Report.Parse_error ("document missing " ^ what))
+
+let get doc key what =
+  match Report.member key doc with Some v -> v | None -> shape_error what
+
+let items = function
+  | Report.J_arr l -> l
+  | _ -> shape_error "an array"
+
+let as_float what v =
+  match Report.to_float_opt (Some v) with
+  | Some f -> f
+  | None -> shape_error what
+
+(* Flatten a summary into ordered (key, mbs, p99_ms) rows. *)
+let rows_of doc =
+  let results = items (get doc "results" "results") in
+  List.concat_map
+    (fun entry ->
+      let str k =
+        match Report.member k entry with
+        | Some (Report.J_str s) -> s
+        | _ -> shape_error ("results[]." ^ k)
+      in
+      let num k v =
+        as_float ("results[]." ^ k) v
+      in
+      let profile = str "profile" in
+      let groups =
+        num "groups" (get entry "groups" "results[].groups") |> int_of_float
+      in
+      let sizes = items (get entry "sizes" "results[].sizes") in
+      List.map
+        (fun sz ->
+          let field k = num ("sizes[]." ^ k) (get sz k ("sizes[]." ^ k)) in
+          let bytes = int_of_float (field "size_bytes") in
+          ( Printf.sprintf "%s/%d/%d" profile bytes groups,
+            field "mbs",
+            field "p99_ms" ))
+        sizes)
+    results
+
+let classify ~tolerance ~old_doc ~new_doc =
+  if tolerance < 0. then invalid_arg "Compare.classify: negative tolerance";
+  let old_rows = rows_of old_doc and new_rows = rows_of new_doc in
+  let find key rows =
+    List.find_opt (fun (k, _, _) -> k = key) rows
+  in
+  let joined =
+    List.map
+      (fun (key, old_mbs, old_p99) ->
+        match find key new_rows with
+        | None ->
+          {
+            key;
+            old_mbs;
+            new_mbs = Float.nan;
+            old_p99_ms = old_p99;
+            new_p99_ms = Float.nan;
+            verdict = Missing;
+          }
+        | Some (_, new_mbs, new_p99) ->
+          let verdict =
+            if new_mbs < old_mbs *. (1. -. tolerance) then Regressed
+            else if new_mbs > old_mbs *. (1. +. tolerance) then Improved
+            else Unchanged
+          in
+          {
+            key;
+            old_mbs;
+            new_mbs;
+            old_p99_ms = old_p99;
+            new_p99_ms = new_p99;
+            verdict;
+          })
+      old_rows
+  in
+  let added =
+    List.filter_map
+      (fun (key, new_mbs, new_p99) ->
+        if find key old_rows = None then
+          Some
+            {
+              key;
+              old_mbs = Float.nan;
+              new_mbs;
+              old_p99_ms = Float.nan;
+              new_p99_ms = new_p99;
+              verdict = Added;
+            }
+        else None)
+      new_rows
+  in
+  joined @ added
+
+let regressions rows =
+  List.filter (fun r -> r.verdict = Regressed || r.verdict = Missing) rows
+
+let verdict_to_string = function
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Unchanged -> "unchanged"
+  | Added -> "added"
+  | Missing -> "MISSING"
+
+let print rows =
+  let fmt f = if Float.is_nan f then "-" else Printf.sprintf "%.3f" f in
+  Printf.printf "%-28s %12s %12s %10s %10s  %s\n" "key" "old MB/s"
+    "new MB/s" "old p99ms" "new p99ms" "verdict";
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %12s %12s %10s %10s  %s\n" r.key (fmt r.old_mbs)
+        (fmt r.new_mbs) (fmt r.old_p99_ms) (fmt r.new_p99_ms)
+        (verdict_to_string r.verdict))
+    rows

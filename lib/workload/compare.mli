@@ -1,0 +1,41 @@
+(** Baseline comparison for [bench profiles] summaries: the per-PR perf
+    regression gate.
+
+    Two summaries are joined on the key [profile x block-size x groups]
+    (one key per request-size class of each profile x G cell) and each
+    key's size-class throughput is classified against a relative
+    tolerance.  A key present in the baseline but missing from the new
+    run is a regression (coverage must not silently shrink); a key only
+    in the new run is reported as added and does not fail the gate.
+
+    Exit-code contract of [ecstore compare] (built on {!classify}):
+    0 when no key regressed, 1 when any key regressed or went missing,
+    2 on unreadable or malformed input. *)
+
+type verdict = Improved | Regressed | Unchanged | Added | Missing
+
+type row = {
+  key : string;  (** ["profile/size_bytes/G"] *)
+  old_mbs : float;  (** NaN when {!Added} *)
+  new_mbs : float;  (** NaN when {!Missing} *)
+  old_p99_ms : float;
+  new_p99_ms : float;
+  verdict : verdict;
+}
+
+val classify :
+  tolerance:float -> old_doc:Report.json -> new_doc:Report.json -> row list
+(** Join and classify every key of both documents (baseline order first,
+    then added keys).  [tolerance] is relative: a key is {!Regressed}
+    when [new < old * (1 - tolerance)], {!Improved} when
+    [new > old * (1 + tolerance)], else {!Unchanged}.
+    @raise Report.Parse_error if either document lacks the
+    [results[].sizes[]] shape. *)
+
+val regressions : row list -> row list
+(** The rows failing the gate: {!Regressed} and {!Missing}. *)
+
+val verdict_to_string : verdict -> string
+
+val print : row list -> unit
+(** Human-readable table of every row, one line per key. *)

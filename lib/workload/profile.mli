@@ -1,0 +1,74 @@
+(** Profile-driven workload engine: named fio-style profiles over block
+    size distribution, read/write mix, Zipf skew and arrival model.
+
+    A profile describes {e offered load}, not a measurement loop: the
+    six built-in profiles mirror the classic fio scenario set
+    (sequential-rw, random-rw, mixed-70-30, db-oltp, app-server,
+    data-pipeline).  Closed-loop profiles keep a fixed number of
+    outstanding requests per tenant (the classic benchmark loop, which
+    under faults masks tail latency behind head-of-line blocking);
+    open-loop profiles draw seeded Poisson arrivals at a fixed rate with
+    bounded in-flight admission, so latency-under-load and shed traffic
+    become visible.
+
+    All sampling is driven by a seeded [Random.State], so a profile
+    generator replays byte-identically for a fixed seed. *)
+
+(** How requests arrive. *)
+type arrival =
+  | Closed of { outstanding : int }
+      (** [outstanding] request fibers per tenant, each issuing the next
+          request as soon as the previous one completes. *)
+  | Open of { rate : float; max_inflight : int }
+      (** Poisson arrivals at [rate] requests per simulated second; an
+          arrival finding [max_inflight] requests already in flight is
+          shed (counted as a drop), never queued. *)
+
+type t = {
+  name : string;
+  description : string;
+  sizes : (int * float) list;
+      (** request-size distribution: (size in blocks, weight) *)
+  write_frac : float;  (** fraction of requests that are writes *)
+  theta : float option;
+      (** Zipf skew of the block popularity ([None] = uniform); same
+          approximation as {!Generator.spec.Zipf} *)
+  sequential : bool;  (** sequential address pattern (overrides skew) *)
+  arrival : arrival;
+}
+
+(** One sampled request: [size] consecutive blocks starting at [block]
+    ([block + size <= blocks] always holds). *)
+type request = { op : Generator.op; block : int; size : int }
+
+val all : t list
+(** The six built-in profiles, in a fixed order. *)
+
+val names : string list
+
+val find : string -> t option
+
+val max_size : t -> int
+(** Largest request size (blocks) the profile can draw. *)
+
+val arrival_to_string : arrival -> string
+
+(** {1 Sampling} *)
+
+type gen
+
+val generator : t -> seed:int -> blocks:int -> gen
+(** A seeded request stream over logical blocks [0 .. blocks-1].
+    @raise Invalid_argument if [blocks] is smaller than the profile's
+    largest request size. *)
+
+val next : gen -> request
+
+val next_gap : gen -> float
+(** Next Poisson inter-arrival gap (seconds), for open-loop profiles.
+    @raise Invalid_argument on a closed-loop profile. *)
+
+val zipf_mass : theta:float -> frac:float -> float
+(** Analytic share of traffic carried by the hottest [frac] of blocks
+    under the sampled Zipf approximation: [frac ** (1 - theta)].  The
+    yardstick the skew tests measure against. *)

@@ -54,10 +54,34 @@ type json =
   | J_obj of (string * json) list
   | J_arr of json list
 
+val float_str : decimals:int -> float -> string
+(** The fixed-precision float rendering used for [J_float]: [%.*f] with
+    NaN/infinity normalized to [null] and negative zero to positive —
+    so committed baselines diff byte-stably across compilers. *)
+
 val to_string : json -> string
 (** Rendered with two-space indentation and a trailing newline. *)
 
 val write_file : string -> json -> unit
+
+(** {1 Parsing} — the inverse of {!to_string}, for reading committed
+    baselines back (the [ecstore compare] gate). *)
+
+exception Parse_error of string
+
+val of_string : string -> json
+(** Parse standard JSON.  Numbers with a fraction part become [J_float]
+    with the literal's decimal count (so re-rendering round-trips);
+    [null] becomes [J_raw "null"].  @raise Parse_error on malformed
+    input. *)
+
+val read_file : string -> json
+
+val member : string -> json -> json option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val to_float_opt : json option -> float option
+(** Numeric coercion for [J_int]/[J_float]. *)
 
 val run_fields : run -> (string * json) list
 (** The standard per-run stats block (clients, ops, MB/s, latencies,

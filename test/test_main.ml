@@ -17,6 +17,7 @@ let () =
       Test_resilience.suite;
       Test_consistency.suite;
       Test_workload.suite;
+      Test_profile.suite;
       Test_proto.suite;
       Test_scrub.suite;
       Test_faults.suite;

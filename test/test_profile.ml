@@ -1,0 +1,292 @@
+(* Tests for the profile-driven workload engine: the six built-in
+   profiles, seeded determinism of the open-loop arrival schedule,
+   Poisson inter-arrival statistics, Zipf hot-block mass vs the
+   analytic yardstick, request-size distributions — and the JSON
+   round-trip + classification logic the bench-regression gate is
+   built on. *)
+
+let db_oltp () = Option.get (Profile.find "db-oltp")
+let app_server () = Option.get (Profile.find "app-server")
+
+let test_six_profiles () =
+  Alcotest.(check (list string))
+    "fixed profile set"
+    [
+      "sequential-rw";
+      "random-rw";
+      "mixed-70-30";
+      "db-oltp";
+      "app-server";
+      "data-pipeline";
+    ]
+    Profile.names;
+  List.iter
+    (fun name ->
+      match Profile.find name with
+      | Some p -> Alcotest.(check string) "find is by name" name p.Profile.name
+      | None -> Alcotest.failf "profile %s not found" name)
+    Profile.names;
+  Alcotest.(check bool) "unknown name" true (Profile.find "nope" = None)
+
+let test_schedule_determinism () =
+  (* Same seed: identical arrival schedule — gaps and requests both. *)
+  let schedule seed =
+    let gen = Profile.generator (db_oltp ()) ~seed ~blocks:512 in
+    List.init 300 (fun _ -> (Profile.next_gap gen, Profile.next gen))
+  in
+  Alcotest.(check bool) "same seed, same schedule" true
+    (schedule 42 = schedule 42);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (schedule 42 <> schedule 43)
+
+let test_poisson_mean () =
+  let p = db_oltp () in
+  let rate =
+    match p.Profile.arrival with
+    | Profile.Open { rate; _ } -> rate
+    | Profile.Closed _ -> Alcotest.fail "db-oltp must be open-loop"
+  in
+  let gen = Profile.generator p ~seed:7 ~blocks:512 in
+  let n = 5000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let gap = Profile.next_gap gen in
+    Alcotest.(check bool) "gap positive" true (gap >= 0.);
+    total := !total +. gap
+  done;
+  let mean = !total /. float_of_int n in
+  let expect = 1. /. rate in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.6f ~ 1/rate %.6f" mean expect)
+    true
+    (Float.abs (mean -. expect) < 0.05 *. expect)
+
+(* Share of requests landing on the hottest [frac] of blocks. *)
+let hot_mass p ~seed ~blocks ~n ~frac =
+  let gen = Profile.generator p ~seed ~blocks in
+  let counts = Hashtbl.create 256 in
+  for _ = 1 to n do
+    let { Profile.block; _ } = Profile.next gen in
+    Hashtbl.replace counts block
+      (1 + Option.value (Hashtbl.find_opt counts block) ~default:0)
+  done;
+  let all =
+    Hashtbl.fold (fun _ c acc -> c :: acc) counts []
+    |> List.sort (fun a b -> compare b a)
+  in
+  let top = int_of_float (ceil (frac *. float_of_int blocks)) in
+  let hot =
+    List.filteri (fun i _ -> i < top) all |> List.fold_left ( + ) 0
+  in
+  float_of_int hot /. float_of_int n
+
+let test_zipf_hot_mass () =
+  (* The hottest 1% of blocks must carry the analytic Zipf share
+     frac^(1-theta): ~0.40 for theta 0.8, ~0.16 for theta 0.6.  The
+     rank-scatter hash and size clamping smear a little mass, so allow
+     a generous window around the yardstick. *)
+  let mass_oltp =
+    hot_mass (db_oltp ()) ~seed:11 ~blocks:1000 ~n:20000 ~frac:0.01
+  in
+  let expect_oltp = Profile.zipf_mass ~theta:0.8 ~frac:0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "theta 0.8: top-1%% mass %.3f ~ %.3f" mass_oltp expect_oltp)
+    true
+    (Float.abs (mass_oltp -. expect_oltp) < 0.1);
+  let mass_app =
+    hot_mass (app_server ()) ~seed:11 ~blocks:1000 ~n:20000 ~frac:0.01
+  in
+  let expect_app = Profile.zipf_mass ~theta:0.6 ~frac:0.01 in
+  Alcotest.(check bool)
+    (Printf.sprintf "theta 0.6: top-1%% mass %.3f ~ %.3f" mass_app expect_app)
+    true
+    (Float.abs (mass_app -. expect_app) < 0.1);
+  Alcotest.(check bool) "more theta, more skew" true (mass_oltp > mass_app)
+
+let test_size_distribution () =
+  (* db-oltp draws 1-block rows with weight 0.7 and 4-block rows with
+     weight 0.3. *)
+  let gen = Profile.generator (db_oltp ()) ~seed:5 ~blocks:512 in
+  let n = 10000 in
+  let ones = ref 0 and fours = ref 0 in
+  for _ = 1 to n do
+    match (Profile.next gen).Profile.size with
+    | 1 -> incr ones
+    | 4 -> incr fours
+    | s -> Alcotest.failf "unexpected request size %d" s
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-block share %.3f ~ 0.7" frac)
+    true
+    (Float.abs (frac -. 0.7) < 0.03);
+  Alcotest.(check int) "sizes partition the stream" n (!ones + !fours)
+
+let test_request_bounds () =
+  List.iter
+    (fun p ->
+      let blocks = 64 in
+      let gen = Profile.generator p ~seed:3 ~blocks in
+      for _ = 1 to 2000 do
+        let { Profile.block; size; _ } = Profile.next gen in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: 0 <= %d and %d+%d <= %d" p.Profile.name block
+             block size blocks)
+          true
+          (block >= 0 && block + size <= blocks)
+      done)
+    Profile.all
+
+let test_validation () =
+  Alcotest.check_raises "too few blocks"
+    (Invalid_argument "Profile.generator: blocks") (fun () ->
+      ignore (Profile.generator (db_oltp ()) ~seed:1 ~blocks:2));
+  let closed = Option.get (Profile.find "random-rw") in
+  let gen = Profile.generator closed ~seed:1 ~blocks:16 in
+  Alcotest.check_raises "closed-loop gap"
+    (Invalid_argument "Profile.next_gap: closed-loop profile") (fun () ->
+      ignore (Profile.next_gap gen))
+
+(* --- Report JSON round-trip + fixed-precision printer --------------- *)
+
+let test_float_str_stability () =
+  Alcotest.(check string) "fixed precision" "1.500"
+    (Report.float_str ~decimals:3 1.5);
+  Alcotest.(check string) "nan is null" "null"
+    (Report.float_str ~decimals:3 Float.nan);
+  Alcotest.(check string) "inf is null" "null"
+    (Report.float_str ~decimals:3 Float.infinity);
+  Alcotest.(check string) "negative zero normalized" "0.00"
+    (Report.float_str ~decimals:2 (-0.0));
+  Alcotest.(check string) "tiny negative rounds to plain zero" "0.00"
+    (Report.float_str ~decimals:2 (-0.0001))
+
+let test_json_roundtrip () =
+  let open Report in
+  let doc =
+    J_obj
+      [
+        ("name", J_str "a \"quoted\" string\nwith newline");
+        ("count", J_int (-3));
+        ("rate", J_float (12.345, 3));
+        ("ok", J_bool true);
+        ("nothing", J_raw "null");
+        ("list", J_arr [ J_int 1; J_float (0.5, 1); J_obj [] ]);
+        ("empty", J_arr []);
+      ]
+  in
+  let s = to_string doc in
+  let s2 = to_string (of_string s) in
+  Alcotest.(check string) "print/parse/print is stable" s s2
+
+let test_json_parse_errors () =
+  let bad s =
+    match Report.of_string s with
+    | exception Report.Parse_error _ -> ()
+    | _ -> Alcotest.failf "parsed malformed input %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,";
+  bad "{\"a\" 1}";
+  bad "12 34";
+  bad "\"unterminated"
+
+(* --- Compare classification ----------------------------------------- *)
+
+let doc_of rows =
+  let open Report in
+  J_obj
+    [
+      ( "results",
+        J_arr
+          (List.map
+             (fun (profile, groups, bytes, mbs, p99) ->
+               J_obj
+                 [
+                   ("profile", J_str profile);
+                   ("groups", J_int groups);
+                   ( "sizes",
+                     J_arr
+                       [
+                         J_obj
+                           [
+                             ("size_bytes", J_int bytes);
+                             ("mbs", J_float (mbs, 3));
+                             ("p99_ms", J_float (p99, 4));
+                           ];
+                       ] );
+                 ])
+             rows) );
+    ]
+
+let test_compare_classification () =
+  let old_doc =
+    doc_of
+      [
+        ("a", 1, 4096, 10.0, 1.0);
+        ("b", 2, 4096, 10.0, 1.0);
+        ("c", 4, 4096, 10.0, 1.0);
+        ("gone", 1, 4096, 10.0, 1.0);
+      ]
+  in
+  let new_doc =
+    doc_of
+      [
+        ("a", 1, 4096, 12.0, 1.0) (* improved *);
+        ("b", 2, 4096, 8.0, 1.0) (* regressed *);
+        ("c", 4, 4096, 10.04, 1.0) (* within tolerance *);
+        ("fresh", 1, 4096, 5.0, 1.0) (* added *);
+      ]
+  in
+  let rows = Compare.classify ~tolerance:0.05 ~old_doc ~new_doc in
+  let verdict key =
+    (List.find (fun r -> r.Compare.key = key) rows).Compare.verdict
+  in
+  Alcotest.(check bool) "improved" true (verdict "a/4096/1" = Compare.Improved);
+  Alcotest.(check bool) "regressed" true
+    (verdict "b/4096/2" = Compare.Regressed);
+  Alcotest.(check bool) "unchanged" true
+    (verdict "c/4096/4" = Compare.Unchanged);
+  Alcotest.(check bool) "missing" true
+    (verdict "gone/4096/1" = Compare.Missing);
+  Alcotest.(check bool) "added" true (verdict "fresh/4096/1" = Compare.Added);
+  let bad = Compare.regressions rows in
+  Alcotest.(check int) "regressions = regressed + missing" 2 (List.length bad);
+  (* The gate's sensitivity target: a 10% throughput drop on any key
+     must register as a regression under the default 2% tolerance. *)
+  let ten_pct = doc_of [ ("a", 1, 4096, 9.0, 1.0) ] in
+  let one_key = doc_of [ ("a", 1, 4096, 10.0, 1.0) ] in
+  let rows =
+    Compare.classify ~tolerance:0.02 ~old_doc:one_key ~new_doc:ten_pct
+  in
+  Alcotest.(check int) "10% drop caught at 2% tolerance" 1
+    (List.length (Compare.regressions rows))
+
+let test_compare_shape_errors () =
+  let ok = doc_of [ ("a", 1, 4096, 10.0, 1.0) ] in
+  let malformed = Report.J_obj [ ("results", Report.J_int 3) ] in
+  (match Compare.classify ~tolerance:0.05 ~old_doc:ok ~new_doc:malformed with
+  | exception Report.Parse_error _ -> ()
+  | _ -> Alcotest.fail "accepted malformed document");
+  match Compare.classify ~tolerance:(-0.1) ~old_doc:ok ~new_doc:ok with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative tolerance"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  ( "profile",
+    [
+      t "six built-in profiles" test_six_profiles;
+      t "open-loop schedule deterministic per seed" test_schedule_determinism;
+      t "poisson inter-arrival mean" test_poisson_mean;
+      t "zipf hot-block mass matches theta" test_zipf_hot_mass;
+      t "request-size distribution" test_size_distribution;
+      t "request bounds" test_request_bounds;
+      t "validation" test_validation;
+      t "float_str fixed precision + specials" test_float_str_stability;
+      t "json round-trip" test_json_roundtrip;
+      t "json parse errors" test_json_parse_errors;
+      t "compare classification" test_compare_classification;
+      t "compare shape errors" test_compare_shape_errors;
+    ] )

@@ -424,6 +424,124 @@ let test_volume_run_deterministic () =
   let b = go () in
   Alcotest.(check bool) "identical results" true (a = b)
 
+(* ------------------------------------------------------------------ *)
+(* Profile-driven multi-tenant runs: open-loop admission, QoS. *)
+
+let test_budget_try_take () =
+  let clock = ref 0. in
+  let b = Budget.create ~rate:10. ~cap:5. ~now:(fun () -> !clock) in
+  Alcotest.(check bool) "spend within cap" true (Budget.try_take b 3.);
+  Alcotest.(check bool) "insufficient tokens" false (Budget.try_take b 3.);
+  clock := 0.1;
+  (* 2 left + 1 refilled = 3. *)
+  Alcotest.(check bool) "refill unlocks" true (Budget.try_take b 3.);
+  Budget.begin_urgent b;
+  clock := 10.;
+  Alcotest.(check bool) "urgent section blocks non-urgent" false
+    (Budget.try_take b 1.);
+  Budget.end_urgent b;
+  Alcotest.(check bool) "reopens after urgent" true (Budget.try_take b 1.);
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Budget.try_take: negative cost") (fun () ->
+      ignore (Budget.try_take b (-1.)))
+
+let profile_run ~tenants ?(groups = 2) ?(blocks = 96) () =
+  let placement = placement ~groups ~pool:10 in
+  let sc = Shard_cluster.create ~seed:0x51 ~placement (cfg ()) in
+  Vrunner.run_profile ~warmup:0.02 ~blocks ~sc ~tenants ~duration:0.2 ()
+
+(* An open-loop profile hot enough to overrun a small admission bound. *)
+let flood ~rate ~max_inflight =
+  let base = Option.get (Profile.find "random-rw") in
+  {
+    base with
+    Profile.name = "flood";
+    arrival = Profile.Open { rate; max_inflight };
+  }
+
+let test_open_loop_sheds_and_completes () =
+  let tenants =
+    [
+      {
+        Vrunner.tn_name = "hot";
+        tn_profile = flood ~rate:20000. ~max_inflight:4;
+        tn_qos_blocks_per_sec = None;
+        tn_seed = 0xAB;
+      };
+    ]
+  in
+  let r = profile_run ~tenants () in
+  let tr = List.hd r.Vrunner.pf_tenants in
+  Alcotest.(check bool)
+    (Printf.sprintf "drops under overload (%d)" tr.Vrunner.tr_drops)
+    true (tr.Vrunner.tr_drops > 0);
+  Alcotest.(check bool) "still completes work" true
+    (tr.Vrunner.tr_read_reqs + tr.Vrunner.tr_write_reqs > 0);
+  Alcotest.(check bool) "admission bound respected" true
+    (r.Vrunner.pf_max_inflight <= 4)
+
+let test_profile_run_deterministic () =
+  let tenants =
+    [
+      {
+        Vrunner.tn_name = "hot";
+        tn_profile = flood ~rate:8000. ~max_inflight:16;
+        tn_qos_blocks_per_sec = None;
+        tn_seed = 0xAB;
+      };
+      {
+        Vrunner.tn_name = "oltp";
+        tn_profile = Option.get (Profile.find "db-oltp");
+        tn_qos_blocks_per_sec = Some 500.;
+        tn_seed = 0xCD;
+      };
+    ]
+  in
+  let a = profile_run ~tenants () in
+  let b = profile_run ~tenants () in
+  Alcotest.(check bool) "identical profile results" true (a = b)
+
+let test_tenant_qos_isolation () =
+  (* A greedy unmetered tenant floods the volume; a metered neighbour
+     configured for 400 blocks/s must still get close to its share, and
+     must not exceed it by more than bucket-burst slack. *)
+  let metered_rate = 400. in
+  let tenants =
+    [
+      {
+        Vrunner.tn_name = "greedy";
+        tn_profile = flood ~rate:20000. ~max_inflight:32;
+        tn_qos_blocks_per_sec = None;
+        tn_seed = 0xE1;
+      };
+      {
+        Vrunner.tn_name = "metered";
+        tn_profile = flood ~rate:4000. ~max_inflight:32;
+        tn_qos_blocks_per_sec = Some metered_rate;
+        tn_seed = 0xE2;
+      };
+    ]
+  in
+  let r = profile_run ~tenants () in
+  let tr name =
+    List.find (fun t -> t.Vrunner.tr_name = name) r.Vrunner.pf_tenants
+  in
+  let m = tr "metered" and g = tr "greedy" in
+  let m_blocks = m.Vrunner.tr_read_blocks + m.Vrunner.tr_write_blocks in
+  let m_rate = float_of_int m_blocks /. r.Vrunner.pf_duration in
+  Alcotest.(check bool)
+    (Printf.sprintf "metered tenant gets its share (%.0f blocks/s)" m_rate)
+    true
+    (m_rate >= 0.7 *. metered_rate);
+  Alcotest.(check bool)
+    (Printf.sprintf "metered tenant capped near its share (%.0f blocks/s)"
+       m_rate)
+    true
+    (m_rate <= 1.3 *. metered_rate);
+  let g_blocks = g.Vrunner.tr_read_blocks + g.Vrunner.tr_write_blocks in
+  Alcotest.(check bool) "greedy tenant unconstrained by the meter" true
+    (g_blocks > 2 * m_blocks)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   (* Everything that exercises the coding path runs at both fields; the
@@ -451,6 +569,10 @@ let suite =
         test_maintenance_backs_off_doomed_group;
       t "self-healing deterministic" test_self_healing_deterministic;
       t "volume run deterministic" test_volume_run_deterministic;
+      t "budget try_take" test_budget_try_take;
+      t "open loop sheds and completes" test_open_loop_sheds_and_completes;
+      t "profile run deterministic" test_profile_run_deterministic;
+      t "tenant qos isolation" test_tenant_qos_isolation;
     ]
     @ coding `Gf8 "gf8: "
     @ coding `Gf16 "gf16: " )
