@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- --list  # list experiment names
      dune exec bench/main.exe -- smoke --json out.json   # CI smoke run
      dune exec bench/main.exe -- volume --json out.json  # volume scaling curve
+     dune exec bench/main.exe -- volume --topology --json out.json
+                                        # topology placement + elastic legs
      dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench
      dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix *)
 
@@ -60,15 +62,20 @@ let () =
     in
     Kernel_bench.run ?json ()
   | "volume" :: rest ->
+    let topology, rest =
+      match rest with
+      | "--topology" :: rest -> (true, rest)
+      | rest -> (false, rest)
+    in
     let json =
       match rest with
       | [ "--json"; path ] -> Some path
       | [] -> None
       | _ ->
-        Printf.eprintf "usage: volume [--json FILE]\n";
+        Printf.eprintf "usage: volume [--topology] [--json FILE]\n";
         exit 1
     in
-    Volume_bench.run ?json ()
+    if topology then Topology_bench.run ?json () else Volume_bench.run ?json ()
   | "profiles" :: rest ->
     let json =
       match rest with

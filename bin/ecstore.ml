@@ -310,8 +310,9 @@ let compare_runs old_path new_path tolerance quiet =
               (match r.Compare.verdict with
               | Compare.Missing -> "present in baseline, missing from new run"
               | _ ->
-                Printf.sprintf "%.3f MB/s -> %.3f MB/s" r.Compare.old_mbs
-                  r.Compare.new_mbs))
+                Printf.sprintf "%.3f -> %.3f (wants %s)" r.Compare.old_mbs
+                  r.Compare.new_mbs
+                  (Compare.direction_to_string r.Compare.direction)))
           bad;
         1
       end)
@@ -321,21 +322,25 @@ let compare_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"OLD" ~doc:"Baseline bench-profiles JSON summary.")
+      & info [] ~docv:"OLD"
+          ~doc:
+            "Baseline bench JSON summary (bench profiles or bench volume \
+             --topology).")
   in
   let new_arg =
     Arg.(
       required
       & pos 1 (some file) None
-      & info [] ~docv:"NEW" ~doc:"Fresh bench-profiles JSON summary.")
+      & info [] ~docv:"NEW" ~doc:"Fresh bench JSON summary of the same shape.")
   in
   let tolerance =
     Arg.(
       value & opt float 0.02
       & info [ "tolerance" ] ~docv:"FRAC"
           ~doc:
-            "Relative tolerance: a key regresses when its throughput drops \
-             below old*(1-$(docv)).")
+            "Relative tolerance: a throughput key regresses when it drops \
+             below old*(1-$(docv)); a cost/latency key when it rises above \
+             old*(1+$(docv)).")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the verdict.")

@@ -1,0 +1,133 @@
+(* Background rebalancer: drains the shard cluster's pending-move queue
+   (produced by add_node/drain_node placement diffs) and performs each
+   member migration live — reassign the placement, remap the directory
+   entry to a fresh generation (INIT slots on the new host), then
+   rebuild every used stripe through the Fig 6 recovery path.  The
+   source node keeps serving throughout (a drain is not a crash), so
+   reads never lose redundancy mid-migration.
+
+   Moves are validated against the live placement before applying: a
+   queued move can go stale when a failover or a newer plan already
+   re-homed the member, or when its destination died or started
+   draining after the plan was cut.  Stale moves are dropped (counted
+   in [skipped]); a later {!Shard_cluster.plan_rebalance} re-derives
+   whatever still needs moving.
+
+   Coordination with the supervisor's targeted repair is via the shard
+   cluster's per-group claims.  The rebalancer only ever [try_claim]s —
+   on contention it requeues the move and sleeps, never blocking on a
+   claim.  It may block in a {e non-urgent} {!Budget.take} while holding
+   a claim; that is safe because the supervisor acquires all its claims
+   {e before} opening the budget's urgent section, so a claim-holder
+   parked on the budget always drains once the urgent repair ends. *)
+
+type t = {
+  sc : Shard_cluster.t;
+  volume : Volume.t;
+  budget : Budget.t;
+  poll : float;
+  replan : float; (* 0. disables periodic re-planning *)
+  until : float;
+  mutable next_replan : float;
+  mutable stopped : bool;
+  mutable moves : int;
+  mutable blocks_moved : int;
+  mutable skipped : int;
+  mutable errors : int;
+}
+
+let moves t = t.moves
+let blocks_moved t = t.blocks_moved
+let skipped t = t.skipped
+let errors t = t.errors
+let stop t = t.stopped <- true
+
+(* A queued move is applicable iff the member is still where the plan
+   saw it and the destination is a live, undrained node not already
+   serving the group. *)
+let valid t (mv : Placement.move) =
+  let pl = Shard_cluster.placement t.sc in
+  let topo = Placement.topology pl in
+  mv.Placement.mv_dst < Placement.pool pl
+  && Placement.member pl ~group:mv.mv_group ~index:mv.mv_index = mv.mv_src
+  && Shard_cluster.node_alive t.sc mv.mv_dst
+  && Topology.weight topo mv.mv_dst > 0.
+  && not
+       (Array.exists
+          (fun q -> q = mv.mv_dst)
+          (Placement.group_nodes pl mv.mv_group))
+
+let apply t (mv : Placement.move) =
+  let g = mv.Placement.mv_group in
+  if not (valid t mv) then t.skipped <- t.skipped + 1
+  else if not (Shard_cluster.try_claim_group t.sc g) then begin
+    (* Supervisor is repairing this group: back off and retry.  The
+       move is re-validated on the next pass, so a failover that lands
+       meanwhile just turns it into a skip. *)
+    Shard_cluster.requeue_move t.sc mv;
+    Fiber.sleep t.poll
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Shard_cluster.release_group t.sc g)
+      (fun () ->
+        let n = (Shard_cluster.config t.sc).Config.n in
+        let slot_cost = float_of_int (n + 1) in
+        let pl = Shard_cluster.placement t.sc in
+        Placement.reassign pl ~group:g ~index:mv.mv_index ~node:mv.mv_dst;
+        ignore (Directory.remap (Shard_cluster.group_directory t.sc g)
+                  mv.mv_index);
+        t.moves <- t.moves + 1;
+        let client = Volume.group_client t.volume g in
+        List.iter
+          (fun slot ->
+            Budget.take t.budget slot_cost;
+            try
+              Client.recover_slot client ~slot;
+              t.blocks_moved <- t.blocks_moved + 1
+            with Client.Stuck _ | Client.Data_loss _ ->
+              t.errors <- t.errors + 1)
+          (Shard_cluster.used_slots t.sc ~group:g))
+
+let run t =
+  while (not t.stopped) && Shard_cluster.now t.sc < t.until do
+    match Shard_cluster.take_move t.sc with
+    | Some mv -> apply t mv
+    | None ->
+      if t.replan > 0. && Shard_cluster.now t.sc >= t.next_replan then begin
+        t.next_replan <- Shard_cluster.now t.sc +. t.replan;
+        if Shard_cluster.plan_rebalance t.sc = [] then Fiber.sleep t.poll
+      end
+      else Fiber.sleep t.poll
+  done
+
+let start sc ~id ?budget ?(poll = 0.5e-3) ?(replan = 0.) ~until () =
+  if poll <= 0. then invalid_arg "Rebalancer.start: need poll > 0";
+  if replan < 0. then invalid_arg "Rebalancer.start: need replan >= 0";
+  let n = (Shard_cluster.config sc).Config.n in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      Budget.create ~rate:2000.
+        ~cap:(2. *. float_of_int (n + 1))
+        ~now:(fun () -> Shard_cluster.now sc)
+  in
+  let t =
+    {
+      sc;
+      volume = Volume.create sc ~id;
+      budget;
+      poll;
+      replan;
+      until;
+      next_replan = Shard_cluster.now sc +. replan;
+      stopped = false;
+      moves = 0;
+      blocks_moved = 0;
+      skipped = 0;
+      errors = 0;
+    }
+  in
+  Shard_cluster.spawn sc (fun () -> run t);
+  t

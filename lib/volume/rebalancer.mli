@@ -1,0 +1,57 @@
+(** Live migration engine for elastic membership.
+
+    {!Shard_cluster.add_node} and {!Shard_cluster.drain_node} are
+    metadata-only: they edit the topology and enqueue the placement
+    diff.  The rebalancer fiber drains that queue, moving one group
+    member at a time: re-validate the move against the live placement,
+    claim the group (so the {!Supervisor}'s targeted repair and a
+    migration never rebuild the same stripe concurrently), reassign +
+    directory remap, then rebuild every used stripe on the new host
+    through Fig 6 recovery — all priced against the shared background
+    {!Budget} {e without} the urgent flag, so migrations yield to
+    failure repair.
+
+    Stale moves (member already re-homed, destination dead or
+    draining) are dropped and counted in {!skipped}; with [replan > 0]
+    the rebalancer periodically re-plans so dropped moves are
+    re-derived against the current topology.  Deterministic under a
+    fixed seed. *)
+
+type t
+
+val start :
+  Shard_cluster.t ->
+  id:int ->
+  ?budget:Budget.t ->
+  ?poll:float ->
+  ?replan:float ->
+  until:float ->
+  unit ->
+  t
+(** Spawn the rebalancer as client [id] (no foreground client shares
+    it).  [budget] should be the maintenance scheduler's bucket so
+    migration is priced against the same background ops rate; a
+    private 2000 ops/s bucket is created when omitted.  [poll]
+    (default 0.5 ms) is the queue poll interval; [replan] (default 0 =
+    off) re-runs {!Shard_cluster.plan_rebalance} at that period while
+    the queue is idle, picking up moves lost to skips.  The fiber
+    exits at [until] or on {!stop}.
+    @raise Invalid_argument unless [poll > 0] and [replan >= 0]. *)
+
+val stop : t -> unit
+
+val moves : t -> int
+(** Member migrations applied (reassign + remap + rebuild). *)
+
+val blocks_moved : t -> int
+(** Stripe blocks rebuilt on new hosts across all migrations — the
+    volume's data-movement cost, compared against the optimal
+    (members-changed × used-stripes) in the topology bench. *)
+
+val skipped : t -> int
+(** Queued moves dropped as stale (member already re-homed by a
+    failover or newer plan, destination dead or draining). *)
+
+val errors : t -> int
+(** Per-stripe rebuilds absorbed on Stuck/Data_loss (the maintenance
+    sweep retries them later). *)

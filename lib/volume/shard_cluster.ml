@@ -38,9 +38,12 @@ type t = {
   cfg : Config.t;
   code : Rs_code.t;
   placement : Placement.t;
-  pool : pool_node array;
+  pool : pool_node array ref; (* grows on add_node; read through !() *)
   groups : group array;
   client_nodes : (int, Net.node) Hashtbl.t;
+  pending_moves : Placement.move Queue.t; (* rebalancer's work queue *)
+  queued_slots : (int * int, unit) Hashtbl.t; (* (group, index) queued *)
+  claims : (int, unit) Hashtbl.t; (* groups under repair/rebalance *)
   mutable note_hooks : (float -> string -> unit) list;
   mutable pool_health_hooks :
     (now:float -> node:int -> state:Health.state -> unit) list;
@@ -61,17 +64,18 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     Rs_code.create ~field:cfg.Config.field ~k:cfg.Config.k ~n:cfg.Config.n ()
   in
   let pool =
-    Array.init (Placement.pool placement) (fun i ->
-        let node = Net.add_node net ~name:(pool_site i) in
-        Net.set_site node (pool_site i);
-        { p_site = pool_site i; p_net = node; p_restarts = 0 })
+    ref
+      (Array.init (Placement.pool placement) (fun i ->
+           let node = Net.add_node net ~name:(pool_site i) in
+           Net.set_site node (pool_site i);
+           { p_site = pool_site i; p_net = node; p_restarts = 0 }))
   in
   let mk_group g =
     let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
     let factory ~index ~generation =
       let p = Placement.member placement ~group:g ~index in
       {
-        Directory.net_node = pool.(p).p_net;
+        Directory.net_node = !pool.(p).p_net;
         store =
           Storage_node.create
             ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
@@ -100,6 +104,9 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     pool;
     groups = Array.init (Placement.groups placement) mk_group;
     client_nodes = Hashtbl.create 8;
+    pending_moves = Queue.create ();
+    queued_slots = Hashtbl.create 16;
+    claims = Hashtbl.create 8;
     note_hooks = [];
     pool_health_hooks = [];
   }
@@ -128,21 +135,23 @@ let used_slots t ~group =
   Hashtbl.fold (fun slot () acc -> slot :: acc) t.groups.(group).g_touched []
   |> List.sort compare
 
-let node_alive t p = Net.is_alive t.pool.(p).p_net
+let pool_size t = Array.length !(t.pool)
+let topology t = Placement.topology t.placement
+let node_alive t p = Net.is_alive !(t.pool).(p).p_net
 
 let crash_node t p =
-  if p < 0 || p >= Array.length t.pool then
+  if p < 0 || p >= pool_size t then
     invalid_arg "Shard_cluster.crash_node: pool index out of range";
-  Net.crash t.pool.(p).p_net
+  Net.crash !(t.pool).(p).p_net
 
 (* Restart installs a fresh network node under the same site (so
    per-link fault policies and partitions stay in force) and remaps
    every group member hosted on the pool node: next generation, INIT
    slots.  The member re-enters service through recovery (Sec 3.10). *)
 let restart_node t p =
-  if p < 0 || p >= Array.length t.pool then
+  if p < 0 || p >= pool_size t then
     invalid_arg "Shard_cluster.restart_node: pool index out of range";
-  let pn = t.pool.(p) in
+  let pn = !(t.pool).(p) in
   if not (Net.is_alive pn.p_net) then begin
     pn.p_restarts <- pn.p_restarts + 1;
     let node =
@@ -169,14 +178,19 @@ let schedule_outage t ~at ~node ~down_for =
    member hosted on the dead pool node is re-homed to an alive,
    least-loaded pool node not already serving that group, and its
    directory entry remapped to a fresh generation (INIT slots on the new
-   host).  Returns the affected groups, for targeted repair.  Members
-   with no legal destination (pool too degraded) are left in place —
-   calls to them keep reporting [`Node_down]. *)
+   host).  Destinations respecting the placement's failure-domain
+   constraint are preferred; if the pool is too degraded to offer one,
+   any alive non-member node serves (restoring redundancy beats keeping
+   domains distinct).  Draining nodes (weight 0) are never chosen.
+   Returns the affected groups, for targeted repair.  Members with no
+   legal destination are left in place — calls to them keep reporting
+   [`Node_down]. *)
 let fail_over t ~node =
-  if node < 0 || node >= Array.length t.pool then
+  if node < 0 || node >= pool_size t then
     invalid_arg "Shard_cluster.fail_over: pool index out of range";
   if node_alive t node then
     invalid_arg "Shard_cluster.fail_over: node is alive";
+  let topo = topology t in
   let moved = ref [] in
   List.iter
     (fun g ->
@@ -187,21 +201,30 @@ let fail_over t ~node =
         (fun index q ->
           if q = node then begin
             let loads = Placement.loads t.placement in
-            let best = ref None in
-            Array.iteri
-              (fun cand load ->
-                if
-                  cand <> node && node_alive t cand
-                  && not
-                       (Array.exists
-                          (fun m -> m = cand)
-                          (Placement.group_nodes t.placement g))
-                then
-                  match !best with
-                  | Some (_, bl) when bl <= load -> ()
-                  | _ -> best := Some (cand, load))
-              loads;
-            match !best with
+            let pick respect_domains =
+              let best = ref None in
+              Array.iteri
+                (fun cand load ->
+                  if
+                    cand <> node && node_alive t cand
+                    && Topology.weight topo cand > 0.
+                    && not
+                         (Array.exists
+                            (fun m -> m = cand)
+                            (Placement.group_nodes t.placement g))
+                    && not
+                         (respect_domains
+                         && Placement.violates t.placement ~group:g ~index
+                              ~node:cand)
+                  then
+                    match !best with
+                    | Some (_, bl) when bl <= load -> ()
+                    | _ -> best := Some (cand, load))
+                loads;
+              !best
+            in
+            match (match pick true with Some c -> Some c | None -> pick false)
+            with
             | None -> ()
             | Some (cand, _) ->
               Placement.reassign t.placement ~group:g ~index ~node:cand;
@@ -212,6 +235,83 @@ let fail_over t ~node =
       if !moved_any then moved := g :: !moved)
     (Placement.groups_on t.placement node);
   List.rev !moved
+
+(* ------------------------------------------------------------------ *)
+(* Elastic membership.  [add_node]/[drain_node] change the topology,
+   re-run the placement selector and enqueue the resulting diff as
+   pending moves; the {!Rebalancer} drains the queue and performs the
+   actual live migration (reassign + remap + Fig 6 rebuild).  Nothing
+   migrates synchronously — capacity changes are cheap metadata edits,
+   the data follows under the background budget. *)
+
+(* Queue the placement diff, deduplicating on (group, index): a member
+   already scheduled to move keeps its first destination until the
+   rebalancer picks it up (it re-validates against the live placement
+   anyway). *)
+let plan_rebalance t =
+  let fresh =
+    List.filter
+      (fun mv ->
+        not (Hashtbl.mem t.queued_slots (mv.Placement.mv_group, mv.mv_index)))
+      (Placement.plan t.placement)
+  in
+  List.iter
+    (fun mv ->
+      Hashtbl.replace t.queued_slots (mv.Placement.mv_group, mv.mv_index) ();
+      Queue.push mv t.pending_moves)
+    fresh;
+  fresh
+
+let add_node ?weight t ~host ~rack ~zone =
+  let topo = topology t in
+  let id = Topology.add_node ?weight topo ~host ~rack ~zone in
+  let node = Net.add_node t.net ~name:(pool_site id) in
+  Net.set_site node (pool_site id);
+  let pn = { p_site = pool_site id; p_net = node; p_restarts = 0 } in
+  t.pool := Array.append !(t.pool) [| pn |];
+  ignore (plan_rebalance t);
+  id
+
+let drain_node t p =
+  if p < 0 || p >= pool_size t then
+    invalid_arg "Shard_cluster.drain_node: pool index out of range";
+  Topology.set_weight (topology t) p 0.;
+  plan_rebalance t
+
+let take_move t =
+  match Queue.take_opt t.pending_moves with
+  | None -> None
+  | Some mv ->
+    Hashtbl.remove t.queued_slots (mv.Placement.mv_group, mv.mv_index);
+    Some mv
+
+let requeue_move t mv =
+  if not (Hashtbl.mem t.queued_slots (mv.Placement.mv_group, mv.mv_index))
+  then begin
+    Hashtbl.replace t.queued_slots (mv.Placement.mv_group, mv.mv_index) ();
+    Queue.push mv t.pending_moves
+  end
+
+let queued_moves t = Queue.length t.pending_moves
+
+(* Per-group exclusion between the supervisor's targeted repair and the
+   rebalancer's migrations: whoever claims the group first finishes its
+   pass before the other touches any of the group's stripes.  Claims
+   are advisory fiber-level locks — holders must release in a
+   [Fun.protect] finally. *)
+let try_claim_group t g =
+  if g < 0 || g >= Array.length t.groups then
+    invalid_arg "Shard_cluster.try_claim_group: group out of range";
+  if Hashtbl.mem t.claims g then false
+  else begin
+    Hashtbl.replace t.claims g ();
+    true
+  end
+
+let release_group t g =
+  if not (Hashtbl.mem t.claims g) then
+    invalid_arg "Shard_cluster.release_group: group not claimed";
+  Hashtbl.remove t.claims g
 
 let set_faults t f = Net.set_faults t.net f
 

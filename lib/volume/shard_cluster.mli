@@ -37,7 +37,11 @@ val stats : t -> Stats.t
 val config : t -> Config.t
 val code : t -> Rs_code.t
 val placement : t -> Placement.t
+val topology : t -> Topology.t
 val now : t -> float
+
+val pool_size : t -> int
+(** Current pool node count (grows with {!add_node}). *)
 
 val groups : t -> int
 val group_layout : t -> int -> Layout.t
@@ -76,6 +80,48 @@ val fail_over : t -> node:int -> int list
     the supervisor's targeted-repair set.  Members with no legal
     destination are left in place.
     @raise Invalid_argument if [node] is alive or out of range. *)
+
+(** {1 Elastic membership}
+
+    Capacity changes are metadata-only: they edit the topology, re-run
+    the placement selector and enqueue the member-migration diff.  The
+    {!Rebalancer} drains the queue in the background, rebuilding each
+    moved member on its new home through the Fig 6 recovery path while
+    client traffic continues. *)
+
+val add_node : ?weight:float -> t -> host:int -> rack:int -> zone:int -> int
+(** Join a fresh pool node (default weight [1.]) inside the given
+    failure domains (existing or new ids — see {!Topology.add_node}),
+    install its network node, and enqueue the placement diff.  Returns
+    the new pool index. *)
+
+val drain_node : t -> int -> Placement.move list
+(** Mark a node draining (weight 0): the selector stops picking it and
+    the placement diff — every member it hosts, by the minimal-movement
+    property — is enqueued for migration.  The node keeps serving until
+    each member is rebuilt elsewhere (live migration, not failover).
+    Returns the newly enqueued moves.
+    @raise Invalid_argument if out of range. *)
+
+val plan_rebalance : t -> Placement.move list
+(** Recompute the placement diff against the current topology and
+    enqueue any move not already queued (deduplicated per (group,
+    member)); returns the newly enqueued moves.  Called automatically
+    by {!add_node} and {!drain_node}. *)
+
+val take_move : t -> Placement.move option
+val requeue_move : t -> Placement.move -> unit
+val queued_moves : t -> int
+
+(** {1 Repair/rebalance coordination}
+
+    Advisory per-group claims: the supervisor's targeted repair and the
+    rebalancer's migrations both claim a group before touching its
+    stripes, so the two never recover the same stripe concurrently.
+    Holders must release in a [Fun.protect] finally. *)
+
+val try_claim_group : t -> int -> bool
+val release_group : t -> int -> unit
 
 val set_faults : t -> Net.faults -> unit
 

@@ -46,6 +46,16 @@ let detections t = List.rev t.detections
 let repaired t = List.rev t.repaired
 let stop t = t.stopped <- true
 
+(* Wait for a group's claim.  Claims are acquired BEFORE the budget's
+   urgent section opens: the rebalancer may hold a claim while parked in
+   a non-urgent Budget.take, so waiting on a claim with urgency raised
+   would deadlock the bucket.  Claims first, urgency second — the
+   rebalancer always drains and releases. *)
+let wait_claim t g =
+  while not (Shard_cluster.try_claim_group t.sc g) do
+    Fiber.sleep t.poll
+  done
+
 let handle t node =
   if Shard_cluster.node_alive t.sc node then
     (* Accrual false positive: the node is reachable but lossy enough to
@@ -57,33 +67,45 @@ let handle t node =
   else begin
     let n = (Shard_cluster.config t.sc).Config.n in
     let slot_cost = float_of_int (n + 1) in
-    Budget.begin_urgent t.budget;
+    let affected = Placement.groups_on (Shard_cluster.placement t.sc) node in
+    List.iter (wait_claim t) affected;
     Fun.protect
-      ~finally:(fun () -> Budget.end_urgent t.budget)
+      ~finally:(fun () ->
+        List.iter (Shard_cluster.release_group t.sc) affected)
       (fun () ->
-        let groups = Shard_cluster.fail_over t.sc ~node in
-        t.failovers <- t.failovers + List.length groups;
-        List.iter
-          (fun g ->
-            let client = Volume.group_client t.volume g in
-            List.iter
-              (fun slot ->
-                Budget.take ~urgent:true t.budget slot_cost;
-                try
-                  Client.recover_slot client ~slot;
-                  t.repairs <- t.repairs + 1
-                with Client.Stuck _ | Client.Data_loss _ ->
-                  t.errors <- t.errors + 1)
-              (Shard_cluster.used_slots t.sc ~group:g);
-            (* Sweep the group once more for anything recovery could not
-               see per-slot (stale unfinished writes flagged by probes). *)
-            Budget.take ~urgent:true t.budget slot_cost;
-            try Volume.monitor_once t.volume ~group:g
-            with Client.Stuck _ | Client.Data_loss _ ->
-              t.errors <- t.errors + 1)
-          groups;
-        if groups <> [] then
-          t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
+        (* The node may have restarted while we waited on claims; a
+           restart remaps its members itself, so nothing is left to
+           re-home. *)
+        if not (Shard_cluster.node_alive t.sc node) then begin
+          Budget.begin_urgent t.budget;
+          Fun.protect
+            ~finally:(fun () -> Budget.end_urgent t.budget)
+            (fun () ->
+              let groups = Shard_cluster.fail_over t.sc ~node in
+              t.failovers <- t.failovers + List.length groups;
+              List.iter
+                (fun g ->
+                  let client = Volume.group_client t.volume g in
+                  List.iter
+                    (fun slot ->
+                      Budget.take ~urgent:true t.budget slot_cost;
+                      try
+                        Client.recover_slot client ~slot;
+                        t.repairs <- t.repairs + 1
+                      with Client.Stuck _ | Client.Data_loss _ ->
+                        t.errors <- t.errors + 1)
+                    (Shard_cluster.used_slots t.sc ~group:g);
+                  (* Sweep the group once more for anything recovery
+                     could not see per-slot (stale unfinished writes
+                     flagged by probes). *)
+                  Budget.take ~urgent:true t.budget slot_cost;
+                  try Volume.monitor_once t.volume ~group:g
+                  with Client.Stuck _ | Client.Data_loss _ ->
+                    t.errors <- t.errors + 1)
+                groups;
+              if groups <> [] then
+                t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
+        end)
   end
 
 let run t =

@@ -1,0 +1,161 @@
+(* Failure-domain topology: every pool node (disk) carries a weight and
+   the ids of its host, rack and zone.  The structure is deliberately
+   flat — three parallel int arrays plus weights — because the placement
+   selector only ever asks "which domain holds node p at level l" and
+   "what is p's weight"; the tree shape exists only for pretty-printing.
+
+   Elasticity: nodes append (ids dense, never reused) and weights
+   mutate in place.  Weight 0 marks a draining or retired node: it
+   stays addressable (directories may still point at it mid-migration)
+   but the selector no longer picks it. *)
+
+type level = Disk | Host | Rack | Zone
+
+let level_to_string = function
+  | Disk -> "disk"
+  | Host -> "host"
+  | Rack -> "rack"
+  | Zone -> "zone"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "disk" -> Some Disk
+  | "host" -> Some Host
+  | "rack" -> Some Rack
+  | "zone" -> Some Zone
+  | _ -> None
+
+type spec = {
+  zones : int;
+  racks_per_zone : int;
+  hosts_per_rack : int;
+  disks_per_host : int;
+  weight : float;
+}
+
+let spec ?(weight = 1.) ~zones ~racks_per_zone ~hosts_per_rack ~disks_per_host
+    () =
+  { zones; racks_per_zone; hosts_per_rack; disks_per_host; weight }
+
+type node = { mutable w : float; host : int; rack : int; zone : int }
+
+type t = { mutable nodes : node array; mutable count : int }
+
+let size t = t.count
+
+let check_node t p name =
+  if p < 0 || p >= t.count then invalid_arg (name ^ ": node out of range")
+
+let weight t p =
+  check_node t p "Topology.weight";
+  t.nodes.(p).w
+
+let total_weight t =
+  let sum = ref 0. in
+  for p = 0 to t.count - 1 do
+    sum := !sum +. t.nodes.(p).w
+  done;
+  !sum
+
+let domain t ~node:p ~level =
+  check_node t p "Topology.domain";
+  match level with
+  | Disk -> p
+  | Host -> t.nodes.(p).host
+  | Rack -> t.nodes.(p).rack
+  | Zone -> t.nodes.(p).zone
+
+let domains t level =
+  let seen = Hashtbl.create 16 in
+  for p = 0 to t.count - 1 do
+    Hashtbl.replace seen (domain t ~node:p ~level) ()
+  done;
+  Hashtbl.length seen
+
+let of_nodes nodes = { nodes = Array.of_list nodes; count = List.length nodes }
+
+let make s =
+  if s.zones <= 0 || s.racks_per_zone <= 0 || s.hosts_per_rack <= 0
+     || s.disks_per_host <= 0
+  then invalid_arg "Topology.make: need positive domain counts";
+  if s.weight <= 0. then invalid_arg "Topology.make: need positive weight";
+  let nodes = ref [] in
+  for z = s.zones - 1 downto 0 do
+    for r = s.racks_per_zone - 1 downto 0 do
+      for h = s.hosts_per_rack - 1 downto 0 do
+        for _d = s.disks_per_host - 1 downto 0 do
+          let rack = (z * s.racks_per_zone) + r in
+          let host = (rack * s.hosts_per_rack) + h in
+          nodes := { w = s.weight; host; rack; zone = z } :: !nodes
+        done
+      done
+    done
+  done;
+  of_nodes !nodes
+
+let flat m =
+  if m <= 0 then invalid_arg "Topology.flat: need a positive node count";
+  of_nodes (List.init m (fun p -> { w = 1.; host = p; rack = p; zone = p }))
+
+let add_node ?(weight = 1.) t ~host ~rack ~zone =
+  if weight < 0. then invalid_arg "Topology.add_node: negative weight";
+  let id = t.count in
+  let cap = Array.length t.nodes in
+  if id >= cap then begin
+    let bigger =
+      Array.make (max 8 (2 * cap)) { w = 0.; host = 0; rack = 0; zone = 0 }
+    in
+    Array.blit t.nodes 0 bigger 0 cap;
+    t.nodes <- bigger
+  end;
+  t.nodes.(id) <- { w = weight; host; rack; zone };
+  t.count <- id + 1;
+  id
+
+let set_weight t p w =
+  check_node t p "Topology.set_weight";
+  if w < 0. then invalid_arg "Topology.set_weight: negative weight";
+  t.nodes.(p).w <- w
+
+let pp fmt t =
+  let by key =
+    let tbl = Hashtbl.create 16 in
+    for p = 0 to t.count - 1 do
+      let k = key t.nodes.(p) in
+      Hashtbl.replace tbl k (p :: (try Hashtbl.find tbl k with Not_found -> []))
+    done;
+    Hashtbl.fold (fun k ps acc -> (k, List.rev ps) :: acc) tbl []
+    |> List.sort compare
+  in
+  Format.fprintf fmt "@[<v>topology: %d nodes, weight %.1f@," t.count
+    (total_weight t);
+  List.iter
+    (fun (z, zps) ->
+      Format.fprintf fmt "zone %d@," z;
+      let zset = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace zset p ()) zps;
+      List.iter
+        (fun (r, rps) ->
+          if List.exists (Hashtbl.mem zset) rps then begin
+            Format.fprintf fmt "  rack %d@," r;
+            List.iter
+              (fun (h, hps) ->
+                let here =
+                  List.filter
+                    (fun p -> Hashtbl.mem zset p && t.nodes.(p).rack = r)
+                    hps
+                in
+                if here <> [] then
+                  Format.fprintf fmt "    host %d: %s@," h
+                    (String.concat " "
+                       (List.map
+                          (fun p ->
+                            Printf.sprintf "disk%d(w=%.1f)" p t.nodes.(p).w)
+                          here)))
+              (by (fun n -> n.host))
+          end)
+        (by (fun n -> n.rack)))
+    (by (fun n -> n.zone));
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -27,6 +27,10 @@ type result = {
   supervisor_false_alarms : int;
   detections : (int * float) list; (* (pool node, time) Down verdicts *)
   repaired_at : (int * float) list; (* (pool node, time) repair done *)
+  rebalance_moves : int; (* member migrations applied *)
+  rebalance_blocks : int; (* stripe blocks rebuilt on new hosts *)
+  rebalance_skipped : int; (* stale queued moves dropped *)
+  rebalance_errors : int;
 }
 
 let next_tag = ref 1
@@ -57,8 +61,8 @@ type counters = {
 }
 
 let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
-    ?maintenance ?(supervise = false) ?(gc_every = Some 0.05) ?check ~sc
-    ~clients ~duration ~workload () =
+    ?maintenance ?(supervise = false) ?(rebalance = false)
+    ?(gc_every = Some 0.05) ?check ~sc ~clients ~duration ~workload () =
   (match faults with Some f -> Shard_cluster.set_faults sc f | None -> ());
   let cfg = Shard_cluster.config sc in
   let block_size = cfg.Config.block_size in
@@ -97,6 +101,14 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
     else
       let budget = Option.map Maintenance.budget maint in
       Some (Supervisor.start sc ~id:9998 ?budget ~until:t_end ())
+  in
+  (* Elastic rebalancing shares the same bucket, non-urgent: migrations
+     yield to repair, and claims keep the two off the same group. *)
+  let reb =
+    if not rebalance then None
+    else
+      let budget = Option.map Maintenance.budget maint in
+      Some (Rebalancer.start sc ~id:9997 ?budget ~replan:0.05 ~until:t_end ())
   in
   for c = 0 to clients - 1 do
     let volume = Volume.create sc ~id:c in
@@ -279,6 +291,13 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       (match sup with Some s -> Supervisor.false_alarms s | None -> 0);
     detections = (match sup with Some s -> Supervisor.detections s | None -> []);
     repaired_at = (match sup with Some s -> Supervisor.repaired s | None -> []);
+    rebalance_moves = (match reb with Some r -> Rebalancer.moves r | None -> 0);
+    rebalance_blocks =
+      (match reb with Some r -> Rebalancer.blocks_moved r | None -> 0);
+    rebalance_skipped =
+      (match reb with Some r -> Rebalancer.skipped r | None -> 0);
+    rebalance_errors =
+      (match reb with Some r -> Rebalancer.errors r | None -> 0);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -39,6 +39,11 @@ type result = {
   repaired_at : (int * float) list;
       (** (pool node, simulated time) when each failed-over node's
           groups finished targeted repair *)
+  rebalance_moves : int;
+      (** member migrations the {!Rebalancer} applied ([rebalance]) *)
+  rebalance_blocks : int;  (** stripe blocks rebuilt on new hosts *)
+  rebalance_skipped : int;  (** stale queued moves dropped *)
+  rebalance_errors : int;
 }
 
 val run :
@@ -48,6 +53,7 @@ val run :
   ?faults:Net.faults ->
   ?maintenance:float ->
   ?supervise:bool ->
+  ?rebalance:bool ->
   ?gc_every:float option ->
   ?check:Checker.t ->
   sc:Shard_cluster.t ->
@@ -62,6 +68,10 @@ val run :
     self-healing {!Supervisor} sharing the maintenance bucket (or a
     private one when no scheduler runs): dead pool nodes are detected,
     failed over and repaired with {e no} scripted remap events.
+    [rebalance] (default false) additionally starts a {!Rebalancer} on
+    the same bucket (non-urgent, so migrations yield to repair) with a
+    50 ms replan period — node joins and drains scheduled via [events]
+    are migrated live during the run.
     [gc_every] (default [Some 0.05]) paces
     the per-client GC fibers — tids are per client, so each client
     collects its own completed writes across the groups it touched.

@@ -1,16 +1,28 @@
-(* Baseline comparison for bench-profiles summaries.
+(* Baseline comparison for bench summaries.
 
-   The unit of comparison is the size-class row: every entry of
-   results[].sizes[] contributes one key "profile/size_bytes/G" whose
-   throughput (mbs) is classified against the baseline under a relative
-   tolerance.  Simulated counters are deterministic for a fixed seed, so
-   in CI the expected outcome is an exact match; the tolerance absorbs
-   intentional re-baselining slack, not noise. *)
+   Two document shapes are understood:
+
+   - bench-profiles: every entry of results[].sizes[] contributes one
+     key "profile/size_bytes/G" whose throughput (mbs, higher better)
+     is classified against the baseline under a relative tolerance.
+
+   - bench volume --topology: the scaling curve contributes
+     "topology/scaling/G<g>" keyed on total MB/s (higher better), and
+     the join/drain/rack-outage legs contribute migration-cost and
+     tail-latency keys (blocks_moved, p99_write_ms — lower better).
+
+   Each row carries its comparison direction, so one gate covers both
+   throughput floors and cost/latency ceilings.  Simulated counters are
+   deterministic for a fixed seed, so in CI the expected outcome is an
+   exact match; the tolerance absorbs intentional re-baselining slack,
+   not noise. *)
 
 type verdict = Improved | Regressed | Unchanged | Added | Missing
+type direction = Higher_better | Lower_better
 
 type row = {
   key : string;
+  direction : direction;
   old_mbs : float;
   new_mbs : float;
   old_p99_ms : float;
@@ -32,8 +44,9 @@ let as_float what v =
   | Some f -> f
   | None -> shape_error what
 
-(* Flatten a summary into ordered (key, mbs, p99_ms) rows. *)
-let rows_of doc =
+(* Flatten a bench-profiles summary into ordered
+   (key, direction, value, p99_ms) rows. *)
+let profile_rows doc =
   let results = items (get doc "results" "results") in
   List.concat_map
     (fun entry ->
@@ -55,38 +68,89 @@ let rows_of doc =
           let field k = num ("sizes[]." ^ k) (get sz k ("sizes[]." ^ k)) in
           let bytes = int_of_float (field "size_bytes") in
           ( Printf.sprintf "%s/%d/%d" profile bytes groups,
+            Higher_better,
             field "mbs",
             field "p99_ms" ))
         sizes)
     results
 
+(* Flatten a bench volume --topology summary: throughput floors from
+   the scaling curve, cost/latency ceilings from the elastic legs. *)
+let topology_rows doc =
+  let field what obj k = as_float (what ^ "." ^ k) (get obj k (what ^ "." ^ k)) in
+  let scaling =
+    List.map
+      (fun entry ->
+        let f = field "scaling[]" entry in
+        ( Printf.sprintf "topology/scaling/G%d" (int_of_float (f "groups")),
+          Higher_better,
+          f "total_mbs",
+          f "p99_write_ms" ))
+      (items (get doc "scaling" "scaling"))
+  in
+  let leg name =
+    let obj = get doc name name in
+    let f = field name obj in
+    let p99 = f "p99_write_ms" in
+    [
+      ( Printf.sprintf "topology/%s/blocks_moved" name,
+        Lower_better,
+        f "blocks_moved",
+        p99 );
+      (Printf.sprintf "topology/%s/p99_write_ms" name, Lower_better, p99, p99);
+    ]
+  in
+  let outage =
+    let obj = get doc "rack_outage" "rack_outage" in
+    let p99 = field "rack_outage" obj "p99_write_ms" in
+    [ ("topology/rack_outage/p99_write_ms", Lower_better, p99, p99) ]
+  in
+  scaling @ leg "join" @ leg "drain" @ outage
+
+let rows_of doc =
+  if Report.member "scaling" doc <> None then topology_rows doc
+  else profile_rows doc
+
 let classify ~tolerance ~old_doc ~new_doc =
   if tolerance < 0. then invalid_arg "Compare.classify: negative tolerance";
   let old_rows = rows_of old_doc and new_rows = rows_of new_doc in
   let find key rows =
-    List.find_opt (fun (k, _, _) -> k = key) rows
+    List.find_opt (fun (k, _, _, _) -> k = key) rows
   in
   let joined =
     List.map
-      (fun (key, old_mbs, old_p99) ->
+      (fun (key, direction, old_mbs, old_p99) ->
         match find key new_rows with
         | None ->
           {
             key;
+            direction;
             old_mbs;
             new_mbs = Float.nan;
             old_p99_ms = old_p99;
             new_p99_ms = Float.nan;
             verdict = Missing;
           }
-        | Some (_, new_mbs, new_p99) ->
+        | Some (_, _, new_mbs, new_p99) ->
+          (* "worse"/"better" follow the row's direction: throughput
+             floors regress downwards, cost/latency ceilings upwards. *)
+          let worse, better =
+            match direction with
+            | Higher_better ->
+              ( new_mbs < old_mbs *. (1. -. tolerance),
+                new_mbs > old_mbs *. (1. +. tolerance) )
+            | Lower_better ->
+              ( new_mbs > old_mbs *. (1. +. tolerance),
+                new_mbs < old_mbs *. (1. -. tolerance) )
+          in
           let verdict =
-            if new_mbs < old_mbs *. (1. -. tolerance) then Regressed
-            else if new_mbs > old_mbs *. (1. +. tolerance) then Improved
+            if worse then Regressed
+            else if better then Improved
             else Unchanged
           in
           {
             key;
+            direction;
             old_mbs;
             new_mbs;
             old_p99_ms = old_p99;
@@ -97,11 +161,12 @@ let classify ~tolerance ~old_doc ~new_doc =
   in
   let added =
     List.filter_map
-      (fun (key, new_mbs, new_p99) ->
+      (fun (key, direction, new_mbs, new_p99) ->
         if find key old_rows = None then
           Some
             {
               key;
+              direction;
               old_mbs = Float.nan;
               new_mbs;
               old_p99_ms = Float.nan;
@@ -123,13 +188,18 @@ let verdict_to_string = function
   | Added -> "added"
   | Missing -> "MISSING"
 
+let direction_to_string = function
+  | Higher_better -> "higher"
+  | Lower_better -> "lower"
+
 let print rows =
   let fmt f = if Float.is_nan f then "-" else Printf.sprintf "%.3f" f in
-  Printf.printf "%-28s %12s %12s %10s %10s  %s\n" "key" "old MB/s"
-    "new MB/s" "old p99ms" "new p99ms" "verdict";
+  Printf.printf "%-32s %6s %12s %12s %10s %10s  %s\n" "key" "wants"
+    "old value" "new value" "old p99ms" "new p99ms" "verdict";
   List.iter
     (fun r ->
-      Printf.printf "%-28s %12s %12s %10s %10s  %s\n" r.key (fmt r.old_mbs)
-        (fmt r.new_mbs) (fmt r.old_p99_ms) (fmt r.new_p99_ms)
+      Printf.printf "%-32s %6s %12s %12s %10s %10s  %s\n" r.key
+        (direction_to_string r.direction)
+        (fmt r.old_mbs) (fmt r.new_mbs) (fmt r.old_p99_ms) (fmt r.new_p99_ms)
         (verdict_to_string r.verdict))
     rows

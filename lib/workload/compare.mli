@@ -1,12 +1,23 @@
-(** Baseline comparison for [bench profiles] summaries: the per-PR perf
+(** Baseline comparison for bench summaries: the per-PR perf
     regression gate.
 
-    Two summaries are joined on the key [profile x block-size x groups]
-    (one key per request-size class of each profile x G cell) and each
-    key's size-class throughput is classified against a relative
-    tolerance.  A key present in the baseline but missing from the new
-    run is a regression (coverage must not silently shrink); a key only
-    in the new run is reported as added and does not fail the gate.
+    Two documents of the same shape are joined on a key space derived
+    from the shape:
+
+    - [bench profiles] summaries yield one key per request-size class
+      of each profile x G cell ([profile/size_bytes/G]), compared on
+      size-class throughput, higher better;
+    - [bench volume --topology] summaries yield throughput floors from
+      the scaling curve ([topology/scaling/G<g>], higher better) and
+      migration-cost / tail-latency ceilings from the elastic legs
+      ([topology/join/blocks_moved], [topology/drain/p99_write_ms],
+      [topology/rack_outage/p99_write_ms], ... — lower better).
+
+    Each row carries its comparison {!direction}; classification is
+    against a relative tolerance on the row's own scale.  A key present
+    in the baseline but missing from the new run is a regression
+    (coverage must not silently shrink); a key only in the new run is
+    reported as added and does not fail the gate.
 
     Exit-code contract of [ecstore compare] (built on {!classify}):
     0 when no key regressed, 1 when any key regressed or went missing,
@@ -14,9 +25,14 @@
 
 type verdict = Improved | Regressed | Unchanged | Added | Missing
 
+type direction =
+  | Higher_better  (** throughput-like: regresses downwards *)
+  | Lower_better  (** cost/latency-like: regresses upwards *)
+
 type row = {
-  key : string;  (** ["profile/size_bytes/G"] *)
-  old_mbs : float;  (** NaN when {!Added} *)
+  key : string;  (** e.g. ["profile/size_bytes/G"] *)
+  direction : direction;
+  old_mbs : float;  (** compared value (MB/s, blocks, ms); NaN when {!Added} *)
   new_mbs : float;  (** NaN when {!Missing} *)
   old_p99_ms : float;
   new_p99_ms : float;
@@ -26,16 +42,19 @@ type row = {
 val classify :
   tolerance:float -> old_doc:Report.json -> new_doc:Report.json -> row list
 (** Join and classify every key of both documents (baseline order first,
-    then added keys).  [tolerance] is relative: a key is {!Regressed}
-    when [new < old * (1 - tolerance)], {!Improved} when
-    [new > old * (1 + tolerance)], else {!Unchanged}.
-    @raise Report.Parse_error if either document lacks the
-    [results[].sizes[]] shape. *)
+    then added keys).  [tolerance] is relative: a {!Higher_better} key
+    is {!Regressed} when [new < old * (1 - tolerance)], a
+    {!Lower_better} key when [new > old * (1 + tolerance)]; the
+    opposite excursions are {!Improved}, anything within the band
+    {!Unchanged}.
+    @raise Report.Parse_error if either document matches neither the
+    [results[].sizes[]] nor the topology summary shape. *)
 
 val regressions : row list -> row list
 (** The rows failing the gate: {!Regressed} and {!Missing}. *)
 
 val verdict_to_string : verdict -> string
+val direction_to_string : direction -> string
 
 val print : row list -> unit
 (** Human-readable table of every row, one line per key. *)

@@ -2,4 +2,5 @@
    test_main so the volume layer's heavier simulations run as their own
    CI matrix entry). *)
 
-let () = Alcotest.run "ecs_volume" [ Test_volume.suite ]
+let () =
+  Alcotest.run "ecs_volume" [ Test_volume.suite; Test_topology.suite ]
