@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- volume --topology --json out.json
                                         # topology placement + elastic legs
      dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench
-     dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix *)
+     dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix
+     dune exec bench/main.exe -- integrity --json out.json # verified reads + scrub lag *)
 
 let experiments =
   [
@@ -86,6 +87,16 @@ let () =
         exit 1
     in
     Profile_bench.run ?json ()
+  | "integrity" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: integrity [--json FILE]\n";
+        exit 1
+    in
+    Integrity_bench.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

@@ -107,6 +107,88 @@ let alloc_fields p =
         ] );
   ]
 
+(* End-to-end integrity probe: a separate deterministic cluster with
+   verified reads on.  Corrupt a data member and a redundant member of
+   a written stripe; the verified read must still return the correct
+   bytes (catch -> recover -> re-read), and a scrub sweep over the used
+   stripes must end with everything healthy.  The probe's counters ride
+   in the JSON summary so CI can assert detections >= injections. *)
+type integrity_probe = {
+  ip_injected : int;
+  ip_node_detected : int;  (* node-side self-check catches (Stats) *)
+  ip_verify_caught : int;  (* client-side verified-read catches *)
+  ip_reads_ok : bool;
+  ip_scrub : Scrub.report;
+}
+
+let integrity_probe () =
+  let integrity =
+    { Config.default_integrity with Config.verified_reads = true }
+  in
+  let cfg = Config.make ~k:3 ~n:5 ~block_size:1024 ~integrity () in
+  let cluster = Cluster.create ~seed:0xEC2 cfg in
+  let client = Cluster.make_client cluster ~id:0 in
+  let result = ref None in
+  Cluster.spawn cluster (fun () ->
+      let payload s i =
+        Bytes.init cfg.Config.block_size (fun j ->
+            Char.chr (((s * 131) + (i * 17) + j) land 0xff))
+      in
+      let slots = 4 in
+      for s = 0 to slots - 1 do
+        for i = 0 to 2 do
+          Client.write client ~slot:s ~i (payload s i)
+        done
+      done;
+      let layout = Cluster.layout cluster in
+      let injected = ref 0 in
+      for s = 0 to slots - 1 do
+        let data = Layout.node_of layout ~stripe:s ~pos:(s mod 3) in
+        let red = Layout.node_of layout ~stripe:s ~pos:(3 + (s mod 2)) in
+        if Cluster.corrupt_block cluster ~node:data ~slot:s then incr injected;
+        if Cluster.corrupt_block cluster ~node:red ~slot:s then incr injected
+      done;
+      let ok = ref true in
+      for s = 0 to slots - 1 do
+        for i = 0 to 2 do
+          let b = Client.read client ~slot:s ~i in
+          if not (Bytes.equal b (payload s i)) then ok := false
+        done
+      done;
+      let rep = Scrub.scrub client ~slots:(List.init slots Fun.id) in
+      let m = Cluster.metrics cluster in
+      let stats = Cluster.stats cluster in
+      result :=
+        Some
+          {
+            ip_injected = !injected;
+            ip_node_detected =
+              int_of_float
+                (Stats.counter stats "integrity.node_detected"
+                +. Stats.counter stats "integrity.node_stale");
+            ip_verify_caught = Metrics.counter m "read.verify_caught";
+            ip_reads_ok = !ok;
+            ip_scrub = rep;
+          });
+  Cluster.run cluster;
+  match !result with
+  | Some p -> p
+  | None -> failwith "integrity probe fiber did not finish"
+
+let integrity_fields p =
+  let open Report in
+  [
+    ( "integrity",
+      J_obj
+        [
+          ("injected", J_int p.ip_injected);
+          ("node_detected", J_int p.ip_node_detected);
+          ("verify_caught", J_int p.ip_verify_caught);
+          ("reads_ok", J_bool p.ip_reads_ok);
+          ("scrub", J_obj (scrub_fields p.ip_scrub));
+        ] );
+  ]
+
 let run ?json () =
   let cfg = Config.make ~k:3 ~n:5 ~block_size:1024 () in
   let faults = { Net.drop = 0.02; dup = 0.02; delay = 0.; jitter = 20e-6 } in
@@ -136,6 +218,14 @@ let run ?json () =
     prof.ap_write_bytes_per_op prof.ap_read_bytes_per_op
     prof.ap_degraded_bytes_per_op prof.ap_steady_gets prof.ap_steady_hits
     prof.ap_steady_misses;
+  let probe = integrity_probe () in
+  Printf.printf
+    "integrity: %d faults injected, %d node + %d client detections, reads \
+     %s, scrub %d/%d healthy\n\
+     %!"
+    probe.ip_injected probe.ip_node_detected probe.ip_verify_caught
+    (if probe.ip_reads_ok then "all correct" else "WRONG BYTES")
+    probe.ip_scrub.Scrub.healthy probe.ip_scrub.Scrub.scanned;
   (match json with
   | None -> ()
   | Some path ->
@@ -161,6 +251,7 @@ let run ?json () =
             ("history_consistent", J_bool consistent);
           ]
         @ alloc_fields prof
+        @ integrity_fields probe
         @ [
             ( "metrics",
               J_raw
@@ -170,4 +261,8 @@ let run ?json () =
     in
     Report.write_file path doc;
     Printf.printf "wrote %s\n%!" path);
-  if not consistent then exit 1
+  if
+    not
+      (consistent && probe.ip_reads_ok
+      && probe.ip_scrub.Scrub.unrepaired = 0)
+  then exit 1

@@ -80,6 +80,10 @@ let variant_fields (r : Vrunner.result) consistent =
       ("maintenance_gc_rounds", J_int r.Vrunner.maintenance_gc_rounds);
       ("maintenance_errors", J_int r.Vrunner.maintenance_errors);
       ("maintenance_recoveries", J_int r.Vrunner.maintenance_recoveries);
+      ("scrub_passes", J_int r.Vrunner.scrub_passes);
+      ("corruptions_injected", J_int r.Vrunner.corruptions_injected);
+      ("corruptions_detected", J_int r.Vrunner.corruptions_detected);
+      ("scrub", J_obj (scrub_fields r.Vrunner.scrub_report));
       ("history_consistent", J_bool consistent);
     ]
 

@@ -95,7 +95,11 @@ let config t = t.cfg
 let env t = t.env
 let metrics t = t.metrics
 let health t = Session.health t.session
-let read t ~slot ~i = Read_path.read t.read_path ~slot ~i
+let read_verified t ~slot ~i = Read_path.read_verified t.read_path ~slot ~i
+
+let read t ~slot ~i =
+  if t.cfg.Config.integrity.Config.verified_reads then read_verified t ~slot ~i
+  else Read_path.read t.read_path ~slot ~i
 
 let write t ~slot ~i v =
   let tid = Write_path.write t.write_path ~slot ~i v in
@@ -114,6 +118,19 @@ type slot_health = Read_path.slot_health = {
 
 let verify_slot t ~slot = Read_path.verify_slot t.read_path ~slot
 let read_degraded t ~slot ~i = Read_path.read_degraded t.read_path ~slot ~i
+
+type integrity_report = Read_path.integrity_report = {
+  ir_live : int;
+  ir_checksum : int list;
+  ir_stale : int list;
+  ir_consistent : bool;
+}
+
+let check_integrity t ~slot = Read_path.check_integrity t.read_path ~slot
+
+let note_repair t ~slot ~pos =
+  let ctx = Session.new_ctx t.session Trace.Op_scrub ~slot in
+  Session.emit t.session ctx (Trace.Integrity_repaired { pos })
 let pending_gc t = Gc.pending t.gc
 let writes_completed t = Metrics.counter t.metrics "op.write.count"
 

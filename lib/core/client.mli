@@ -110,7 +110,16 @@ val health : t -> Health.t
 
 val read : t -> slot:int -> i:int -> bytes
 (** READ data block [i] of stripe [slot] (Fig 4).  One round trip in the
-    failure-free case; triggers recovery on an INIT node. *)
+    failure-free case; triggers recovery on an INIT node.  When
+    [Config.integrity.verified_reads] is set, routes through
+    {!read_verified} instead. *)
+
+val read_verified : t -> slot:int -> i:int -> bytes
+(** End-to-end verified READ (see {!Read_path.read_verified}): the data
+    node ships block + sealed integrity record + epoch in one response
+    and the client re-checks the digest itself; failed checks kick
+    recovery and retry, unreachable data nodes fall back to a
+    cross-checked degraded decode. *)
 
 val write : t -> slot:int -> i:int -> bytes -> unit
 (** WRITE (Fig 5): swap the new value into the data node, then update
@@ -161,6 +170,29 @@ val read_degraded : t -> slot:int -> i:int -> bytes option
     when no [k]-block consistent set is available (caller falls back to
     {!read} or triggers {!recover_slot}).  Costs [n] [get_state] round
     trips, so it is a fallback path, not a fast path. *)
+
+(** Integrity verdict for one stripe (alias of
+    {!Read_path.integrity_report}). *)
+type integrity_report = Read_path.integrity_report = {
+  ir_live : int;  (** members answering with committed (non-INIT) state *)
+  ir_checksum : int list;  (** positions whose node self-check failed *)
+  ir_stale : int list;
+      (** positions the cross-member decode check flagged as
+          plausible-but-wrong (quarantined to INIT) *)
+  ir_consistent : bool;
+      (** every reachable committed member lies on one code stripe *)
+}
+
+val check_integrity : t -> slot:int -> integrity_report
+(** Scrub primitive (see {!Read_path.check_integrity}): a metadata-only
+    self-check probe of every member, then a cross-member consistency
+    check that catches same-record rollbacks and quarantines identified
+    culprits.  Repair itself is {!recover_slot}. *)
+
+val note_repair : t -> slot:int -> pos:int -> unit
+(** Emit {!Trace.Integrity_repaired} for stripe position [pos] — called
+    by the scrubber after a recovery rebuilt a member it had flagged, so
+    the repair shows up in this client's metrics. *)
 
 val pending_gc : t -> int
 (** Completed writes not yet fully garbage-collected (diagnostic). *)

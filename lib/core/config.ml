@@ -48,6 +48,20 @@ let default_health =
     hedge_delay_mult = 2.0;
   }
 
+type integrity = {
+  verified_reads : bool;
+  cross_check : bool;
+  digest_per_byte : float;
+}
+
+(* Verified reads are opt-in: the fast path gains a client-side digest
+   over every block read, which real deployments enable per volume.
+   [cross_check] governs the degraded-path dual-subset decode check;
+   [digest_per_byte] is the client-side checksum compute cost (FNV-ish
+   byte loop, same order as the delta kernel). *)
+let default_integrity =
+  { verified_reads = false; cross_check = true; digest_per_byte = 1.0e-9 }
+
 type t = {
   k : int;
   n : int;
@@ -67,6 +81,7 @@ type t = {
   rpc_backoff : float;
   rpc_backoff_max : float;
   health : health;
+  integrity : integrity;
 }
 
 let t_d_for strategy ~t_p ~p =
@@ -90,7 +105,7 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
     ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ?(rpc_retry_limit = 8)
     ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3)
-    ?(health = default_health) ~k ~n () =
+    ?(health = default_health) ?(integrity = default_integrity) ~k ~n () =
   if k < 2 then invalid_arg "Config.make: need k >= 2 (Sec 4)";
   if n <= k then invalid_arg "Config.make: need n > k";
   if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
@@ -117,6 +132,8 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
   if health.probation_oks < 1 then invalid_arg "Config.make: probation_oks";
   if health.hedge_delay_mult < 0. then
     invalid_arg "Config.make: hedge_delay_mult";
+  if integrity.digest_per_byte < 0. then
+    invalid_arg "Config.make: digest_per_byte";
   {
     k;
     n;
@@ -136,6 +153,7 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     rpc_backoff;
     rpc_backoff_max;
     health;
+    integrity;
   }
 
 let p t = t.n - t.k

@@ -44,6 +44,23 @@ type health = {
 
 val default_health : health
 
+(** End-to-end integrity tuning (see {!Read_path} and {!Scrub}). *)
+type integrity = {
+  verified_reads : bool;
+      (** route [Client.read] through the verified-read path: the fast
+          path fetches block + sealed record + epoch atomically and the
+          client re-checks the digest before accepting *)
+  cross_check : bool;
+      (** on verified degraded decodes, decode a second, different
+          k-subset and compare before returning *)
+  digest_per_byte : float;
+      (** client-side checksum compute cost, seconds per byte *)
+}
+
+val default_integrity : integrity
+(** Verified reads off (plain reads stay byte-for-byte identical to the
+    pre-integrity protocol), cross-check on, digest at 1 ns/byte. *)
+
 type t = {
   k : int;
   n : int;
@@ -71,6 +88,7 @@ type t = {
                                   attempt *)
   rpc_backoff_max : float;    (** backoff ceiling *)
   health : health;            (** failure-detector tuning (see {!Health}) *)
+  integrity : integrity;      (** end-to-end integrity tuning *)
 }
 
 val make :
@@ -89,6 +107,7 @@ val make :
   ?rpc_backoff:float ->
   ?rpc_backoff_max:float ->
   ?health:health ->
+  ?integrity:integrity ->
   k:int ->
   n:int ->
   unit ->

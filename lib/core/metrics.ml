@@ -29,6 +29,11 @@ let counter_keys =
       "health.to_suspect";
       "health.to_down";
       "health.to_probation";
+      "read.verified";
+      "read.verify_caught";
+      "integrity.checksum_detected";
+      "integrity.stale_detected";
+      "integrity.repaired";
     ]
 
 let create () =
@@ -93,6 +98,14 @@ let sink t (ctx : Trace.ctx) (event : Trace.event) =
   | Trace.Hedge_launched _ -> bump t "read.hedges" 1
   | Trace.Hedge_won _ -> bump t "read.hedge_wins" 1
   | Trace.Breaker_fast_fail _ -> bump t "session.fast_fails" 1
+  | Trace.Verified_read { ok } ->
+    bump t "read.verified" 1;
+    if not ok then bump t "read.verify_caught" 1
+  | Trace.Integrity_detected { fault = `Checksum; _ } ->
+    bump t "integrity.checksum_detected" 1
+  | Trace.Integrity_detected { fault = `Stale; _ } ->
+    bump t "integrity.stale_detected" 1
+  | Trace.Integrity_repaired _ -> bump t "integrity.repaired" 1
   | Trace.Probe_result _ | Trace.Custom _ -> ()
 
 let counter t key =

@@ -211,3 +211,303 @@ let read_degraded t ~slot ~i =
     invalid_arg "Client.read_degraded: bad data index";
   let ctx = Session.new_ctx s Trace.Op_degraded_read ~slot in
   Session.with_op s ctx (fun () -> degraded_with_ctx t ctx ~slot ~i)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end integrity: verified reads and stripe integrity checks.
+
+   The node-side self-check (Storage_node) is the first line of defense
+   against bit rot; everything below is the client-side second line:
+   verify digests end-to-end on the fast path, and catch the one fault
+   the node cannot see in its own mirror — a rollback to an internally
+   consistent older state — by comparing decodes across different
+   k-subsets of the stripe. *)
+
+let digest_cost s =
+  let cfg = Session.cfg s in
+  Session.block_cost s cfg.Config.integrity.Config.digest_per_byte
+
+let fault_of_status = function
+  | Checksum.Stale_epoch -> `Stale
+  | Checksum.Digest_mismatch | Checksum.Bad_seal | Checksum.Valid -> `Checksum
+
+(* All k-element subsets of [l], in deterministic order. *)
+let rec k_subsets k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun s -> x :: s) (k_subsets (k - 1) rest) @ k_subsets k rest
+
+(* Identify members holding bad-but-plausible state: decode every
+   k-subset of [avail], re-encode the full stripe, and count how many
+   available members agree with the result.  Any subset of k honest
+   members reproduces the true stripe (agreement m - f for f bad members
+   among m); a subset containing a bad member interpolates a stripe that
+   only its own k members are guaranteed to lie on.  A strict majority
+   winner therefore exists whenever f < m - k, and the members
+   disagreeing with it are the culprits.  Returns [None] when no strict
+   winner exists (too many bad members to identify). *)
+let identify_culprits t avail =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let k = cfg.Config.k in
+  let costs = cfg.Config.costs in
+  let scored =
+    List.map
+      (fun subset ->
+        Session.compute s
+          (float_of_int k *. Session.block_cost s costs.Config.decode_per_byte
+          +. float_of_int (cfg.Config.n - k)
+             *. Session.block_cost s costs.Config.encode_per_byte);
+        let stripe = Rs_code.reconstruct_stripe t.code subset in
+        let agree =
+          List.length
+            (List.filter (fun (pos, b) -> Bytes.equal b stripe.(pos)) avail)
+        in
+        (agree, stripe))
+      (k_subsets k avail)
+  in
+  let max_agree = List.fold_left (fun m (a, _) -> max m a) 0 scored in
+  match List.filter (fun (a, _) -> a = max_agree) scored with
+  | [] -> None
+  | (_, stripe) :: rest ->
+    if
+      List.exists
+        (fun (_, st) -> not (Array.for_all2 Bytes.equal st stripe))
+        rest
+    then None (* distinct maximal stripes: cannot identify *)
+    else
+      let bad =
+        List.filter_map
+          (fun (pos, b) ->
+            if Bytes.equal b stripe.(pos) then None else Some pos)
+          avail
+      in
+      if bad <> [] && max_agree <= k then None
+        (* only self-agreement: disagreement is detectable but the
+           culprit is not attributable *)
+      else Some (stripe, bad)
+
+(* Quarantine an identified culprit so recovery rebuilds it; best
+   effort — an unreachable node is already out of the stripe. *)
+let mark_init_pos t ctx ~slot ~pos =
+  ignore (Session.call t.session ctx ~slot ~pos Proto.Mark_init)
+
+(* Verified degraded decode.  Same soundness rule as
+   [degraded_with_ctx] (a reachable NORM data node's block {e is} the
+   register; note its [Get_state] answer already passed the node
+   self-check), but when more than [k] consistent members are available
+   and [cross_check] is on, the decode is validated against the whole
+   stripe: any member holding plausible-but-wrong state (a rolled-back
+   block with its matching old record) disagrees with the strict-
+   majority stripe, gets flagged and quarantined, and recovery is
+   kicked.  Detections are reported through [caught]. *)
+let degraded_verified t ctx ~slot ~i ~caught =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let k = cfg.Config.k in
+  let states = snapshot_states t ctx ~slot in
+  match states.(i) with
+  | Some { Proto.st_opmode = Proto.Norm; st_block = Some b; _ } -> Some b
+  | Some { Proto.st_opmode = Proto.Recons; _ }
+  | Some { Proto.st_opmode = Proto.Norm; st_block = None; _ } ->
+    None
+  | None | Some { Proto.st_opmode = Proto.Init; _ } ->
+    let cset = Recovery.find_consistent ~k ~n:cfg.Config.n states in
+    if List.length cset < k || List.mem i cset then None
+    else
+      let avail =
+        List.filter_map
+          (fun pos ->
+            match states.(pos) with
+            | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+            | _ -> None)
+          cset
+      in
+      if List.length avail < k then None
+      else if List.length avail = k || not cfg.Config.integrity.Config.cross_check
+      then begin
+        Session.compute s
+          (float_of_int k
+          *. Session.block_cost s cfg.Config.costs.Config.decode_per_byte);
+        let data = Rs_code.decode t.code avail in
+        Some data.(i)
+      end
+      else begin
+        match identify_culprits t avail with
+        | None -> None (* ambiguous: refuse to guess, let the caller wait *)
+        | Some (stripe, bad) ->
+          List.iter
+            (fun pos ->
+              caught := true;
+              Session.emit s ctx
+                (Trace.Integrity_detected { pos; fault = `Stale });
+              mark_init_pos t ctx ~slot ~pos)
+            bad;
+          if bad <> [] then Recovery.start t.recovery ~parent:ctx ~slot;
+          Some stripe.(i)
+      end
+
+(* Verified read: [Read_checked] ships block + sealed record + epoch in
+   one atomic response and the client re-verifies the digest itself —
+   the node deliberately does {e not} self-check this request, so the
+   check is end-to-end (a lying or bit-flipping node is caught at the
+   reader).  On a failed check: flag, quarantine nothing (the record
+   may be the stale half), kick recovery, retry; the node-side
+   self-check makes the retried [Read_checked] serve repaired bytes.
+   Unreachable data nodes fall back to the verified degraded decode. *)
+let read_verified t ~slot ~i =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  if i < 0 || i >= cfg.Config.k then
+    invalid_arg "Client.read_verified: bad data index";
+  let ctx = Session.new_ctx s Trace.Op_verified_read ~slot in
+  Session.with_op s ctx (fun () ->
+      let caught = ref false in
+      let flag st =
+        caught := true;
+        Session.emit s ctx
+          (Trace.Integrity_detected { pos = i; fault = fault_of_status st });
+        Recovery.start t.recovery ~parent:ctx ~slot
+      in
+      let rec loop attempts =
+        if attempts > cfg.Config.recovery_retry_limit then
+          raise
+            (Session.Stuck
+               (Printf.sprintf "verified read slot %d block %d" slot i))
+        else
+          match Session.call s ctx ~slot ~pos:i Proto.Read_checked with
+          | Ok (Proto.R_read_checked { block = Some v; meta = Some m; epoch; _ })
+            -> (
+            Session.compute s (digest_cost s);
+            match Checksum.verify m ~epoch v with
+            | Checksum.Valid -> v
+            | st ->
+              flag st;
+              loop (attempts + 1))
+          | Ok (Proto.R_read_checked { block = Some _; meta = None; _ }) ->
+            (* A block without its record is as good as corrupt. *)
+            flag Checksum.Bad_seal;
+            loop (attempts + 1)
+          | Ok (Proto.R_read_checked { block = None; lmode; _ }) ->
+            if lmode = Proto.Unl || lmode = Proto.Exp then begin
+              Recovery.start t.recovery ~parent:ctx ~slot;
+              loop (attempts + 1)
+            end
+            else begin
+              Session.sleep s cfg.Config.retry_delay;
+              loop attempts
+            end
+          | Ok _ -> raise (Session.Stuck "verified read: unexpected response")
+          | Error _ -> (
+            match degraded_verified t ctx ~slot ~i ~caught with
+            | Some v -> v
+            | None ->
+              Session.sleep s cfg.Config.retry_delay;
+              loop (attempts + 1))
+      in
+      let v = loop 0 in
+      Session.emit s ctx (Trace.Verified_read { ok = not !caught });
+      v)
+
+(* ------------------------------------------------------------------ *)
+(* Stripe integrity check — the scrubber's per-slot workhorse. *)
+
+type integrity_report = {
+  ir_live : int;  (** members answering with committed (non-INIT) state *)
+  ir_checksum : int list;
+      (** positions whose own self-check failed (bit rot, cross-epoch
+          rollback) — detected by the metadata-only probe *)
+  ir_stale : int list;
+      (** positions the cross-member decode check identified as holding
+          plausible-but-wrong state (same-record rollback) *)
+  ir_consistent : bool;
+      (** every reachable committed member lies on one code stripe *)
+}
+
+let check_integrity t ~slot =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let n = cfg.Config.n and k = cfg.Config.k in
+  let ctx = Session.new_ctx s Trace.Op_scrub ~slot in
+  Session.with_op s ctx (fun () ->
+      (* Pass 1: separate-metadata probe.  Each node re-digests its own
+         block and returns only the verdict — no block on the wire. *)
+      let verdicts = Array.make n None in
+      Session.pfor s
+        (List.init n (fun pos () ->
+             match Session.call s ctx ~slot ~pos Proto.Get_meta with
+             | Ok (Proto.R_meta { self; _ }) -> verdicts.(pos) <- self
+             | Ok _ | Error _ -> ()));
+      let checksum_bad =
+        List.filter_map
+          (fun pos ->
+            match verdicts.(pos) with
+            | Some st when st <> Checksum.Valid ->
+              Session.emit s ctx
+                (Trace.Integrity_detected { pos; fault = fault_of_status st });
+              Some pos
+            | _ -> None)
+          (List.init n Fun.id)
+      in
+      (* Pass 2: cross-member consistency.  Catches the fault pass 1
+         cannot: a member rolled back together with its matching record
+         is internally Valid but off-stripe. *)
+      let states = snapshot_states t ctx ~slot in
+      let live =
+        Array.fold_left
+          (fun acc st ->
+            match st with
+            | Some v when v.Proto.st_opmode <> Proto.Init -> acc + 1
+            | _ -> acc)
+          0 states
+      in
+      let cset = Recovery.find_consistent ~k ~n states in
+      let avail =
+        List.filter_map
+          (fun pos ->
+            match states.(pos) with
+            | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
+            | _ -> None)
+          cset
+      in
+      let report ~stale ~consistent =
+        {
+          ir_live = live;
+          ir_checksum = checksum_bad;
+          ir_stale = stale;
+          ir_consistent = consistent;
+        }
+      in
+      if List.length avail < k then report ~stale:[] ~consistent:false
+      else if List.length avail = k then
+        (* Nothing to cross-check against: k members define exactly one
+           stripe.  Consistent by construction, but with no slack the
+           check has no power — the caller should recover first. *)
+        report ~stale:[] ~consistent:true
+      else begin
+        (* Cheap fast path when every member answered: one re-encode. *)
+        let full =
+          if List.length avail = n then
+            let blocks = Array.make n Bytes.empty in
+            List.iter (fun (pos, b) -> blocks.(pos) <- b) avail;
+            Session.compute s
+              (Session.block_cost s cfg.Config.costs.Config.encode_per_byte
+              *. float_of_int k);
+            Rs_code.verify_stripe t.code blocks
+          else false
+        in
+        if full then report ~stale:[] ~consistent:true
+        else
+          match identify_culprits t avail with
+          | None -> report ~stale:[] ~consistent:false
+          | Some (_, bad) ->
+            List.iter
+              (fun pos ->
+                Session.emit s ctx
+                  (Trace.Integrity_detected { pos; fault = `Stale });
+                mark_init_pos t ctx ~slot ~pos)
+              bad;
+            report ~stale:bad ~consistent:(bad = [])
+      end)

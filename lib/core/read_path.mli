@@ -49,3 +49,41 @@ val read_degraded : t -> slot:int -> i:int -> bytes option
 (** Decode data block [i] from any [k] mutually-consistent blocks
     without locks and without waiting for recovery; [None] when no
     [k]-block consistent set is available (see {!Client.read_degraded}). *)
+
+val read_verified : t -> slot:int -> i:int -> bytes
+(** End-to-end verified READ: [Read_checked] ships the block together
+    with its sealed integrity record and current epoch, and the client
+    re-verifies the digest itself (the node deliberately skips its own
+    self-check on this request, so a lying node is caught at the
+    reader).  A failed check flags the fault ({!Trace.Integrity_detected}),
+    kicks recovery, and retries; unreachable data nodes fall back to a
+    degraded decode that, with [Config.integrity.cross_check] on, is
+    validated against a strict-majority stripe and quarantines any
+    member holding plausible-but-wrong state.  Emits
+    {!Trace.Verified_read} with [ok = false] iff any fault was caught
+    while serving.
+    @raise Invalid_argument on a non-data index,
+    {!Session.Stuck} past the retry envelope. *)
+
+(** Integrity verdict for one stripe, from {!check_integrity}. *)
+type integrity_report = {
+  ir_live : int;  (** members answering with committed (non-INIT) state *)
+  ir_checksum : int list;
+      (** positions whose own self-check failed (bit rot, cross-epoch
+          rollback) — caught by the metadata-only probe *)
+  ir_stale : int list;
+      (** positions the cross-member decode check identified as holding
+          plausible-but-wrong state (same-record rollback) *)
+  ir_consistent : bool;
+      (** every reachable committed member lies on one code stripe *)
+}
+
+val check_integrity : t -> slot:int -> integrity_report
+(** Scrub one stripe in two passes: (1) a separate-metadata probe —
+    each node re-digests its own block and returns only the verdict, no
+    block on the wire; (2) a cross-member consistency check over the
+    consistent set — a full-stripe re-encode when all [n] answer, else
+    k-subset decode voting ({e identify-culprits}) that can attribute up
+    to [m - k - 1] bad members among [m] available.  Identified culprits
+    are quarantined ([Mark_init]) so ordinary recovery rebuilds them;
+    the caller (see {!Scrub}) decides when to run that recovery. *)

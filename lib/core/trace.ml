@@ -6,6 +6,8 @@ type op_kind =
   | Op_gc
   | Op_monitor
   | Op_verify
+  | Op_verified_read
+  | Op_scrub
 
 let op_kind_to_string = function
   | Op_read -> "read"
@@ -15,9 +17,21 @@ let op_kind_to_string = function
   | Op_gc -> "gc"
   | Op_monitor -> "monitor"
   | Op_verify -> "verify"
+  | Op_verified_read -> "verified_read"
+  | Op_scrub -> "scrub"
 
 let all_op_kinds =
-  [ Op_read; Op_write; Op_degraded_read; Op_recovery; Op_gc; Op_monitor; Op_verify ]
+  [
+    Op_read;
+    Op_write;
+    Op_degraded_read;
+    Op_recovery;
+    Op_gc;
+    Op_monitor;
+    Op_verify;
+    Op_verified_read;
+    Op_scrub;
+  ]
 
 type ctx = {
   op_id : int;
@@ -67,6 +81,15 @@ type event =
   | Hedge_launched of { node : int }
   | Hedge_won of { node : int }
   | Breaker_fast_fail of { node : int }
+  | Verified_read of { ok : bool }
+      (** one end-to-end checked read completed; [ok] iff no member had
+          to be caught and repaired along the way *)
+  | Integrity_detected of { pos : int; fault : [ `Checksum | `Stale ] }
+      (** stripe member [pos] caught holding bad state: bit rot /
+          corrupt metadata ([`Checksum]) or well-formed-but-old state
+          ([`Stale]) *)
+  | Integrity_repaired of { pos : int }
+      (** member [pos] rebuilt after an integrity detection *)
   | Custom of string
 
 type sink = ctx -> event -> unit
@@ -82,6 +105,8 @@ let legacy_note ctx = function
   | Recovery_phase Ph_adopt -> Some "recovery.adopt"
   | Recovery_phase Ph_done -> Some "recovery.done"
   | Recovery_phase _ -> None
+  | Integrity_detected _ -> Some "integrity.detected"
+  | Integrity_repaired _ -> Some "integrity.repaired"
   | Custom s -> Some s
   | _ -> None
 
@@ -118,6 +143,12 @@ let pp_event ppf = function
   | Hedge_won { node } -> Format.fprintf ppf "hedge.won node=%d" node
   | Breaker_fast_fail { node } ->
     Format.fprintf ppf "breaker.fast_fail node=%d" node
+  | Verified_read { ok } -> Format.fprintf ppf "read.verified ok=%b" ok
+  | Integrity_detected { pos; fault } ->
+    Format.fprintf ppf "integrity.detected pos=%d fault=%s" pos
+      (match fault with `Checksum -> "checksum" | `Stale -> "stale")
+  | Integrity_repaired { pos } ->
+    Format.fprintf ppf "integrity.repaired pos=%d" pos
   | Custom s -> Format.fprintf ppf "custom %s" s
 
 let event_to_string e = Format.asprintf "%a" pp_event e

@@ -21,6 +21,8 @@ type op_kind =
   | Op_gc
   | Op_monitor
   | Op_verify
+  | Op_verified_read
+  | Op_scrub
 
 val op_kind_to_string : op_kind -> string
 val all_op_kinds : op_kind list
@@ -88,6 +90,15 @@ type event =
   | Breaker_fast_fail of { node : int }
       (** The circuit breaker answered [`Node_down] for a quarantined
           node without touching the network. *)
+  | Verified_read of { ok : bool }
+      (** One end-to-end checked read completed; [ok] iff no member had
+          to be caught and repaired along the way. *)
+  | Integrity_detected of { pos : int; fault : [ `Checksum | `Stale ] }
+      (** Stripe member [pos] was caught holding bad state: bit rot or
+          corrupt metadata ([`Checksum]), or internally consistent but
+          old state ([`Stale] — the rollback fault). *)
+  | Integrity_repaired of { pos : int }
+      (** Member [pos] was rebuilt after an integrity detection. *)
   | Custom of string
       (** Escape hatch for user instrumentation via [Client.env.note]. *)
 

@@ -1,0 +1,37 @@
+(* Seeded source of replayable corruption patterns.
+
+   The fault layer asks it where to flip: given a block length it emits
+   a small list of (offset, xor-mask) pairs, deterministic in the seed
+   and the call sequence, masks always nonzero so every "flip" really
+   changes the byte.  Nodes apply the flips to a *copy* of the stored
+   block (the storage layer's aliasing contract: blocks are replaced
+   wholesale, never mutated in place). *)
+
+type t = { mutable state : int64 }
+
+(* splitmix64 — the same generator discipline the simulator uses. *)
+let next t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t n = Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+let create ~seed = { state = Int64.of_int seed }
+
+let flips t ~len =
+  if len <= 0 then []
+  else
+    let count = 1 + bits t 4 in
+    List.init count (fun _ ->
+        let off = bits t len in
+        let mask = 1 + bits t 255 in
+        (off, Char.chr mask))

@@ -1,0 +1,10 @@
+(** Seeded, replayable corruption-pattern source for the fault layer. *)
+
+type t
+
+val create : seed:int -> t
+
+val flips : t -> len:int -> (int * char) list
+(** [flips t ~len] draws 1–4 [(offset, xor_mask)] pairs, offsets in
+    [\[0, len)], masks nonzero.  Deterministic in the seed and the call
+    sequence; an empty list iff [len <= 0]. *)

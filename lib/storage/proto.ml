@@ -28,6 +28,7 @@ type check_status = Ck_init | Ck_gc | Ck_nochange
 
 type request =
   | Read
+  | Read_checked
   | Swap of { v : bytes; ntid : tid }
   | Add of { dv : bytes; ntid : tid; otid : tid option; epoch : int }
   | Add_bcast of { dv : bytes; dblk : int; ntid : tid; otid : tid option; epoch : int }
@@ -41,6 +42,8 @@ type request =
   | Gc_old of tid list
   | Gc_recent of tid list
   | Probe of { older_than : float }
+  | Get_meta
+  | Mark_init
 
 type state_view = {
   st_opmode : opmode;
@@ -52,6 +55,13 @@ type state_view = {
 
 type response =
   | R_read of { block : bytes option; lmode : lmode }
+  | R_read_checked of {
+      block : bytes option;
+      meta : Checksum.record option;
+      epoch : int;
+      lmode : lmode;
+    }
+  | R_meta of { opmode : opmode; epoch : int; self : Checksum.status option }
   | R_swap of { block : bytes option; epoch : int; otid : tid option; lmode : lmode }
   | R_add of { status : add_status; opmode : opmode; lmode : lmode }
   | R_check of check_status
@@ -68,13 +78,14 @@ type response =
 let tid_bytes = 12
 let int_bytes = 4
 let mode_bytes = 1
+let meta_bytes = Checksum.bytes_size
 
 let opt_bytes size = function None -> 1 | Some _ -> 1 + size
 let block_bytes b = Bytes.length b
 let list_bytes size l = 4 + (size * List.length l)
 
 let request_bytes = function
-  | Read -> 1
+  | Read | Read_checked | Get_meta | Mark_init -> 1
   | Swap { v; _ } -> 1 + block_bytes v + tid_bytes
   | Add { dv; otid; _ } ->
     1 + block_bytes dv + tid_bytes + opt_bytes tid_bytes otid + int_bytes
@@ -94,6 +105,11 @@ let response_bytes = function
   | R_read { block; _ } -> 1 + opt_bytes 0 block
                            + (match block with Some b -> block_bytes b | None -> 0)
                            + mode_bytes
+  | R_read_checked { block; meta; _ } ->
+    1
+    + (match block with Some b -> 1 + block_bytes b | None -> 1)
+    + opt_bytes meta_bytes meta + int_bytes + mode_bytes
+  | R_meta { self; _ } -> 1 + mode_bytes + int_bytes + opt_bytes mode_bytes self
   | R_swap { block; otid; _ } ->
     1
     + (match block with Some b -> 1 + block_bytes b | None -> 1)
@@ -132,6 +148,9 @@ let pp_tid_list ppf tids =
 
 let pp_request ppf = function
   | Read -> Format.pp_print_string ppf "read"
+  | Read_checked -> Format.pp_print_string ppf "read_checked"
+  | Get_meta -> Format.pp_print_string ppf "get_meta"
+  | Mark_init -> Format.pp_print_string ppf "mark_init"
   | Swap { v; ntid } ->
     Format.fprintf ppf "swap{%dB ntid=%a}" (Bytes.length v) pp_tid ntid
   | Add { dv; ntid; otid; epoch } ->
@@ -162,6 +181,19 @@ let pp_response ppf = function
     Format.fprintf ppf "r_read{%s lmode=%s}"
       (match block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
       (lmode_to_string lmode)
+  | R_read_checked { block; meta; epoch; lmode } ->
+    Format.fprintf ppf "r_read_checked{%s meta=%s epoch=%d lmode=%s}"
+      (match block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
+      (match meta with
+      | Some m -> Printf.sprintf "e%d" m.Checksum.epoch
+      | None -> "-")
+      epoch (lmode_to_string lmode)
+  | R_meta { opmode; epoch; self } ->
+    Format.fprintf ppf "r_meta{%s epoch=%d self=%s}" (opmode_to_string opmode)
+      epoch
+      (match self with
+      | Some s -> Format.asprintf "%a" Checksum.pp_status s
+      | None -> "-")
   | R_swap { block; epoch; otid; lmode } ->
     Format.fprintf ppf "r_swap{%s epoch=%d otid=%a lmode=%s}"
       (match block with Some b -> Printf.sprintf "%dB" (Bytes.length b) | None -> "-")
@@ -196,6 +228,9 @@ let pp_response ppf = function
 
 let request_tag = function
   | Read -> "read"
+  | Read_checked -> "read_checked"
+  | Get_meta -> "get_meta"
+  | Mark_init -> "mark_init"
   | Swap _ -> "swap"
   | Add _ -> "add"
   | Add_bcast _ -> "add_bcast"

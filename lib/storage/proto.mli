@@ -38,6 +38,9 @@ type check_status = Ck_init | Ck_gc | Ck_nochange
 
 type request =
   | Read
+  | Read_checked
+      (** Verified read: block, sealed integrity record, and current
+          epoch in one atomic response, for client-side verification. *)
   | Swap of { v : bytes; ntid : tid }
   | Add of { dv : bytes; ntid : tid; otid : tid option; epoch : int }
   | Add_bcast of { dv : bytes; dblk : int; ntid : tid; otid : tid option; epoch : int }
@@ -56,6 +59,13 @@ type request =
       (** Monitoring (Sec 3.10): report slots whose recentlist holds an
           entry older than [older_than] seconds (a started-but-unfinished
           write) and slots in [Init] opmode. *)
+  | Get_meta
+      (** Scrub probe: the node self-checks the slot's digest and
+          returns only the verdict — separate-metadata verification,
+          no block on the wire. *)
+  | Mark_init
+      (** Quarantine a member identified as corrupt/stale: demote the
+          slot to [Init] so recovery rebuilds it. *)
 
 type state_view = {
   st_opmode : opmode;
@@ -67,6 +77,15 @@ type state_view = {
 
 type response =
   | R_read of { block : bytes option; lmode : lmode }
+  | R_read_checked of {
+      block : bytes option;
+      meta : Checksum.record option;
+      epoch : int;
+      lmode : lmode;
+    }
+  | R_meta of { opmode : opmode; epoch : int; self : Checksum.status option }
+      (** [self] is the node's own verification verdict for the slot
+          ([None] for [Init] slots, which hold no committed data). *)
   | R_swap of { block : bytes option; epoch : int; otid : tid option; lmode : lmode }
   | R_add of { status : add_status; opmode : opmode; lmode : lmode }
   | R_check of check_status

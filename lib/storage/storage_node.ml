@@ -25,6 +25,11 @@ type slot = {
   mutable recentlist : entry list;
   mutable oldlist : entry list;
   mutable recons_set : int list option;
+  (* Separate integrity metadata: sealed digest of the current block,
+     re-made on every mutation (swap/add/reconstruct) and re-sealed on
+     finalize.  Kept apart from the block so checking is cheap and an
+     at-rest flip of the block cannot also "fix" its record. *)
+  mutable meta : Checksum.record;
 }
 
 type t = {
@@ -36,10 +41,15 @@ type t = {
   init : [ `Zeroed | `Garbage ];
   kernel : (module Kernel.S); (* bulk kernel for the configured field *)
   mutable garbage_seed : int;
+  self_check : bool; (* verify own digest before serving reads/state *)
+  on_integrity_fail : (slot:int -> Checksum.status -> unit) option;
+      (* fault-layer observer: fired whenever a self-check fails while
+         serving, so detection times can be recorded at the injection
+         site (the node reporting a checksum error, ZFS-style) *)
 }
 
-let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8) ~now
-    ~block_size ~init () =
+let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8)
+    ?(self_check = true) ?on_integrity_fail ~now ~block_size ~init () =
   {
     slots = Hashtbl.create 64;
     now;
@@ -49,6 +59,8 @@ let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8) ~now
     init;
     kernel = Kernel.for_h h;
     garbage_seed = 0x5eed;
+    self_check;
+    on_integrity_fail;
   }
 
 (* Deterministic "random" garbage for INIT slots: the paper's remapped
@@ -58,32 +70,27 @@ let garbage_block t =
   let st = Random.State.make [| t.garbage_seed |] in
   Bytes.init t.block_size (fun _ -> Char.chr (Random.State.int st 256))
 
+let writer_of_tid tid =
+  Checksum.pack_writer ~seq:tid.seq ~blk:tid.blk ~client:tid.client
+
 let fresh_slot t =
-  match t.init with
-  | `Zeroed ->
-    {
-      block = Bytes.make t.block_size '\000';
-      opmode = Norm;
-      lmode = Unl;
-      lid = None;
-      l_prev = Unl;
-      epoch = 0;
-      recentlist = [];
-      oldlist = [];
-      recons_set = None;
-    }
-  | `Garbage ->
-    {
-      block = garbage_block t;
-      opmode = Init;
-      lmode = Unl;
-      lid = None;
-      l_prev = Unl;
-      epoch = 0;
-      recentlist = [];
-      oldlist = [];
-      recons_set = None;
-    }
+  let block, opmode =
+    match t.init with
+    | `Zeroed -> (Bytes.make t.block_size '\000', Norm)
+    | `Garbage -> (garbage_block t, Init)
+  in
+  {
+    block;
+    opmode;
+    lmode = Unl;
+    lid = None;
+    l_prev = Unl;
+    epoch = 0;
+    recentlist = [];
+    oldlist = [];
+    recons_set = None;
+    meta = Checksum.make ~epoch:0 ~writer:0L block;
+  }
 
 let slot t id =
   match Hashtbl.find_opt t.slots id with
@@ -105,6 +112,24 @@ let expire_if_holder_failed t s =
     s.lid <- None
   | _ -> ()
 
+(* Node-side integrity self-check (first line of defense, ZFS-style):
+   before serving a block the node re-digests it against its sealed
+   record.  A failing slot answers as if it held nothing — reads return
+   no block and get_state reports INIT — so the existing recovery and
+   degraded-decode machinery excludes the rotted member and rebuilds it
+   through Fig 6, with no new protocol states. *)
+let self_status s = Checksum.verify s.meta ~epoch:s.epoch s.block
+
+let checked_status t ~id s =
+  let st = self_status s in
+  (match t.on_integrity_fail with
+  | Some f when st <> Checksum.Valid -> f ~slot:id st
+  | _ -> ());
+  st
+
+let self_ok t ~id s =
+  (not t.self_check) || checked_status t ~id s = Checksum.Valid
+
 (* Read and swap hand out (and take in) block references without
    copying.  This is safe because data-slot blocks are never mutated in
    place — a data slot only changes by pointer replacement (swap,
@@ -112,9 +137,39 @@ let expire_if_holder_failed t s =
    reader's view is immutable, and a swapped-in payload is owned by the
    node from then on (the simulator serves calls synchronously, and
    writers hand over freshly built blocks). *)
-let do_read s =
-  if s.opmode <> Norm || s.lmode <> Unl then R_read { block = None; lmode = s.lmode }
+let do_read t ~id s =
+  if s.opmode <> Norm || s.lmode <> Unl || not (self_ok t ~id s) then
+    R_read { block = None; lmode = s.lmode }
   else R_read { block = Some s.block; lmode = s.lmode }
+
+(* Verified-read serve: block, metadata record, and current epoch in one
+   atomic response.  Deliberately NO node-side check here — this is the
+   end-to-end path, the *client* verifies (a node that cannot be trusted
+   to store bytes cannot be trusted to check them either). *)
+let do_read_checked s =
+  if s.opmode <> Norm || s.lmode <> Unl then
+    R_read_checked { block = None; meta = None; epoch = s.epoch; lmode = s.lmode }
+  else
+    R_read_checked
+      { block = Some s.block; meta = Some s.meta; epoch = s.epoch; lmode = s.lmode }
+
+(* Scrub probe: only the self-check verdict crosses the wire, never the
+   block — the separate-metadata payoff (Androulaki/Cachin).  The node
+   still pays the digest over the block, which [serve_cost] prices. *)
+let do_get_meta t ~id s =
+  let self = if s.opmode = Init then None else Some (checked_status t ~id s) in
+  R_meta { opmode = s.opmode; epoch = s.epoch; self }
+
+(* Quarantine: the caller (verified read / scrub) identified this member
+   as holding bad-but-plausible state.  Demote to INIT so recovery
+   rebuilds it from the surviving members; protocol lists go with it,
+   exactly as if the member had been fail-remapped. *)
+let do_mark_init s =
+  s.opmode <- Init;
+  s.recons_set <- None;
+  s.recentlist <- [];
+  s.oldlist <- [];
+  R_ack
 
 let do_swap t s ~v ~ntid =
   if s.opmode <> Norm || s.lmode <> Unl then
@@ -138,6 +193,7 @@ let do_swap t s ~v ~ntid =
       else begin
         let retblk = s.block in
         s.block <- v;
+        s.meta <- Checksum.make ~epoch:s.epoch ~writer:(writer_of_tid ntid) v;
         (* Previous write = recentlist entry with the largest time; the
            list is newest-first so that is the head.  The saved pre-swap
            value and the returned block share [retblk]: neither side
@@ -176,6 +232,9 @@ let apply_add t s ~dv ~alpha ~ntid ~otid ~epoch =
       let (module K : Kernel.S) = t.kernel in
       if alpha = 1 then K.xor_into ~dst:s.block ~src:dv
       else K.scale_xor_into alpha ~dst:s.block ~src:dv;
+      (* Checksum the post-add state: the digest covers block bytes
+         only, so any order of the same adds seals the same digest. *)
+      s.meta <- Checksum.make ~epoch:s.epoch ~writer:(writer_of_tid ntid) s.block;
       s.recentlist <-
         { e_tid = ntid; e_time = t.now (); e_swap = None } :: s.recentlist;
       R_add { status = Add_ok; opmode = s.opmode; lmode = s.lmode }
@@ -219,15 +278,27 @@ let do_setlock s ~caller lm =
    blocks are mutated in place by adds, and find_consistent compares
    state snapshots taken at different times — an aliased view could
    mutate between poll and comparison. *)
-let do_get_state s =
-  R_state
-    {
-      st_opmode = s.opmode;
-      st_recons_set = s.recons_set;
-      st_oldlist = tids s.oldlist;
-      st_recentlist = tids s.recentlist;
-      st_block = (if s.opmode = Init then None else Some (Bytes.copy s.block));
-    }
+let do_get_state t ~id s =
+  if s.opmode <> Init && not (self_ok t ~id s) then
+    (* Rotted or stale member: answer exactly like a fresh INIT slot so
+       find_consistent excludes it and recovery rebuilds it. *)
+    R_state
+      {
+        st_opmode = Init;
+        st_recons_set = None;
+        st_oldlist = [];
+        st_recentlist = [];
+        st_block = None;
+      }
+  else
+    R_state
+      {
+        st_opmode = s.opmode;
+        st_recons_set = s.recons_set;
+        st_oldlist = tids s.oldlist;
+        st_recentlist = tids s.recentlist;
+        st_block = (if s.opmode = Init then None else Some (Bytes.copy s.block));
+      }
 
 let do_getrecent s ~caller lm =
   s.lmode <- lm;
@@ -238,9 +309,15 @@ let do_reconstruct s ~cset ~blk =
   s.opmode <- Recons;
   s.recons_set <- Some cset;
   s.block <- Bytes.copy blk;
+  s.meta <- Checksum.make ~epoch:s.epoch ~writer:0L s.block;
   R_reconstruct { epoch = s.epoch }
 
 let do_finalize s ~epoch =
+  (* Same bytes, new epoch: carry the digest into the new epoch.  For
+     members that were NOT reconstructed this is the only maintenance
+     finalize needs; for reconstructed ones it follows do_reconstruct's
+     fresh record. *)
+  s.meta <- Checksum.reseal s.meta ~epoch;
   s.epoch <- epoch;
   s.recentlist <- [];
   s.oldlist <- [];
@@ -303,7 +380,10 @@ and handle_slot t ~caller ~slot:slot_id req =
   let s = slot t slot_id in
   expire_if_holder_failed t s;
   match req with
-  | Read -> do_read s
+  | Read -> do_read t ~id:slot_id s
+  | Read_checked -> do_read_checked s
+  | Get_meta -> do_get_meta t ~id:slot_id s
+  | Mark_init -> do_mark_init s
   | Swap { v; ntid } -> do_swap t s ~v ~ntid
   | Add { dv; ntid; otid; epoch } -> apply_add t s ~dv ~alpha:1 ~ntid ~otid ~epoch
   | Add_bcast { dv; dblk; ntid; otid; epoch } ->
@@ -316,7 +396,7 @@ and handle_slot t ~caller ~slot:slot_id req =
   | Checktid { ntid; otid } -> do_checktid s ~ntid ~otid
   | Trylock lm -> do_trylock s ~caller lm
   | Setlock lm -> do_setlock s ~caller lm
-  | Get_state -> do_get_state s
+  | Get_state -> do_get_state t ~id:slot_id s
   | Getrecent lm -> do_getrecent s ~caller lm
   | Reconstruct { cset; blk } -> do_reconstruct s ~cset ~blk
   | Finalize { epoch } -> do_finalize s ~epoch
@@ -348,14 +428,67 @@ let overhead_bytes t =
       let recons =
         match s.recons_set with None -> 0 | Some l -> 4 * List.length l
       in
-      acc + 1 + 2 + 4 + 2 + 2 + lists + recons)
+      acc + 1 + 2 + 4 + 2 + 2 + lists + recons + Checksum.bytes_size)
     t.slots 0
 
 let overhead_bytes_per_slot t =
   let n = slot_count t in
   if n = 0 then 0. else float_of_int (overhead_bytes t) /. float_of_int n
 
+(* --- Integrity fault injection (at-rest, below the protocol) --------
+
+   Both faults honor the aliasing contract above do_read: the stored
+   block is never mutated in place, only pointer-replaced with a doctored
+   copy, so previously handed-out references stay stable. *)
+
+(* Silent bit rot: XOR masks into a copy of the stored bytes, leaving
+   the integrity record untouched — which is what makes it silent.
+   Returns false when the slot holds no committed data (non-NORM).  If
+   the masks happen to cancel out, byte 0 is flipped so an injection
+   recorded by the fault layer is always a real fault. *)
+let corrupt_block t ~slot:id ~xors =
+  match Hashtbl.find_opt t.slots id with
+  | None -> false
+  | Some s ->
+    if s.opmode <> Norm then false
+    else begin
+      let b = Bytes.copy s.block in
+      List.iter
+        (fun (off, mask) ->
+          if off >= 0 && off < Bytes.length b then
+            Bytes.set b off
+              (Char.chr (Char.code (Bytes.get b off) lxor Char.code mask)))
+        xors;
+      if Bytes.equal b s.block && Bytes.length b > 0 then
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+      s.block <- b;
+      true
+    end
+
+(* Stale-but-well-formed state: capture a committed block together with
+   its sealed record, and later roll both back.  The restored state is
+   internally consistent — digest matches, seal verifies — so it is only
+   catchable by the epoch check (if recovery finalized in between) or by
+   a cross-member decode check. *)
+type snapshot = { sn_block : bytes; sn_meta : Checksum.record }
+
+let snapshot_slot t ~slot:id =
+  match Hashtbl.find_opt t.slots id with
+  | Some s when s.opmode = Norm ->
+    Some { sn_block = Bytes.copy s.block; sn_meta = s.meta }
+  | _ -> None
+
+let rollback_slot t ~slot:id snap =
+  match Hashtbl.find_opt t.slots id with
+  | Some s when s.opmode = Norm ->
+    s.block <- Bytes.copy snap.sn_block;
+    s.meta <- snap.sn_meta;
+    true
+  | _ -> false
+
 let peek_block t ~slot:id = (slot t id).block
+let peek_meta t ~slot:id = (slot t id).meta
+let slot_status t ~slot:id = self_status (slot t id)
 let peek_opmode t ~slot:id = (slot t id).opmode
 let peek_lmode t ~slot:id = (slot t id).lmode
 let peek_epoch t ~slot:id = (slot t id).epoch

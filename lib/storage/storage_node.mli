@@ -15,7 +15,14 @@
 
     {b Fail-remap.}  A node created with [init:`Garbage] starts every
     slot in [Init] opmode with arbitrary contents, modelling the fresh
-    replacement node of Sec 3.5. *)
+    replacement node of Sec 3.5.
+
+    {b Integrity.}  Every slot carries a sealed {!Checksum.record} —
+    separate metadata digesting the current block — refreshed on every
+    mutation.  With [self_check] on (the default) the node re-verifies
+    the digest before serving [Read] and [Get_state]; a failing slot
+    answers as if it held nothing, so the unchanged recovery machinery
+    quarantines and rebuilds rotted members. *)
 
 type t
 
@@ -23,6 +30,8 @@ val create :
   ?alpha_for:(slot:int -> dblk:int -> int) ->
   ?client_failed:(int -> bool) ->
   ?h:int ->
+  ?self_check:bool ->
+  ?on_integrity_fail:(slot:int -> Checksum.status -> unit) ->
   now:(unit -> float) ->
   block_size:int ->
   init:[ `Zeroed | `Garbage ] ->
@@ -34,6 +43,9 @@ val create :
     fails").  [h] selects the GF(2^h) bulk kernel used to apply adds
     (default 8; must match the client's code).  [now] supplies the
     node-local clock used to timestamp recentlist entries.
+    [on_integrity_fail] is the fault layer's observer: invoked each time
+    a self-check fails while serving ([Read], [Get_state], [Get_meta]),
+    so injected-fault detection times can be recorded node-side.
 
     {b Buffer ownership.}  The node applies adds in place and avoids
     block copies on read and swap: a [Read]/[Swap] response may alias
@@ -57,9 +69,41 @@ val overhead_bytes : t -> int
 val overhead_bytes_per_slot : t -> float
 (** [overhead_bytes] averaged over materialized slots (0 if none). *)
 
+(** {2 Integrity fault injection}
+
+    At-rest faults below the protocol, for the fault layer and tests.
+    Both honor the buffer-ownership contract: the stored block is
+    pointer-replaced with a doctored copy, never mutated in place. *)
+
+val corrupt_block : t -> slot:int -> xors:(int * char) list -> bool
+(** Silent bit rot: XOR the masks into the stored block, leaving the
+    integrity record untouched.  Guaranteed to really change the bytes
+    (cancelling masks fall back to flipping byte 0).  [false] when the
+    slot holds no committed data (non-NORM). *)
+
+type snapshot
+(** A committed block captured together with its sealed record. *)
+
+val snapshot_slot : t -> slot:int -> snapshot option
+(** Capture a NORM slot's block + metadata for a later rollback. *)
+
+val rollback_slot : t -> slot:int -> snapshot -> bool
+(** Stale-but-well-formed fault: restore a previously captured block
+    {e and} its record.  The result is internally consistent, so it is
+    detected only by the epoch check (when recovery finalized in
+    between) or by a cross-member decode check. *)
+
 (** Test/diagnostic accessors (read-only views). *)
 
 val peek_block : t -> slot:int -> bytes
+
+val peek_meta : t -> slot:int -> Checksum.record
+(** The slot's current sealed integrity record. *)
+
+val slot_status : t -> slot:int -> Checksum.status
+(** Node-local verification verdict for the slot, as [Get_meta] would
+    report it. *)
+
 val peek_opmode : t -> slot:int -> Proto.opmode
 val peek_lmode : t -> slot:int -> Proto.lmode
 val peek_epoch : t -> slot:int -> int

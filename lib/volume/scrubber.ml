@@ -1,0 +1,102 @@
+(* Background scrubber: a budgeted sweep over every used stripe of
+   every group, running {!Scrub.scrub_slot} — the metadata self-check
+   probe, the cross-member decode check, and ordinary recovery for
+   anything flagged.  This is the proactive half of the integrity
+   story: verified reads catch faults on blocks clients actually touch;
+   the scrubber bounds the detection lag of faults on {e cold} data by
+   its sweep period.
+
+   Pacing: each stripe costs [2n + 1] tokens (a [get_meta] plus a
+   [get_state] per member, plus slack for the occasional repair) from a
+   Budget shared with maintenance/supervisor/rebalancer, so scrubbing
+   can never starve urgent repair — urgent takers preempt non-urgent
+   ones at the bucket.  A sweep that finishes early idles out the rest
+   of its [period], so an over-provisioned budget does not turn into a
+   hot loop.
+
+   Coordination: groups under supervisor repair or rebalancer migration
+   (per-group claims) are skipped for the sweep — their stripes are
+   being rebuilt anyway — and picked up again on the next pass. *)
+
+type t = {
+  sc : Shard_cluster.t;
+  volume : Volume.t;
+  budget : Budget.t;
+  slot_cost : float;
+  period : float;
+  poll : float;
+  until : float;
+  mutable stopped : bool;
+  mutable passes : int;
+  mutable skipped_claims : int;
+  mutable errors : int;
+  mutable report : Scrub.report;
+}
+
+let passes t = t.passes
+let skipped_claims t = t.skipped_claims
+let errors t = t.errors
+let report t = t.report
+let stop t = t.stopped <- true
+
+let scrub_group t g =
+  if not (Shard_cluster.try_claim_group t.sc g) then
+    t.skipped_claims <- t.skipped_claims + 1
+  else
+    Fun.protect
+      ~finally:(fun () -> Shard_cluster.release_group t.sc g)
+      (fun () ->
+        let client = Volume.group_client t.volume g in
+        List.iter
+          (fun slot ->
+            if (not t.stopped) && Shard_cluster.now t.sc < t.until then begin
+              Budget.take t.budget t.slot_cost;
+              match Scrub.scrub_slot client ~slot with
+              | r -> t.report <- Scrub.merge t.report r
+              | exception (Client.Stuck _ | Client.Data_loss _) ->
+                t.errors <- t.errors + 1
+            end)
+          (Shard_cluster.used_slots t.sc ~group:g))
+
+let run t =
+  while (not t.stopped) && Shard_cluster.now t.sc < t.until do
+    let started = Shard_cluster.now t.sc in
+    for g = 0 to Shard_cluster.groups t.sc - 1 do
+      if (not t.stopped) && Shard_cluster.now t.sc < t.until then
+        scrub_group t g
+    done;
+    t.passes <- t.passes + 1;
+    let elapsed = Shard_cluster.now t.sc -. started in
+    Fiber.sleep (if elapsed < t.period then t.period -. elapsed else t.poll)
+  done
+
+let start sc ~id ?budget ?(period = 0.05) ?(poll = 0.5e-3) ~until () =
+  if period <= 0. then invalid_arg "Scrubber.start: need period > 0";
+  if poll <= 0. then invalid_arg "Scrubber.start: need poll > 0";
+  let n = (Shard_cluster.config sc).Config.n in
+  let slot_cost = float_of_int ((2 * n) + 1) in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+      Budget.create ~rate:2000. ~cap:(2. *. slot_cost)
+        ~now:(fun () -> Shard_cluster.now sc)
+  in
+  let t =
+    {
+      sc;
+      volume = Volume.create sc ~id;
+      budget;
+      slot_cost;
+      period;
+      poll;
+      until;
+      stopped = false;
+      passes = 0;
+      skipped_claims = 0;
+      errors = 0;
+      report = Scrub.empty;
+    }
+  in
+  Shard_cluster.spawn sc (fun () -> run t);
+  t

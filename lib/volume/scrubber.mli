@@ -1,0 +1,45 @@
+(** Budgeted background scrub over a sharded volume.
+
+    Sweeps every used stripe of every group through
+    {!Scrub.scrub_slot} — node-side digest self-checks, the
+    cross-member decode check, and ordinary Fig 6 recovery for anything
+    flagged.  Verified reads bound the exposure of {e hot} blocks; the
+    scrubber bounds the {b detection lag} of at-rest faults on cold
+    blocks by its sweep period, provided the shared {!Budget} sustains
+    [(2n + 1) x stripes / period] tokens per second.
+
+    Plays nice with the other background actors: it draws non-urgent
+    tokens (supervisor repair preempts at the bucket) and skips groups
+    currently claimed for repair or migration, catching them on the
+    next pass. *)
+
+type t
+
+val start :
+  Shard_cluster.t ->
+  id:int ->
+  ?budget:Budget.t ->
+  ?period:float ->
+  ?poll:float ->
+  until:float ->
+  unit ->
+  t
+(** Spawn the scrub fiber.  [id] is the client id its RPCs run under;
+    [budget] defaults to a private 2000 tokens/s bucket; [period]
+    (default 50 ms simulated) is the target interval between sweep
+    starts — a faster sweep idles out the remainder.
+    @raise Invalid_argument unless [period] and [poll] are positive. *)
+
+val stop : t -> unit
+
+val passes : t -> int
+(** Completed full sweeps. *)
+
+val report : t -> Scrub.report
+(** Accumulated scrub outcome across all sweeps so far. *)
+
+val skipped_claims : t -> int
+(** Group visits skipped because repair/rebalance held the claim. *)
+
+val errors : t -> int
+(** Stripes whose repair raised [Stuck]/[Data_loss]. *)

@@ -31,6 +31,21 @@ type pool_node = {
   mutable p_restarts : int;
 }
 
+(* Ledger of injected at-rest faults, keyed by (group, member index,
+   slot).  A fault is "detected" the first time any defense layer sees
+   it — the node's own self-check (observed via [on_integrity_fail]) or
+   the client-side verified-read / cross-check (observed via
+   [Trace.Integrity_detected] in the trace sink) — at which point its
+   detection lag is sampled and the entry retired.  Shared with the
+   node factories, so it is built before [t]. *)
+type integrity_log = {
+  inj_src : Injector.t;
+  inj_times : (int * int * int, float) Hashtbl.t;
+  mutable inj_count : int;
+  mutable det_count : int;
+  mutable det_lag : float list; (* newest first *)
+}
+
 type t = {
   engine : Engine.t;
   net : Net.t;
@@ -44,6 +59,7 @@ type t = {
   pending_moves : Placement.move Queue.t; (* rebalancer's work queue *)
   queued_slots : (int * int, unit) Hashtbl.t; (* (group, index) queued *)
   claims : (int, unit) Hashtbl.t; (* groups under repair/rebalance *)
+  ilog : integrity_log;
   mutable note_hooks : (float -> string -> unit) list;
   mutable pool_health_hooks :
     (now:float -> node:int -> state:Health.state -> unit) list;
@@ -51,6 +67,19 @@ type t = {
 
 let pool_site i = Printf.sprintf "p%d" i
 let client_site id = Printf.sprintf "vc%d" id
+
+(* First sighting of an injected fault by any defense layer: sample its
+   detection lag and retire the ledger entry.  Re-detections of the same
+   fault (a corrupt slot served twice before repair) only bump the raw
+   stats counter. *)
+let log_detection ~now ~stats ilog ~group ~index ~slot kind =
+  Stats.incr stats kind;
+  match Hashtbl.find_opt ilog.inj_times (group, index, slot) with
+  | Some t0 ->
+    Hashtbl.remove ilog.inj_times (group, index, slot);
+    ilog.det_count <- ilog.det_count + 1;
+    ilog.det_lag <- (now -. t0) :: ilog.det_lag
+  | None -> ()
 
 let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     ?faults ~placement cfg =
@@ -70,6 +99,15 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
            Net.set_site node (pool_site i);
            { p_site = pool_site i; p_net = node; p_restarts = 0 }))
   in
+  let ilog =
+    {
+      inj_src = Injector.create ~seed:(seed lxor 0x1C4B5);
+      inj_times = Hashtbl.create 16;
+      inj_count = 0;
+      det_count = 0;
+      det_lag = [];
+    }
+  in
   let mk_group g =
     let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
     let factory ~index ~generation =
@@ -80,6 +118,12 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
           Storage_node.create
             ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
             ~h:(Config.h cfg)
+            ~on_integrity_fail:(fun ~slot status ->
+              log_detection ~now:(Engine.now engine) ~stats ilog ~group:g
+                ~index ~slot
+                (match status with
+                | Checksum.Stale_epoch -> "integrity.node_stale"
+                | _ -> "integrity.node_detected"))
             ~now:(fun () -> Engine.now engine)
             ~block_size:cfg.Config.block_size
             ~init:(if generation = 0 then `Zeroed else `Garbage)
@@ -107,6 +151,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     pending_moves = Queue.create ();
     queued_slots = Hashtbl.create 16;
     claims = Hashtbl.create 8;
+    ilog;
     note_hooks = [];
     pool_health_hooks = [];
   }
@@ -315,6 +360,43 @@ let release_group t g =
 
 let set_faults t f = Net.set_faults t.net f
 
+(* ------------------------------------------------------------------ *)
+(* At-rest integrity faults, addressed by (group, member index, slot).
+   Injections are ledgered so detection lag can be reported; see
+   [integrity_log]. *)
+
+let corrupt_member t ~group ~index ~slot =
+  let entry = Directory.lookup t.groups.(group).g_dir index in
+  let xors = Injector.flips t.ilog.inj_src ~len:t.cfg.Config.block_size in
+  let hit = Storage_node.corrupt_block entry.Directory.store ~slot ~xors in
+  if hit then begin
+    t.ilog.inj_count <- t.ilog.inj_count + 1;
+    Hashtbl.replace t.ilog.inj_times (group, index, slot) (Engine.now t.engine);
+    Stats.incr t.stats "faults.corrupt_injected"
+  end;
+  hit
+
+type member_snapshot = Storage_node.snapshot
+
+let snapshot_member t ~group ~index ~slot =
+  let entry = Directory.lookup t.groups.(group).g_dir index in
+  Storage_node.snapshot_slot entry.Directory.store ~slot
+
+let rollback_member t ~group ~index ~slot snap =
+  let entry = Directory.lookup t.groups.(group).g_dir index in
+  let hit = Storage_node.rollback_slot entry.Directory.store ~slot snap in
+  if hit then begin
+    t.ilog.inj_count <- t.ilog.inj_count + 1;
+    Hashtbl.replace t.ilog.inj_times (group, index, slot) (Engine.now t.engine);
+    Stats.incr t.stats "faults.rollback_injected"
+  end;
+  hit
+
+let integrity_injected t = t.ilog.inj_count
+let integrity_detected t = t.ilog.det_count
+let integrity_outstanding t = Hashtbl.length t.ilog.inj_times
+let integrity_lag t = List.rev t.ilog.det_lag
+
 let set_pool_link_faults t ~client ~node f =
   Net.set_link_faults t.net ~src:(client_site client) ~dst:(pool_site node) f;
   Net.set_link_faults t.net ~src:(pool_site node) ~dst:(client_site client) f
@@ -330,6 +412,20 @@ let on_note t hook = t.note_hooks <- hook :: t.note_hooks
 
 let trace_sink t ~group:g ctx event =
   Metrics.sink t.groups.(g).g_metrics ctx event;
+  (match event with
+  | Trace.Integrity_detected { pos; fault } when ctx.Trace.slot >= 0 ->
+    (* Client-side detection (verified read or cross-check): translate
+       stripe position to the group member hosting it and mark the
+       ledger, same as a node-side self-check hit. *)
+    let index =
+      Layout.node_of t.groups.(g).g_layout ~stripe:ctx.Trace.slot ~pos
+    in
+    log_detection ~now:(Engine.now t.engine) ~stats:t.stats t.ilog ~group:g
+      ~index ~slot:ctx.Trace.slot
+      (match fault with
+      | `Stale -> "integrity.client_stale"
+      | `Checksum -> "integrity.client_detected")
+  | _ -> ());
   match Trace.legacy_note ctx event with Some s -> note t s | None -> ()
 
 let client_node t ~id =

@@ -125,6 +125,46 @@ val release_group : t -> int -> unit
 
 val set_faults : t -> Net.faults -> unit
 
+(** {1 At-rest integrity faults}
+
+    Silent faults below the protocol, drawn from a seeded {!Injector}
+    (replayable).  Every injection is ledgered; the first sighting by
+    {e any} defense layer — the node's own digest self-check, a
+    client-side verified read, or the cross-member decode check — retires
+    the entry and samples its detection lag.  Raw detection events are
+    also counted in {!stats} ("integrity.node_detected",
+    "integrity.node_stale", "integrity.client_detected",
+    "integrity.client_stale"). *)
+
+val corrupt_member : t -> group:int -> index:int -> slot:int -> bool
+(** Flip seeded bit patterns in the stored block of [slot] on group
+    member [index], record untouched.  [false] (and no ledger entry)
+    when the slot holds no committed data. *)
+
+type member_snapshot = Storage_node.snapshot
+
+val snapshot_member :
+  t -> group:int -> index:int -> slot:int -> member_snapshot option
+
+val rollback_member :
+  t -> group:int -> index:int -> slot:int -> member_snapshot -> bool
+(** Stale-but-well-formed fault: restore a captured block {e and} its
+    sealed record.  Detected only by the epoch check (if recovery
+    finalized in between) or the cross-member decode check. *)
+
+val integrity_injected : t -> int
+(** Faults successfully injected (ledgered). *)
+
+val integrity_detected : t -> int
+(** Distinct injected faults seen by some defense layer. *)
+
+val integrity_outstanding : t -> int
+(** Injected faults not yet detected ([injected - detected]). *)
+
+val integrity_lag : t -> float list
+(** Detection lags (seconds, oldest first), one per detected fault —
+    the scrub-lag distribution the integrity bench reports. *)
+
 val set_pool_link_faults :
   t -> client:int -> node:int -> Net.faults option -> unit
 (** Override (or clear) the fault policy of both directions of the link

@@ -31,6 +31,12 @@ type result = {
   rebalance_blocks : int; (* stripe blocks rebuilt on new hosts *)
   rebalance_skipped : int; (* stale queued moves dropped *)
   rebalance_errors : int;
+  scrub_passes : int; (* completed background sweeps *)
+  scrub_report : Scrub.report;
+  scrub_errors : int;
+  corruptions_injected : int; (* at-rest faults ledgered by the cluster *)
+  corruptions_detected : int; (* distinct injected faults caught *)
+  detection_lag : float list; (* injection -> first detection, oldest first *)
 }
 
 let next_tag = ref 1
@@ -61,7 +67,7 @@ type counters = {
 }
 
 let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
-    ?maintenance ?(supervise = false) ?(rebalance = false)
+    ?maintenance ?(supervise = false) ?(rebalance = false) ?scrub ?scrub_rate
     ?(gc_every = Some 0.05) ?check ~sc ~clients ~duration ~workload () =
   (match faults with Some f -> Shard_cluster.set_faults sc f | None -> ());
   let cfg = Shard_cluster.config sc in
@@ -109,6 +115,25 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
     else
       let budget = Option.map Maintenance.budget maint in
       Some (Rebalancer.start sc ~id:9997 ?budget ~replan:0.05 ~until:t_end ())
+  in
+  (* Background integrity scrub, sharing the same bucket (non-urgent)
+     unless [scrub_rate] carves out a private one: sweeps pace
+     themselves to the configured period. *)
+  let scr =
+    match scrub with
+    | None -> None
+    | Some period ->
+      let budget =
+        match scrub_rate with
+        | Some rate ->
+          let n = (Shard_cluster.config sc).Config.n in
+          Some
+            (Budget.create ~rate
+               ~cap:(2. *. float_of_int ((2 * n) + 1))
+               ~now:(fun () -> Shard_cluster.now sc))
+        | None -> Option.map Maintenance.budget maint
+      in
+      Some (Scrubber.start sc ~id:9996 ?budget ~period ~until:t_end ())
   in
   for c = 0 to clients - 1 do
     let volume = Volume.create sc ~id:c in
@@ -298,6 +323,13 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       (match reb with Some r -> Rebalancer.skipped r | None -> 0);
     rebalance_errors =
       (match reb with Some r -> Rebalancer.errors r | None -> 0);
+    scrub_passes = (match scr with Some s -> Scrubber.passes s | None -> 0);
+    scrub_report =
+      (match scr with Some s -> Scrubber.report s | None -> Scrub.empty);
+    scrub_errors = (match scr with Some s -> Scrubber.errors s | None -> 0);
+    corruptions_injected = Shard_cluster.integrity_injected sc;
+    corruptions_detected = Shard_cluster.integrity_detected sc;
+    detection_lag = Shard_cluster.integrity_lag sc;
   }
 
 (* ------------------------------------------------------------------ *)

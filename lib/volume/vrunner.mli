@@ -44,6 +44,18 @@ type result = {
   rebalance_blocks : int;  (** stripe blocks rebuilt on new hosts *)
   rebalance_skipped : int;  (** stale queued moves dropped *)
   rebalance_errors : int;
+  scrub_passes : int;  (** completed background sweeps ([scrub]) *)
+  scrub_report : Scrub.report;
+      (** accumulated scrub outcome (zero record when no scrubber ran) *)
+  scrub_errors : int;  (** stripes whose scrub repair raised *)
+  corruptions_injected : int;
+      (** at-rest faults injected via the shard cluster's seeded
+          injector ({!Shard_cluster.corrupt_member} /
+          {!Shard_cluster.rollback_member}, typically from [events]) *)
+  corruptions_detected : int;
+      (** distinct injected faults seen by any defense layer *)
+  detection_lag : float list;
+      (** seconds from injection to first detection, oldest first *)
 }
 
 val run :
@@ -54,6 +66,8 @@ val run :
   ?maintenance:float ->
   ?supervise:bool ->
   ?rebalance:bool ->
+  ?scrub:float ->
+  ?scrub_rate:float ->
   ?gc_every:float option ->
   ?check:Checker.t ->
   sc:Shard_cluster.t ->
@@ -72,6 +86,13 @@ val run :
     the same bucket (non-urgent, so migrations yield to repair) with a
     50 ms replan period — node joins and drains scheduled via [events]
     are migrated live during the run.
+    [scrub], when given, starts a background {!Scrubber} on the same
+    bucket with that sweep period (seconds): every used stripe is
+    integrity-checked and repaired each sweep, bounding the detection
+    lag of at-rest faults injected via [events].  [scrub_rate] carves
+    out a private token bucket at that rate (ops per simulated second)
+    for the scrubber instead of sharing the maintenance bucket — the
+    lever the integrity bench tiers detection lag against.
     [gc_every] (default [Some 0.05]) paces
     the per-client GC fibers — tids are per client, so each client
     collects its own completed writes across the groups it touched.

@@ -14,6 +14,7 @@ type t = {
   crashed_clients : (int, unit) Hashtbl.t;
   client_nodes : (int, Net.node) Hashtbl.t;
   metrics : Metrics.t; (* shared across every client of this cluster *)
+  injector : Injector.t; (* replayable corruption-pattern source *)
   mutable note_hooks : (float -> string -> unit) list;
 }
 
@@ -26,6 +27,10 @@ let serve_cost cfg (req : Proto.request) =
   let control = 0.5e-6 in
   match req with
   | Proto.Read -> control +. (per_byte *. float_of_int cfg.Config.block_size)
+  | Proto.Read_checked | Proto.Get_meta ->
+    (* Both read the whole block off "disk": read_checked to serve it,
+       get_meta to re-digest it for the self-check verdict. *)
+    control +. (per_byte *. float_of_int cfg.Config.block_size)
   | Proto.Swap { v; _ } -> control +. (per_byte *. float_of_int (Bytes.length v))
   | Proto.Add { dv; _ } -> control +. (per_byte *. float_of_int (Bytes.length dv))
   | Proto.Add_bcast { dv; _ } ->
@@ -37,7 +42,7 @@ let serve_cost cfg (req : Proto.request) =
     control +. (per_byte *. float_of_int (Bytes.length blk))
   | Proto.Checktid _ | Proto.Trylock _ | Proto.Setlock _ | Proto.Get_state
   | Proto.Getrecent _ | Proto.Finalize _ | Proto.Gc_old _ | Proto.Gc_recent _
-  | Proto.Probe _ ->
+  | Proto.Probe _ | Proto.Mark_init ->
     control
 
 let storage_site i = Printf.sprintf "s%d" i
@@ -68,6 +73,14 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
         Storage_node.create
           ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
           ~client_failed ~h:(Config.h cfg)
+          ~on_integrity_fail:(fun ~slot:_ status ->
+            (* Fault-layer observer: count node-side detections of
+               injected at-rest faults, split by what the self-check
+               tripped on. *)
+            Stats.incr stats
+              (match status with
+              | Checksum.Stale_epoch -> "integrity.node_stale"
+              | _ -> "integrity.node_detected"))
           ~now:(fun () -> Engine.now engine)
           ~block_size:cfg.Config.block_size ~init ();
       generation;
@@ -86,6 +99,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     crashed_clients;
     client_nodes = Hashtbl.create 8;
     metrics = Metrics.create ();
+    injector = Injector.create ~seed:(seed lxor 0x1C4B5);
     note_hooks = [];
   }
 
@@ -139,6 +153,30 @@ let schedule_outage t ~at ~node ~down_for =
         ignore (Directory.remap t.dir node))
 
 let storage_entry t i = Directory.lookup t.dir i
+
+(* ------------------------------------------------------------------ *)
+(* At-rest integrity faults (below the protocol, above the network).
+   Addressed by logical node: the fault lands on whatever instance the
+   directory currently maps there. *)
+
+let corrupt_block t ~node ~slot =
+  let entry = Directory.lookup t.dir node in
+  let xors = Injector.flips t.injector ~len:t.cfg.Config.block_size in
+  let hit = Storage_node.corrupt_block entry.Directory.store ~slot ~xors in
+  if hit then Stats.incr t.stats "faults.corrupt_injected";
+  hit
+
+type block_snapshot = Storage_node.snapshot
+
+let snapshot_block t ~node ~slot =
+  let entry = Directory.lookup t.dir node in
+  Storage_node.snapshot_slot entry.Directory.store ~slot
+
+let rollback_block t ~node ~slot snap =
+  let entry = Directory.lookup t.dir node in
+  let hit = Storage_node.rollback_slot entry.Directory.store ~slot snap in
+  if hit then Stats.incr t.stats "faults.rollback_injected";
+  hit
 
 let on_note t hook = t.note_hooks <- hook :: t.note_hooks
 

@@ -125,6 +125,30 @@ val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
 val storage_entry : t -> int -> Directory.entry
 (** Current physical node behind logical index [i] (tests/inspection). *)
 
+(** {2 At-rest integrity faults}
+
+    Silent faults below the protocol (the node keeps answering
+    normally), drawn from a seeded {!Injector} so runs replay exactly.
+    Node-side detections are counted in {!stats} under
+    ["integrity.node_detected"] / ["integrity.node_stale"]; injections
+    under ["faults.corrupt_injected"] / ["faults.rollback_injected"]. *)
+
+val corrupt_block : t -> node:int -> slot:int -> bool
+(** Flip 1–4 seeded bit patterns in the stored block of [slot] on
+    logical node [node], leaving its integrity record untouched.
+    [false] if the slot holds no committed data. *)
+
+type block_snapshot = Storage_node.snapshot
+
+val snapshot_block : t -> node:int -> slot:int -> block_snapshot option
+(** Capture a committed block {e and} its sealed record for a later
+    {!rollback_block}. *)
+
+val rollback_block : t -> node:int -> slot:int -> block_snapshot -> bool
+(** Stale-but-well-formed fault: restore the captured block + record.
+    Internally consistent, so only the epoch check (if recovery
+    finalized in between) or the cross-member decode check can see it. *)
+
 val on_note : t -> (float -> string -> unit) -> unit
 (** Subscribe to client protocol events ("recovery.start", ...); also
     counted in {!stats} under ["note.<event>"]. *)

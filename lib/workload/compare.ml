@@ -107,8 +107,44 @@ let topology_rows doc =
   in
   scaling @ leg "join" @ leg "drain" @ outage
 
+(* Flatten a bench integrity summary: read-throughput floors from the
+   plain/verified overhead legs, an overhead ceiling, and detection-lag
+   ceilings from the scrub budget tiers. *)
+let integrity_rows doc =
+  let field what obj k =
+    as_float (what ^ "." ^ k) (get obj k (what ^ "." ^ k))
+  in
+  let overhead = get doc "overhead" "overhead" in
+  let leg name =
+    let obj = get overhead name ("overhead." ^ name) in
+    let f = field ("overhead." ^ name) obj in
+    ( "integrity/read/" ^ name,
+      Higher_better,
+      f "read_mbs",
+      f "read_latency_ms" )
+  in
+  let pct =
+    as_float "overhead.read_latency_overhead_pct"
+      (get overhead "read_latency_overhead_pct"
+         "overhead.read_latency_overhead_pct")
+  in
+  let tiers =
+    List.map
+      (fun entry ->
+        let f = field "scrub_lag[]" entry in
+        ( Printf.sprintf "integrity/lag/r%d" (int_of_float (f "scrub_rate")),
+          Lower_better,
+          f "lag_mean_ms",
+          f "lag_max_ms" ))
+      (items (get doc "scrub_lag" "scrub_lag"))
+  in
+  [ leg "plain"; leg "verified" ]
+  @ [ ("integrity/read/overhead_pct", Lower_better, pct, pct) ]
+  @ tiers
+
 let rows_of doc =
   if Report.member "scaling" doc <> None then topology_rows doc
+  else if Report.member "scrub_lag" doc <> None then integrity_rows doc
   else profile_rows doc
 
 let classify ~tolerance ~old_doc ~new_doc =

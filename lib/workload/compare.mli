@@ -11,7 +11,13 @@
       the scaling curve ([topology/scaling/G<g>], higher better) and
       migration-cost / tail-latency ceilings from the elastic legs
       ([topology/join/blocks_moved], [topology/drain/p99_write_ms],
-      [topology/rack_outage/p99_write_ms], ... — lower better).
+      [topology/rack_outage/p99_write_ms], ... — lower better);
+    - [bench integrity] summaries yield read-throughput floors from the
+      plain/verified overhead legs ([integrity/read/plain],
+      [integrity/read/verified], higher better), a verified-read
+      latency-overhead ceiling ([integrity/read/overhead_pct], lower
+      better) and a detection-lag ceiling per scrub budget tier
+      ([integrity/lag/r<rate>], lower better).
 
     Each row carries its comparison {!direction}; classification is
     against a relative tolerance on the row's own scale.  A key present
@@ -47,8 +53,8 @@ val classify :
     {!Lower_better} key when [new > old * (1 + tolerance)]; the
     opposite excursions are {!Improved}, anything within the band
     {!Unchanged}.
-    @raise Report.Parse_error if either document matches neither the
-    [results[].sizes[]] nor the topology summary shape. *)
+    @raise Report.Parse_error if either document matches none of the
+    [results[].sizes[]], topology or integrity summary shapes. *)
 
 val regressions : row list -> row list
 (** The rows failing the gate: {!Regressed} and {!Missing}. *)

@@ -170,6 +170,17 @@ let failure_fields f =
     ("quarantines", J_int f.quarantines);
   ]
 
+let scrub_fields (r : Scrub.report) =
+  [
+    ("scanned", J_int r.Scrub.scanned);
+    ("healthy", J_int r.Scrub.healthy);
+    ("repaired", J_int r.Scrub.repaired);
+    ("unrepaired", J_int r.Scrub.unrepaired);
+    ("corrupt_detected", J_int r.Scrub.corrupt_detected);
+    ("stale_detected", J_int r.Scrub.stale_detected);
+    ("integrity_repaired", J_int r.Scrub.integrity_repaired);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* JSON parser: the inverse of [render], so committed baselines written
    by [write_file] can be read back by the compare tool without an

@@ -91,5 +91,9 @@ val failure_fields : failures -> (string * json) list
 (** The standard failure/health block — identical keys in every
     summary. *)
 
+val scrub_fields : Scrub.report -> (string * json) list
+(** The standard scrub/integrity block ({!Scrub.report} as JSON) —
+    identical keys wherever a scrub outcome is reported. *)
+
 val print_failures : label:string -> failures -> unit
 (** One-line failure summary; silent when the record is all zero. *)

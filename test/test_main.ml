@@ -20,6 +20,7 @@ let () =
       Test_profile.suite;
       Test_proto.suite;
       Test_scrub.suite;
+      Test_integrity.suite;
       Test_faults.suite;
       Test_torture.suite;
       Test_direct.suite;

@@ -209,10 +209,82 @@ let test_scrub_repairs_torn_write () =
   Alcotest.(check bool) "stripe consistent" true
     (Rs_code.verify_stripe (Cluster.code cluster) blocks)
 
+let test_scrub_repairs_bit_rot () =
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let volume = Cluster.make_volume cluster ~id:0 in
+  let report =
+    run_to_completion cluster (fun () ->
+        for l = 0 to 8 do
+          Volume.write volume l (block_of cluster 'b')
+        done;
+        (* Silent bit rot on a redundant member of stripe 1: no client
+           read ever touches it, so only the scrubber can see it. *)
+        let node = Layout.node_of (Cluster.layout cluster) ~stripe:1 ~pos:4 in
+        Alcotest.(check bool) "injected" true
+          (Cluster.corrupt_block cluster ~node ~slot:1);
+        Scrub.scrub_volume volume)
+  in
+  Alcotest.(check int) "unrepaired" 0 report.Scrub.unrepaired;
+  Alcotest.(check bool) "corruption detected" true
+    (report.Scrub.corrupt_detected >= 1);
+  Alcotest.(check int) "repaired" 1 report.Scrub.repaired;
+  run_to_completion cluster (fun () ->
+      for l = 0 to 8 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d" l)
+          (block_of cluster 'b') (Volume.read volume l)
+      done)
+
+let test_scrub_repairs_rollback () =
+  let cluster = Cluster.create (cfg_3_5 ()) in
+  let volume = Cluster.make_volume cluster ~id:0 in
+  let report =
+    run_to_completion cluster (fun () ->
+        for l = 0 to 2 do
+          Volume.write volume l (block_of cluster 'o')
+        done;
+        (* Same-record rollback on a redundant member: snapshot, change
+           the stripe, restore block + sealed record together.  The
+           node's self-check passes; only the scrubber's cross-member
+           decode check can identify the stale state. *)
+        let node = Layout.node_of (Cluster.layout cluster) ~stripe:0 ~pos:3 in
+        let snap =
+          match Cluster.snapshot_block cluster ~node ~slot:0 with
+          | Some s -> s
+          | None -> Alcotest.fail "no snapshot"
+        in
+        for l = 0 to 2 do
+          Volume.write volume l (block_of cluster 'n')
+        done;
+        Alcotest.(check bool) "rolled back" true
+          (Cluster.rollback_block cluster ~node ~slot:0 snap);
+        Scrub.scrub_volume volume)
+  in
+  Alcotest.(check int) "unrepaired" 0 report.Scrub.unrepaired;
+  Alcotest.(check bool) "stale member detected" true
+    (report.Scrub.stale_detected >= 1);
+  run_to_completion cluster (fun () ->
+      for l = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d" l)
+          (block_of cluster 'n') (Volume.read volume l)
+      done)
+
 let test_scrub_report_pp () =
-  let r = { Scrub.scanned = 4; healthy = 2; repaired = 1; unrepaired = 1 } in
+  let r =
+    {
+      Scrub.scanned = 4;
+      healthy = 2;
+      repaired = 1;
+      unrepaired = 1;
+      corrupt_detected = 2;
+      stale_detected = 1;
+      integrity_repaired = 3;
+    }
+  in
   Alcotest.(check string) "pp"
-    "scanned 4 stripe(s): 2 healthy, 1 repaired, 1 unrepaired"
+    "scanned 4 stripe(s): 2 healthy, 1 repaired, 1 unrepaired; integrity: 2 \
+     corrupt, 1 stale, 3 repaired"
     (Format.asprintf "%a" Scrub.pp_report r)
 
 let suite =
@@ -229,5 +301,7 @@ let suite =
       t "scrub healthy cluster is a no-op" test_scrub_healthy_cluster;
       t "scrub repairs after storage crash" test_scrub_repairs_after_crash;
       t "scrub repairs a torn write" test_scrub_repairs_torn_write;
+      t "scrub repairs silent bit rot" test_scrub_repairs_bit_rot;
+      t "scrub repairs a same-record rollback" test_scrub_repairs_rollback;
       t "report printer" test_scrub_report_pp;
     ] )

@@ -270,11 +270,12 @@ let test_overhead_accounting () =
   done;
   let per_slot = Storage_node.overhead_bytes_per_slot node in
   (* Paper reports ~10 bytes/block with GC keeping lists short; with one
-     retained tid we are in the same regime (order tens of bytes). *)
+     retained tid plus the 28-byte sealed integrity record we are still
+     in the same regime (order tens of bytes). *)
   Alcotest.(check bool)
-    (Printf.sprintf "per-slot overhead %.1f in [8,64]" per_slot)
+    (Printf.sprintf "per-slot overhead %.1f in [8,96]" per_slot)
     true
-    (per_slot >= 8. && per_slot <= 64.);
+    (per_slot >= 8. && per_slot <= 96.);
   (* GC shrinks it. *)
   for slot = 0 to 9 do
     ignore (call ~slot node (Gc_recent [ tid slot 0 1 ]));

@@ -553,6 +553,73 @@ let test_tenant_qos_isolation () =
   Alcotest.(check bool) "greedy tenant unconstrained by the meter" true
     (g_blocks > 2 * m_blocks)
 
+(* ------------------------------------------------------------------ *)
+(* Background scrubber: at-rest faults on redundant members (which no
+   foreground read touches) are detected and repaired by the budgeted
+   sweep, with a bounded detection lag. *)
+
+let test_scrubber_detects_at_rest_faults () =
+  let sc =
+    Shard_cluster.create ~seed:0xEC5
+      ~placement:(placement ~groups:2 ~pool:8)
+      (Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5 ~stale_write_age:10. ())
+  in
+  (* Materialize two stripes per group outside the measured run, and
+     snapshot a redundant member for the rollback fault. *)
+  let snaps = Array.make 2 None in
+  Shard_cluster.spawn sc (fun () ->
+      for g = 0 to 1 do
+        let client = Shard_cluster.make_group_client sc ~id:(500 + g) ~group:g in
+        let block c = Bytes.make 512 c in
+        for s = 0 to 1 do
+          for i = 0 to 2 do
+            Client.write client ~slot:s ~i (block 'a')
+          done
+        done;
+        let layout = Shard_cluster.group_layout sc g in
+        let r0 = Layout.node_of layout ~stripe:0 ~pos:3 in
+        snaps.(g) <- Shard_cluster.snapshot_member sc ~group:g ~index:r0 ~slot:0;
+        Client.write client ~slot:0 ~i:0 (block 'b')
+      done);
+  Shard_cluster.run sc;
+  let inject sc =
+    for g = 0 to 1 do
+      let layout = Shard_cluster.group_layout sc g in
+      ignore
+        (Shard_cluster.corrupt_member sc ~group:g
+           ~index:(Layout.node_of layout ~stripe:1 ~pos:4)
+           ~slot:1);
+      match snaps.(g) with
+      | Some snap ->
+        ignore
+          (Shard_cluster.rollback_member sc ~group:g
+             ~index:(Layout.node_of layout ~stripe:0 ~pos:3)
+             ~slot:0 snap)
+      | None -> ()
+    done
+  in
+  let r =
+    Vrunner.run ~outstanding:2
+      ~events:[ (0.05, inject) ]
+      ~scrub:0.01 ~scrub_rate:4800. ~sc ~clients:2 ~duration:0.3
+      ~workload:(Generator.Read_only { blocks = 12 })
+      ()
+  in
+  Alcotest.(check int) "all faults injected" 4 r.Vrunner.corruptions_injected;
+  Alcotest.(check int) "all faults detected" 4 r.Vrunner.corruptions_detected;
+  Alcotest.(check int) "nothing left unrepaired" 0
+    r.Vrunner.scrub_report.Scrub.unrepaired;
+  Alcotest.(check int) "lag sampled per fault" 4
+    (List.length r.Vrunner.detection_lag);
+  Alcotest.(check bool) "scrubber actually swept" true (r.Vrunner.scrub_passes > 1);
+  List.iter
+    (fun lag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lag %.3f s within the run" lag)
+        true
+        (lag > 0. && lag < 0.3))
+    r.Vrunner.detection_lag
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   (* Everything that exercises the coding path runs at both fields; the
@@ -584,6 +651,7 @@ let suite =
       t "open loop sheds and completes" test_open_loop_sheds_and_completes;
       t "profile run deterministic" test_profile_run_deterministic;
       t "tenant qos isolation" test_tenant_qos_isolation;
+      t "scrubber detects at-rest faults" test_scrubber_detects_at_rest_faults;
     ]
     @ coding `Gf8 "gf8: "
     @ coding `Gf16 "gf16: " )
