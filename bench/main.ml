@@ -10,7 +10,8 @@
                                         # topology placement + elastic legs
      dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench
      dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix
-     dune exec bench/main.exe -- integrity --json out.json # verified reads + scrub lag *)
+     dune exec bench/main.exe -- integrity --json out.json # verified reads + scrub lag
+     dune exec bench/main.exe -- repair --json out.json  # delta catch-up + repair floors *)
 
 let experiments =
   [
@@ -97,6 +98,16 @@ let () =
         exit 1
     in
     Integrity_bench.run ?json ()
+  | "repair" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: repair [--json FILE]\n";
+        exit 1
+    in
+    Repair_bench.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

@@ -84,6 +84,14 @@ let variant_fields (r : Vrunner.result) consistent =
       ("corruptions_injected", J_int r.Vrunner.corruptions_injected);
       ("corruptions_detected", J_int r.Vrunner.corruptions_detected);
       ("scrub", J_obj (scrub_fields r.Vrunner.scrub_report));
+      ( "repair",
+        J_obj
+          [
+            ("delta_hits", J_int r.Vrunner.repair_delta_hits);
+            ("full_rebuilds", J_int r.Vrunner.repair_full_rebuilds);
+            ("bytes_read", J_int r.Vrunner.repair_bytes_read);
+            ("bytes_shipped", J_int r.Vrunner.repair_bytes_shipped);
+          ] );
       ("history_consistent", J_bool consistent);
     ]
 

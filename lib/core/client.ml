@@ -61,7 +61,8 @@ let env_of_transport ?(note = fun _ -> ()) (tr : Transport.t) : env =
     note;
   }
 
-let of_transport ?(sink = Trace.null_sink) ?locate cfg code transport =
+let of_transport ?(sink = Trace.null_sink) ?locate ?repair_planner cfg code
+    transport =
   if Rs_code.k code <> cfg.Config.k || Rs_code.n code <> cfg.Config.n then
     invalid_arg "Client.create: code does not match configuration";
   let metrics = Metrics.create () in
@@ -70,7 +71,7 @@ let of_transport ?(sink = Trace.null_sink) ?locate cfg code transport =
       ~sink:(Trace.compose [ Metrics.sink metrics; sink ])
       ?locate transport
   in
-  let recovery = Recovery.create ~code session in
+  let recovery = Recovery.create ?planner:repair_planner ~code session in
   {
     cfg;
     env = env_of_transport transport;
@@ -105,7 +106,7 @@ let write t ~slot ~i v =
   let tid = Write_path.write t.write_path ~slot ~i v in
   Gc.completed t.gc ~slot tid
 
-let recover_slot t ~slot = Recovery.start t.recovery ~slot
+let recover_slot ?delta t ~slot = Recovery.start ?delta t.recovery ~slot
 let collect_garbage t = Gc.collect t.gc
 let monitor_once t ~slots = Gc.monitor_once t.gc ~slots
 
@@ -139,3 +140,4 @@ let reads_completed t =
   + Metrics.counter t.metrics "op.degraded_read.count"
 
 let recoveries_run t = Recovery.runs t.recovery
+let delta_repairs_run t = Recovery.delta_runs t.recovery

@@ -78,6 +78,7 @@ val create : Config.t -> Rs_code.t -> env -> t
 val of_transport :
   ?sink:Trace.sink ->
   ?locate:(slot:int -> pos:int -> int) ->
+  ?repair_planner:Recovery.planner ->
   Config.t ->
   Rs_code.t ->
   Transport.t ->
@@ -128,11 +129,14 @@ val write : t -> slot:int -> i:int -> bytes -> unit
     completed tid is enqueued for {!collect_garbage}.
     @raise Write_abandoned on an ambiguous swap timeout (see above). *)
 
-val recover_slot : t -> slot:int -> unit
-(** Run the recovery procedure (Fig 6) on a stripe.  Idempotent; safe
-    (and useful) to call while reads, writes or other clients' recoveries
-    are in flight.  No-op back-off if another client holds the recovery
-    locks. *)
+val recover_slot : ?delta:bool -> t -> slot:int -> unit
+(** Run the repair procedure on a stripe: delta catch-up when the
+    config enables it and the stripe qualifies, full Fig 6 recovery
+    otherwise.  Idempotent; safe (and useful) to call while reads,
+    writes or other clients' recoveries are in flight.  No-op back-off
+    if another client holds the recovery locks.  [~delta:false] skips
+    the delta probe — for callers rebuilding onto a known-INIT member
+    (e.g. a migration), where the probe can never succeed. *)
 
 val collect_garbage : t -> unit
 (** One round of the two-phase GC (Fig 7) over this client's completed
@@ -204,3 +208,8 @@ val reads_completed : t -> int
 
 val recoveries_run : t -> int
 (** Recoveries this client completed (phase 3 finished). *)
+
+val delta_repairs_run : t -> int
+(** The subset of {!recoveries_run} resolved by delta repair — stale
+    members caught up from a peer's add log instead of rebuilt from [k]
+    blocks. *)

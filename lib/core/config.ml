@@ -62,6 +62,33 @@ type integrity = {
 let default_integrity =
   { verified_reads = false; cross_check = true; digest_per_byte = 1.0e-9 }
 
+type repair = {
+  delta_repair : bool;
+  delta_log_cap : int;
+  tombs_cap : int;
+  repair_floor : int option;
+  repair_grace : float;
+}
+
+(* Delta-repair is on by default — it only engages for members that come
+   back epoch-stale with a digest-valid block, and falls back to full
+   Fig 6 reconstruction whenever eligibility cannot be proven.
+   [delta_log_cap] bounds the per-slot raw-delta log (bytes of retained
+   add payloads); [tombs_cap] bounds the per-slot set of GC-dropped tids
+   kept for duplicate suppression.  [repair_floor = None] keeps the
+   eager seed behavior (repair on any lost member); [Some f] defers node
+   repair until a hosted group's live member count drops below [f].
+   [repair_grace] is how long a Down node may stay silent before the
+   supervisor gives up on a cheap return and fails it over. *)
+let default_repair =
+  {
+    delta_repair = true;
+    delta_log_cap = 64 * 1024;
+    tombs_cap = 512;
+    repair_floor = None;
+    repair_grace = 0.;
+  }
+
 type t = {
   k : int;
   n : int;
@@ -82,6 +109,7 @@ type t = {
   rpc_backoff_max : float;
   health : health;
   integrity : integrity;
+  repair : repair;
 }
 
 let t_d_for strategy ~t_p ~p =
@@ -105,7 +133,8 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     ?(recovery_poll_delay = 200e-6) ?(recovery_retry_limit = 1000)
     ?(monitor_interval = 0.5) ?(stale_write_age = 0.1) ?(rpc_retry_limit = 8)
     ?(rpc_backoff = 300e-6) ?(rpc_backoff_max = 3e-3)
-    ?(health = default_health) ?(integrity = default_integrity) ~k ~n () =
+    ?(health = default_health) ?(integrity = default_integrity)
+    ?(repair = default_repair) ~k ~n () =
   if k < 2 then invalid_arg "Config.make: need k >= 2 (Sec 4)";
   if n <= k then invalid_arg "Config.make: need n > k";
   if n - k > k then invalid_arg "Config.make: need n - k <= k (Sec 4)";
@@ -134,6 +163,13 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     invalid_arg "Config.make: hedge_delay_mult";
   if integrity.digest_per_byte < 0. then
     invalid_arg "Config.make: digest_per_byte";
+  if repair.delta_log_cap < 0 then invalid_arg "Config.make: delta_log_cap";
+  if repair.tombs_cap < 0 then invalid_arg "Config.make: tombs_cap";
+  (match repair.repair_floor with
+  | Some f when f < k + 1 || f > n ->
+    invalid_arg "Config.make: repair_floor must be in [k+1, n]"
+  | _ -> ());
+  if repair.repair_grace < 0. then invalid_arg "Config.make: repair_grace";
   {
     k;
     n;
@@ -154,7 +190,13 @@ let make ?(strategy = Parallel) ?(t_p = 1) ?(block_size = 1024)
     rpc_backoff_max;
     health;
     integrity;
+    repair;
   }
 
 let p t = t.n - t.k
+
+(* Live-member floor below which a group's lost members must be rebuilt:
+   eager (None) repairs on any loss, i.e. floor = n. *)
+let effective_floor t =
+  match t.repair.repair_floor with Some f -> f | None -> t.n
 let h t = Field.h_of t.field

@@ -61,6 +61,35 @@ val default_integrity : integrity
 (** Verified reads off (plain reads stay byte-for-byte identical to the
     pre-integrity protocol), cross-check on, digest at 1 ns/byte. *)
 
+(** Repair-bandwidth tuning (see {!Recovery} and the volume supervisor):
+    delta-repair of epoch-stale members, lazy repair floors, and
+    transient-outage grace. *)
+type repair = {
+  delta_repair : bool;
+      (** let recovery catch up an epoch-stale but digest-valid member
+          by shipping the adds it missed instead of reconstructing from
+          [k] full blocks; any eligibility failure falls back to Fig 6 *)
+  delta_log_cap : int;
+      (** per-slot byte budget for the retained raw add payloads; an
+          overflowing log raises its completeness floor, forcing full
+          rebuild for members stale beyond it *)
+  tombs_cap : int;
+      (** per-slot cap on GC-dropped tids retained for duplicate
+          suppression; overflow disqualifies the slot as a delta target *)
+  repair_floor : int option;
+      (** [None] = eager: rebuild on any lost member (seed behavior).
+          [Some f] defers repair until a group's live member count drops
+          below [f]; must lie in [k+1, n] *)
+  repair_grace : float;
+      (** seconds a Down node may stay silent before the supervisor
+          fails it over; a node returning within the grace window is
+          delta-repaired in place *)
+}
+
+val default_repair : repair
+(** Delta-repair on, 64 KB log cap, 512 tombstones, eager floor, zero
+    grace — byte-identical supervisor scheduling to the seed. *)
+
 type t = {
   k : int;
   n : int;
@@ -89,6 +118,7 @@ type t = {
   rpc_backoff_max : float;    (** backoff ceiling *)
   health : health;            (** failure-detector tuning (see {!Health}) *)
   integrity : integrity;      (** end-to-end integrity tuning *)
+  repair : repair;            (** repair-bandwidth tuning *)
 }
 
 val make :
@@ -108,6 +138,7 @@ val make :
   ?rpc_backoff_max:float ->
   ?health:health ->
   ?integrity:integrity ->
+  ?repair:repair ->
   k:int ->
   n:int ->
   unit ->
@@ -128,5 +159,9 @@ val h : t -> int
 
 val t_d_for : strategy -> t_p:int -> p:int -> int
 (** The storage-failure tolerance a strategy provides (>= 0 clamp). *)
+
+val effective_floor : t -> int
+(** The live-member count below which lost members must be rebuilt:
+    [repair_floor] when set, else [n] (eager). *)
 
 val strategy_to_string : strategy -> string

@@ -38,6 +38,8 @@ let create ?(rotate = true) cfg =
       ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
       ~client_failed:(Hashtbl.mem failed_clients)
       ~h:(Config.h cfg)
+      ~delta_log_cap:cfg.Config.repair.Config.delta_log_cap
+      ~tombs_cap:cfg.Config.repair.Config.tombs_cap
       ~now:(fun () -> t.clock)
       ~block_size:cfg.Config.block_size ~init ()
   in
@@ -62,8 +64,18 @@ let remap_node t i =
       ~alpha_for:(Layout.alpha_oracle t.layout t.code ~node:i)
       ~client_failed:(Hashtbl.mem t.failed_clients)
       ~h:(Config.h t.cfg)
+      ~delta_log_cap:t.cfg.Config.repair.Config.delta_log_cap
+      ~tombs_cap:t.cfg.Config.repair.Config.tombs_cap
       ~now:(fun () -> t.clock)
       ~block_size:t.cfg.Config.block_size ~init:`Garbage ()
+
+let revive_node t i =
+  let n = t.nodes.(i) in
+  if not n.alive then begin
+    n.generation <- n.generation + 1;
+    n.alive <- true;
+    ignore (Storage_node.quarantine_inflight n.store)
+  end
 
 let node_store t i = t.nodes.(i).store
 

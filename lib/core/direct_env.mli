@@ -29,6 +29,12 @@ val make_volume : t -> id:int -> Volume.t
 val crash_node : t -> int -> unit
 val remap_node : t -> int -> unit
 
+val revive_node : t -> int -> unit
+(** Un-crash node [i] {e keeping its state} — the crash-recovery rejoin
+    (vs {!remap_node}'s disk-lost replacement).  Runs
+    {!Storage_node.quarantine_inflight} on the kept store; the node
+    rejoins as an epoch-stale delta-repair target.  No-op if alive. *)
+
 val node_store : t -> int -> Storage_node.t
 (** Current storage state behind logical node [i] (white-box checks). *)
 

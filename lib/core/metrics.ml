@@ -34,6 +34,10 @@ let counter_keys =
       "integrity.checksum_detected";
       "integrity.stale_detected";
       "integrity.repaired";
+      "repair.bytes_read";
+      "repair.bytes_shipped";
+      "repair.delta_hits";
+      "repair.full_rebuilds";
     ]
 
 let create () =
@@ -106,6 +110,10 @@ let sink t (ctx : Trace.ctx) (event : Trace.event) =
   | Trace.Integrity_detected { fault = `Stale; _ } ->
     bump t "integrity.stale_detected" 1
   | Trace.Integrity_repaired _ -> bump t "integrity.repaired" 1
+  | Trace.Repair_result { delta; bytes_read; bytes_shipped } ->
+    bump t (if delta then "repair.delta_hits" else "repair.full_rebuilds") 1;
+    bump t "repair.bytes_read" bytes_read;
+    bump t "repair.bytes_shipped" bytes_shipped
   | Trace.Probe_result _ | Trace.Custom _ -> ()
 
 let counter t key =

@@ -51,13 +51,16 @@ type slot_health = {
   sh_healthy : bool;
 }
 
-(* Parallel state snapshot of all n nodes. *)
+(* Parallel state snapshot of all n nodes.  Epoch-stale members (revived
+   nodes that missed a finalize) are masked to INIT-like views so no
+   degraded decode or consistency check builds on a stale base. *)
 let snapshot_states t ctx ~slot =
   let n = (Session.cfg t.session).Config.n in
   let states = Array.make n None in
   Session.pfor t.session
     (List.init n (fun pos () ->
          states.(pos) <- Recovery.poll_state t.session ctx ~slot ~pos));
+  Recovery.mask_epoch_stale states;
   states
 
 let verify_slot t ~slot =

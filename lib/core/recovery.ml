@@ -4,17 +4,43 @@ module Tid_set = Set.Make (struct
   let compare = Proto.tid_compare
 end)
 
+(* Repair-source planner hook (degraded-aware scheduling): [rank] orders
+   candidate source members — lower is better; draining, busy, or
+   suspect nodes get large ranks — and [note] reports each member a
+   repair actually read from, so the planner can spread consecutive
+   rebuilds across distinct sources. *)
+type planner = {
+  rank : slot:int -> pos:int -> int;
+  note : slot:int -> pos:int -> unit;
+}
+
 type t = {
   session : Session.t;
   code : Rs_code.t;
+  planner : planner option;
   recovering : (int, unit) Hashtbl.t; (* slots with local recovery running *)
   mutable runs : int;
+  mutable delta_runs : int;
 }
 
-let create ~code session =
-  { session; code; recovering = Hashtbl.create 8; runs = 0 }
+let create ?planner ~code session =
+  {
+    session;
+    code;
+    planner;
+    recovering = Hashtbl.create 8;
+    runs = 0;
+    delta_runs = 0;
+  }
 
 let runs t = t.runs
+let delta_runs t = t.delta_runs
+
+let source_rank t ~slot ~pos =
+  match t.planner with None -> 0 | Some p -> p.rank ~slot ~pos
+
+let note_source t ~slot ~pos =
+  match t.planner with None -> () | Some p -> p.note ~slot ~pos
 
 (* ------------------------------------------------------------------ *)
 (* find_consistent (Fig 6): maximal set S of non-INIT positions whose
@@ -84,12 +110,254 @@ let poll_state session ctx ~slot ~pos =
   | Ok _ -> None
   | Error _ -> None
 
+(* A NORM member whose epoch trails the newest polled NORM epoch missed
+   a finalize while unreachable (a revived node).  Its lists are empty
+   or vacuous relative to the current epoch, so find_consistent could
+   otherwise adopt it into an empty-signature cut over a stale base.
+   Treat it exactly like an INIT member: excluded from cuts, rebuilt by
+   recovery.  RECONS members are left alone — mixed epochs there mean a
+   crashed recoverer, which the adopt path resolves. *)
+let mask_epoch_stale (states : Proto.state_view option array) =
+  let e_max =
+    Array.fold_left
+      (fun acc st ->
+        match st with
+        | Some v when v.Proto.st_opmode = Proto.Norm -> max acc v.Proto.st_epoch
+        | _ -> acc)
+      0 states
+  in
+  Array.iteri
+    (fun pos st ->
+      match st with
+      | Some v when v.Proto.st_opmode = Proto.Norm && v.Proto.st_epoch < e_max
+        ->
+        states.(pos) <-
+          Some
+            {
+              v with
+              Proto.st_opmode = Proto.Init;
+              st_recons_set = None;
+              st_oldlist = [];
+              st_recentlist = [];
+              st_block = None;
+            }
+      | _ -> ())
+    states
+
+(* ------------------------------------------------------------------ *)
+(* Delta repair: catch epoch-stale members up from a peer's add log.
+
+   When a node misses a window of activity but comes back with its
+   sealed state intact, the only thing separating it from the current
+   epoch is the set of adds folded into the base by the finalizes it
+   missed.  An up-to-date redundant member whose delta log is complete
+   back to the stale epoch can name that set exactly: the logged adds
+   whose tids have LEFT its protocol lists (still-listed writes are in
+   flight, not yet part of any base).  Shipping just those — rescaled
+   for the target's coefficient, filtered against what the target
+   already applied — replaces a k-block reconstruction with a transfer
+   proportional to the missed writes.
+
+   Eligibility is checked pessimistically and any doubt falls back to
+   full Fig 6 reconstruction: all members must answer the probe, all
+   must be NORM and digest-valid, every stale member must be free of
+   tombstone overflow and must pass the orphan check (an in-flight
+   write it holds that the source cannot account for means a rollback
+   happened — only a rebuild fixes that), and the source's log must be
+   provably complete back to the oldest stale epoch.  The whole
+   exchange is lock-free: Apply_delta re-checks epoch, lock mode, and
+   per-tid duplicates node-side, so a racing write or recovery can only
+   turn the attempt into a no-op, never corrupt state. *)
+
+let try_delta t ctx ~slot =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  let n = cfg.Config.n and k = cfg.Config.k in
+  let bytes_read = ref 0 in
+  let bytes_shipped = ref 0 in
+  let probes = Array.make n None in
+  Session.pfor s
+    (List.init n (fun pos () ->
+         match Session.call s ctx ~slot ~pos Proto.Delta_probe with
+         | Ok (Proto.R_delta_probe p as r) ->
+           bytes_read := !bytes_read + Proto.response_bytes r;
+           probes.(pos) <- Some p
+         | Ok _ | Error _ -> ()));
+  let all_norm_valid =
+    Array.for_all
+      (function
+        | Some p -> p.Proto.dp_opmode = Proto.Norm && p.Proto.dp_valid
+        | None -> false)
+      probes
+  in
+  if not all_norm_valid then None
+  else begin
+    let probe pos = Option.get probes.(pos) in
+    let e_c =
+      Array.fold_left
+        (fun acc p ->
+          match p with Some p -> max acc p.Proto.dp_epoch | None -> acc)
+        0 probes
+    in
+    let stale =
+      List.filter (fun pos -> (probe pos).Proto.dp_epoch < e_c) (List.init n Fun.id)
+    in
+    let repairable pos =
+      let p = probe pos in
+      not p.Proto.dp_tombs_overflow
+    in
+    if stale = [] || not (List.for_all repairable stale) then None
+    else begin
+      let e_min =
+        List.fold_left (fun acc pos -> min acc (probe pos).Proto.dp_epoch) e_c stale
+      in
+      (* Candidate sources: up-to-date redundant members (only they see
+         every add) whose log provably reaches back to the oldest stale
+         epoch, ordered by the planner (drained / busy / suspect nodes
+         last, spread across distinct members). *)
+      let sources =
+        List.init (n - k) (fun i -> k + i)
+        |> List.filter (fun pos ->
+               let p = probe pos in
+               p.Proto.dp_epoch = e_c && p.Proto.dp_log_floor <= e_min)
+        |> List.sort (fun a b ->
+               compare
+                 (source_rank t ~slot ~pos:a, a)
+                 (source_rank t ~slot ~pos:b, b))
+      in
+      let pull pos =
+        match
+          Session.call s ctx ~slot ~pos (Proto.Get_delta { since_epoch = e_min })
+        with
+        | Ok (Proto.R_delta { entries; to_epoch; complete } as r)
+          when complete && to_epoch = e_c ->
+          bytes_read := !bytes_read + Proto.response_bytes r;
+          Some (pos, entries)
+        | Ok (Proto.R_delta _ as r) ->
+          bytes_read := !bytes_read + Proto.response_bytes r;
+          None
+        | Ok _ | Error _ -> None
+      in
+      match List.find_map pull sources with
+      | None -> None
+      | Some (src, log) ->
+        note_source t ~slot ~pos:src;
+        let sp = probe src in
+        let applied_s =
+          Tid_set.union
+            (Tid_set.of_list sp.Proto.dp_recent)
+            (Tid_set.of_list sp.Proto.dp_old)
+        in
+        let tombs_s = Tid_set.of_list sp.Proto.dp_tombs in
+        let log_tids =
+          List.fold_left
+            (fun acc (e : Proto.delta_entry) -> Tid_set.add e.Proto.d_tid acc)
+            Tid_set.empty log
+        in
+        (* Included increments: logged adds whose writes have left the
+           source's lists — completed or folded in by a finalize.  Adds
+           still listed at the source are in flight and excluded; the
+           stale member either has them too (kept in its lists) or the
+           writer will retry them against the caught-up epoch. *)
+        let inc =
+          List.filter
+            (fun (e : Proto.delta_entry) ->
+              not (Tid_set.mem e.Proto.d_tid applied_s))
+            log
+        in
+        let repair_one pos =
+          let tp = probe pos in
+          let applied_t =
+            Tid_set.union
+              (Tid_set.of_list tp.Proto.dp_recent)
+              (Tid_set.of_list tp.Proto.dp_old)
+          in
+          let tombs_t = Tid_set.of_list tp.Proto.dp_tombs in
+          (* Orphan check: every write the target still holds as
+             in-flight must be accounted for at the source (listed,
+             logged, or tombstoned there).  An unaccounted one was
+             rolled back by a recovery the target missed — its effect
+             must be scrubbed from the bytes, which only a rebuild
+             does. *)
+          let orphan =
+            List.exists
+              (fun tid ->
+                not
+                  (Tid_set.mem tid log_tids || Tid_set.mem tid applied_s
+                  || Tid_set.mem tid tombs_s))
+              tp.Proto.dp_recent
+          in
+          if orphan then false
+          else begin
+            let missed =
+              List.filter
+                (fun (e : Proto.delta_entry) ->
+                  not
+                    (Tid_set.mem e.Proto.d_tid applied_t
+                    || Tid_set.mem e.Proto.d_tid tombs_t))
+                inc
+            in
+            (* Data members never receive adds: a write to their block
+               cannot complete without them, so their bytes are already
+               the epoch-[e_c] value — the catch-up is pure epoch
+               advance + reseal.  Redundant members get the missed
+               payloads rebased onto their own coefficient. *)
+            let ship =
+              if pos < k then []
+              else
+                List.map
+                  (fun (e : Proto.delta_entry) ->
+                    let to_alpha =
+                      Rs_code.alpha t.code ~j:pos ~i:e.Proto.d_dblk
+                    in
+                    if to_alpha = e.Proto.d_alpha then e
+                    else begin
+                      let dv = Bytes.create (Bytes.length e.Proto.d_dv) in
+                      Rs_code.rescale_into t.code ~from_alpha:e.Proto.d_alpha
+                        ~to_alpha ~dst:dv ~src:e.Proto.d_dv;
+                      { e with Proto.d_alpha = to_alpha; d_dv = dv }
+                    end)
+                  missed
+            in
+            let absorbed =
+              List.filter_map
+                (fun (e : Proto.delta_entry) ->
+                  if Tid_set.mem e.Proto.d_tid applied_t then
+                    Some e.Proto.d_tid
+                  else None)
+                inc
+            in
+            let req =
+              Proto.Apply_delta
+                {
+                  entries = ship;
+                  absorbed;
+                  from_epoch = tp.Proto.dp_epoch;
+                  to_epoch = e_c;
+                }
+            in
+            Session.compute s
+              (float_of_int (List.length ship)
+              *. Session.block_cost s cfg.Config.costs.Config.encode_per_byte);
+            match Session.call s ctx ~slot ~pos req with
+            | Ok (Proto.R_delta_applied { ok = true; _ }) ->
+              bytes_shipped := !bytes_shipped + Proto.request_bytes req;
+              true
+            | Ok _ | Error _ -> false
+          end
+        in
+        if List.for_all repair_one stale then
+          Some (!bytes_read, !bytes_shipped)
+        else None
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Recovery proper (Fig 6). *)
 
 type outcome = Recovered | Backed_off
 
-let recover_with_ctx t ctx ~slot =
+let recover_full t ctx ~slot =
   let s = t.session in
   let cfg = Session.cfg s in
   let n = cfg.Config.n and k = cfg.Config.k in
@@ -134,7 +402,17 @@ let recover_with_ctx t ctx ~slot =
   else begin
     (* Phase 2: running solo now. *)
     phase Trace.Ph_collect;
-    let states = Array.init n (fun pos -> poll_state s ctx ~slot ~pos) in
+    let bytes_read = ref 0 in
+    let bytes_shipped = ref 0 in
+    let poll pos =
+      match Session.call s ctx ~slot ~pos Proto.Get_state with
+      | Ok (Proto.R_state v as r) ->
+        bytes_read := !bytes_read + Proto.response_bytes r;
+        Some v
+      | Ok _ | Error _ -> None
+    in
+    let states = Array.init n (fun pos -> poll pos) in
+    mask_epoch_stale states;
     let init_count st =
       Array.fold_left
         (fun acc v ->
@@ -224,9 +502,8 @@ let recover_with_ctx t ctx ~slot =
           while not (enough ()) && !inner <= cfg.Config.recovery_retry_limit do
             incr inner;
             Session.sleep s cfg.Config.recovery_poll_delay;
-            List.iter
-              (fun pos -> states.(pos) <- poll_state s ctx ~slot ~pos)
-              reds;
+            List.iter (fun pos -> states.(pos) <- poll pos) reds;
+            mask_epoch_stale states;
             cset := find_consistent ~k ~n states
           done;
           if !inner > cfg.Config.recovery_retry_limit then
@@ -261,7 +538,10 @@ let recover_with_ctx t ctx ~slot =
         (Session.Data_loss
            (Printf.sprintf "slot %d: only %d consistent blocks, need %d" slot
               (List.length cset) k));
-    (* Phase 3: decode, rewrite every block, bump the epoch, unlock. *)
+    (* Phase 3: decode, rewrite every block, bump the epoch, unlock.
+       The planner orders the available blocks so the k that actually
+       feed the decode come from preferred (idle, non-draining) members,
+       and consecutive rebuilds spread over distinct sources. *)
     let avail =
       List.filter_map
         (fun pos ->
@@ -269,11 +549,16 @@ let recover_with_ctx t ctx ~slot =
           | Some { Proto.st_block = Some b; _ } -> Some (pos, b)
           | _ -> None)
         cset
+      |> List.sort (fun (a, _) (b, _) ->
+             compare
+               (source_rank t ~slot ~pos:a, a)
+               (source_rank t ~slot ~pos:b, b))
     in
     if List.length avail < k then
       raise
         (Session.Data_loss
            (Printf.sprintf "slot %d: consistent blocks lost mid-recovery" slot));
+    List.iteri (fun i (pos, _) -> if i < k then note_source t ~slot ~pos) avail;
     phase Trace.Ph_decode;
     Session.compute s
       (float_of_int k
@@ -285,11 +570,11 @@ let recover_with_ctx t ctx ~slot =
     Session.pfor s
       (List.map
          (fun pos () ->
-           match
-             Session.call s ctx ~slot ~pos
-               (Proto.Reconstruct { cset; blk = stripe.(pos) })
-           with
-           | Ok (Proto.R_reconstruct { epoch }) -> epochs.(pos) <- epoch
+           let req = Proto.Reconstruct { cset; blk = stripe.(pos) } in
+           match Session.call s ctx ~slot ~pos req with
+           | Ok (Proto.R_reconstruct { epoch }) ->
+             bytes_shipped := !bytes_shipped + Proto.request_bytes req;
+             epochs.(pos) <- epoch
            | Ok _ | Error _ -> ())
          all_positions);
     phase Trace.Ph_finalize;
@@ -301,19 +586,49 @@ let recover_with_ctx t ctx ~slot =
              (Session.call s ctx ~slot ~pos (Proto.Finalize { epoch = new_epoch })))
          all_positions);
     t.runs <- t.runs + 1;
+    Session.emit s ctx
+      (Trace.Repair_result
+         {
+           delta = false;
+           bytes_read = !bytes_read;
+           bytes_shipped = !bytes_shipped;
+         });
     phase Trace.Ph_done;
     Recovered
   end
 
-let recover ?parent t ~slot =
+let recover_with_ctx ?(delta = true) t ctx ~slot =
+  let s = t.session in
+  let cfg = Session.cfg s in
+  if not (delta && cfg.Config.repair.Config.delta_repair) then
+    recover_full t ctx ~slot
+  else begin
+    (* Lock-free fast path: if the only thing wrong with the stripe is
+       epoch-stale (but digest-valid) members, catch them up from a
+       peer's add log instead of reconstructing from k blocks.  Any
+       doubt — unreachable member, invalid digest, incomplete log,
+       unaccounted in-flight write — falls through to full Fig 6. *)
+    Session.emit s ctx (Trace.Recovery_phase Trace.Ph_delta);
+    match try_delta t ctx ~slot with
+    | Some (bytes_read, bytes_shipped) ->
+      t.runs <- t.runs + 1;
+      t.delta_runs <- t.delta_runs + 1;
+      Session.emit s ctx
+        (Trace.Repair_result { delta = true; bytes_read; bytes_shipped });
+      Session.emit s ctx (Trace.Recovery_phase Trace.Ph_done);
+      Recovered
+    | None -> recover_full t ctx ~slot
+  end
+
+let recover ?parent ?delta t ~slot =
   let ctx = Session.new_ctx t.session ?parent Trace.Op_recovery ~slot in
-  Session.with_op t.session ctx (fun () -> recover_with_ctx t ctx ~slot)
+  Session.with_op t.session ctx (fun () -> recover_with_ctx ?delta t ctx ~slot)
 
 (* start (Fig 6 start_recovery): fork-if-not-running-locally.  In our
    cooperative setting the caller runs recovery inline; concurrent
    operations of the same client wait for it instead of starting a
    duplicate. *)
-let start ?parent t ~slot =
+let start ?parent ?delta t ~slot =
   if Hashtbl.mem t.recovering slot then
     (* The running recovery fiber removes the entry in a [finally], and
        its own retry loops are bounded, so this wait always terminates —
@@ -326,5 +641,5 @@ let start ?parent t ~slot =
     Hashtbl.add t.recovering slot ();
     Fun.protect
       ~finally:(fun () -> Hashtbl.remove t.recovering slot)
-      (fun () -> ignore (recover ?parent t ~slot))
+      (fun () -> ignore (recover ?parent ?delta t ~slot))
   end

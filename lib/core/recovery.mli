@@ -18,7 +18,18 @@
 
 type t
 
-val create : code:Rs_code.t -> Session.t -> t
+(** Repair-source planner (degraded-aware repair scheduling): [rank]
+    orders candidate source members for rebuild reads and delta pulls —
+    lower is better, so draining, move-pending, or degraded-serving
+    nodes get large ranks — and [note] reports each member a repair
+    actually read from, letting the planner spread consecutive rebuilds
+    across distinct sources. *)
+type planner = {
+  rank : slot:int -> pos:int -> int;
+  note : slot:int -> pos:int -> unit;
+}
+
+val create : ?planner:planner -> code:Rs_code.t -> Session.t -> t
 
 val find_consistent : k:int -> n:int -> Proto.state_view option array -> int list
 (** Maximal set S of non-INIT positions whose recentlists (minus
@@ -29,15 +40,32 @@ val find_consistent : k:int -> n:int -> Proto.state_view option array -> int lis
 val poll_state : Session.t -> Trace.ctx -> slot:int -> pos:int -> Proto.state_view option
 (** One [get_state] RPC; [None] for unreachable or non-state replies. *)
 
+val mask_epoch_stale : Proto.state_view option array -> unit
+(** Demote (in place) every NORM view whose epoch trails the newest
+    polled NORM epoch to an INIT-like view: such a member missed a
+    finalize while unreachable and must not join a consistent cut or
+    serve a degraded decode.  Shared by recovery and the degraded read
+    paths. *)
+
 type outcome = Recovered | Backed_off
 
-val recover : ?parent:Trace.ctx -> t -> slot:int -> outcome
-(** One recovery attempt (Fig 6), run inline in the calling fiber. *)
+val recover : ?parent:Trace.ctx -> ?delta:bool -> t -> slot:int -> outcome
+(** One recovery attempt, run inline in the calling fiber: a delta
+    catch-up when the config enables it and the stripe qualifies (all
+    members NORM and digest-valid, some merely epoch-stale), otherwise
+    the full Fig 6 reconstruction.  [~delta:false] skips the probe and
+    goes straight to Fig 6 — for callers that already know the target
+    holds nothing to patch forward (e.g. a migration rebuild onto a
+    fresh INIT member). *)
 
-val start : ?parent:Trace.ctx -> t -> slot:int -> unit
+val start : ?parent:Trace.ctx -> ?delta:bool -> t -> slot:int -> unit
 (** [start_recovery] of Fig 6: run {!recover} unless this client already
     has a recovery of [slot] in flight, in which case wait for it
     (fork-if-not-running-locally in a cooperative scheduler). *)
 
 val runs : t -> int
 (** Completed (not backed-off) recoveries by this client. *)
+
+val delta_runs : t -> int
+(** The subset of {!runs} resolved by delta repair (stale members caught
+    up from a peer's add log) rather than full reconstruction. *)

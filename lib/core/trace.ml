@@ -42,6 +42,7 @@ type ctx = {
 }
 
 type recovery_phase =
+  | Ph_delta
   | Ph_lock
   | Ph_backoff
   | Ph_adopt
@@ -52,6 +53,7 @@ type recovery_phase =
   | Ph_done
 
 let recovery_phase_to_string = function
+  | Ph_delta -> "delta"
   | Ph_lock -> "lock"
   | Ph_backoff -> "backoff"
   | Ph_adopt -> "adopt"
@@ -62,7 +64,17 @@ let recovery_phase_to_string = function
   | Ph_done -> "done"
 
 let all_recovery_phases =
-  [ Ph_lock; Ph_backoff; Ph_adopt; Ph_collect; Ph_weaken; Ph_decode; Ph_finalize; Ph_done ]
+  [
+    Ph_delta;
+    Ph_lock;
+    Ph_backoff;
+    Ph_adopt;
+    Ph_collect;
+    Ph_weaken;
+    Ph_decode;
+    Ph_finalize;
+    Ph_done;
+  ]
 
 type swap_outcome = Sw_applied | Sw_locked | Sw_node_down
 
@@ -90,6 +102,10 @@ type event =
           ([`Stale]) *)
   | Integrity_repaired of { pos : int }
       (** member [pos] rebuilt after an integrity detection *)
+  | Repair_result of { delta : bool; bytes_read : int; bytes_shipped : int }
+      (** one slot repair completed: [delta] iff the stale member was
+          caught up by shipping its missed adds rather than rebuilt from
+          [k] full blocks; byte counts are protocol wire sizes *)
   | Custom of string
 
 type sink = ctx -> event -> unit
@@ -149,6 +165,10 @@ let pp_event ppf = function
       (match fault with `Checksum -> "checksum" | `Stale -> "stale")
   | Integrity_repaired { pos } ->
     Format.fprintf ppf "integrity.repaired pos=%d" pos
+  | Repair_result { delta; bytes_read; bytes_shipped } ->
+    Format.fprintf ppf "repair.%s read=%dB shipped=%dB"
+      (if delta then "delta" else "full")
+      bytes_read bytes_shipped
   | Custom s -> Format.fprintf ppf "custom %s" s
 
 let event_to_string e = Format.asprintf "%a" pp_event e

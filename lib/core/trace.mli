@@ -44,8 +44,12 @@ type ctx = {
     [Ph_backoff] replaces everything after [Ph_lock] when another
     recoverer holds locks; [Ph_adopt] replaces [Ph_collect] when a
     crashed recoverer's [recons_set] is adopted; [Ph_weaken] marks each
-    L1->L0 lock-weakening round inside [Ph_collect]. *)
+    L1->L0 lock-weakening round inside [Ph_collect].  [Ph_delta] marks
+    a delta-repair attempt (catching up an epoch-stale member by
+    shipping its missed adds) made before any lock is taken; on success
+    it is followed directly by [Ph_done]. *)
 type recovery_phase =
+  | Ph_delta
   | Ph_lock
   | Ph_backoff
   | Ph_adopt
@@ -99,6 +103,12 @@ type event =
           old state ([`Stale] — the rollback fault). *)
   | Integrity_repaired of { pos : int }
       (** Member [pos] was rebuilt after an integrity detection. *)
+  | Repair_result of { delta : bool; bytes_read : int; bytes_shipped : int }
+      (** One slot repair completed.  [delta] is true when an epoch-stale
+          member was caught up by shipping only its missed adds, false
+          for a full Fig 6 reconstruction; [bytes_read] / [bytes_shipped]
+          are the protocol wire bytes the repair pulled from source
+          members and pushed to rebuilt ones. *)
   | Custom of string
       (** Escape hatch for user instrumentation via [Client.env.note]. *)
 

@@ -21,14 +21,20 @@ type add_result = {
 let add_result_of_call = function
   | Ok (Proto.R_add { status; opmode; lmode }) ->
     { ar_status = status; ar_opmode = opmode; ar_lmode = lmode }
-  | Error `Timeout ->
-    (* Retry budget exhausted but the node is (as far as we know) alive:
-       adds are deduplicated by tid, so present this as a transient
-       lock-like refusal — the writer keeps the position in its retry
-       set without forcing a recovery. *)
+  | Error `Timeout | Error `Node_down ->
+    (* Transient, as far as the writer is concerned: adds are
+       deduplicated by tid, so present either as a lock-like refusal —
+       the writer keeps the position in its retry set without forcing a
+       recovery.  A dead node in particular must NOT route into
+       recovery here: reconstruction among the live members cannot make
+       the dead one reachable, so each attempt would only burn an epoch
+       and a k-block rebuild's bandwidth.  Progress comes from outside
+       the write: a failover remaps the member (the retried add then
+       finds an INIT slot, which does route into recovery below), or
+       the node returns and the add applies.  *)
     { ar_status = Proto.Add_fail; ar_opmode = Proto.Norm; ar_lmode = Proto.L1 }
-  | Ok _ | Error `Node_down ->
-    (* A dead or freshly remapped node behaves like INIT-and-unlocked,
+  | Ok _ ->
+    (* An unexpected response shape behaves like INIT-and-unlocked,
        which routes the writer into recovery (Fig 5 line 13). *)
     { ar_status = Proto.Add_fail; ar_opmode = Proto.Init; ar_lmode = Proto.Unl }
 

@@ -131,6 +131,16 @@ module Make (F : Field.S) (K : Kernel.S) = struct
     if a = F.one then Bytes.blit diff 0 dst 0 (Bytes.length diff)
     else K.scale_into a ~dst ~src:diff
 
+  (* [dst <- (to_alpha / from_alpha) * src]: rebase a payload that was
+     scaled for one member's coefficient onto another member's — the
+     delta-repair path's only field work when shipping logged adds to a
+     differently-placed target. *)
+  let rescale_into ~from_alpha ~to_alpha ~dst ~src =
+    if from_alpha = 0 then invalid_arg "Rs_code.rescale_into: from_alpha = 0";
+    let a = F.mul to_alpha (F.inv from_alpha) in
+    if a = F.one then Bytes.blit src 0 dst 0 (Bytes.length src)
+    else K.scale_into a ~dst ~src
+
   let verify_stripe t blocks =
     if Array.length blocks <> t.n then
       invalid_arg "Rs_code.verify_stripe: expected n blocks";
@@ -184,6 +194,11 @@ let update_delta_into t ~j ~i ~dst ~diff =
   match t with
   | G8 c -> Rs8.update_delta_into c ~j ~i ~dst ~diff
   | G16 c -> Rs16.update_delta_into c ~j ~i ~dst ~diff
+
+let rescale_into t ~from_alpha ~to_alpha ~dst ~src =
+  match t with
+  | G8 _ -> Rs8.rescale_into ~from_alpha ~to_alpha ~dst ~src
+  | G16 _ -> Rs16.rescale_into ~from_alpha ~to_alpha ~dst ~src
 
 (* XOR is the same bit pattern in every GF(2^h) — delegate to the
    kernel anyway so length checks match the code's field. *)

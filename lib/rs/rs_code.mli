@@ -82,6 +82,15 @@ val update_delta_into : t -> j:int -> i:int -> dst:bytes -> diff:bytes -> unit
     block difference computed once and shared across the fan-out — the
     allocation-free form of {!update_delta}. *)
 
+val rescale_into :
+  t -> from_alpha:int -> to_alpha:int -> dst:bytes -> src:bytes -> unit
+(** [rescale_into t ~from_alpha ~to_alpha ~dst ~src] sets
+    [dst <- (to_alpha / from_alpha) * src] in the code's field: rebase a
+    payload scaled for one member's coefficient onto another member's —
+    how delta-repair reuses a source node's logged adds for a target at
+    a different stripe position.
+    @raise Invalid_argument if [from_alpha] is zero. *)
+
 val xor_into : t -> dst:bytes -> src:bytes -> unit
 (** Field addition of blocks through the code's kernel (XOR in any
     GF(2^h)). *)

@@ -41,6 +41,13 @@ let crash_and_remap t i =
   crash t i;
   remap t i
 
+let rebind t i net_node =
+  check t i;
+  let cur = t.entries.(i) in
+  let entry = { cur with net_node; generation = cur.generation + 1 } in
+  t.entries.(i) <- entry;
+  entry
+
 let generation t i =
   check t i;
   t.entries.(i).generation

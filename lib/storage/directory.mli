@@ -37,4 +37,13 @@ val crash : t -> int -> unit
 val remap : t -> int -> entry
 (** Install a replacement for a (crashed) logical node. *)
 
+val rebind : t -> int -> Net.node -> entry
+(** Re-attach the {e existing} store behind a fresh physical endpoint —
+    the crash-recovery rejoin path: the node kept its disk, only its
+    process/link identity changed.  Bumps the generation (so sessions
+    retry calls that raced the swap) but, unlike {!remap}, preserves all
+    slot state; callers should run
+    {!Storage_node.quarantine_inflight} on the store before traffic
+    resumes. *)
+
 val generation : t -> int -> int

@@ -26,6 +26,20 @@ let opmode_to_string = function
 type add_status = Add_ok | Add_order | Add_fail
 type check_status = Ck_init | Ck_gc | Ck_nochange
 
+(* One retained (or shipped) add: the write's tid, the data position it
+   changed, the epoch the logging node applied it under, and the delta
+   payload with the coefficient already folded into it ([d_alpha] = the
+   logging node's own coefficient for unicast adds, 1 for broadcast adds
+   whose raw diff was logged before node-side scaling).  A repairer
+   rescales [d_dv] by [target_alpha / d_alpha] before shipping. *)
+type delta_entry = {
+  d_tid : tid;
+  d_dblk : int;
+  d_epoch : int;
+  d_alpha : int;
+  d_dv : bytes;
+}
+
 type request =
   | Read
   | Read_checked
@@ -44,13 +58,37 @@ type request =
   | Probe of { older_than : float }
   | Get_meta
   | Mark_init
+  | Delta_probe
+  | Get_delta of { since_epoch : int }
+  | Apply_delta of {
+      entries : delta_entry list;
+      absorbed : tid list;
+          (* writes whose effect the target already applied and which
+             some finalize since folded into the base: their list
+             entries must be dropped, not their payloads re-added *)
+      from_epoch : int;
+      to_epoch : int;
+    }
 
 type state_view = {
   st_opmode : opmode;
+  st_epoch : int;
   st_recons_set : int list option;
   st_oldlist : tid list;
   st_recentlist : tid list;
   st_block : bytes option;
+}
+
+type delta_probe = {
+  dp_opmode : opmode;
+  dp_epoch : int;
+  dp_valid : bool; (* digest-valid at the slot's own sealed epoch *)
+  dp_recent : tid list; (* recentlist: writes possibly in flight *)
+  dp_old : tid list; (* oldlist: completed-everywhere writes *)
+  dp_tombs : tid list; (* gc-dropped tids retained since last seal *)
+  dp_tombs_overflow : bool;
+  dp_log_floor : int; (* epochs >= floor fully covered by the log *)
+  dp_log_bytes : int;
 }
 
 type response =
@@ -72,6 +110,9 @@ type response =
   | R_reconstruct of { epoch : int }
   | R_gc of { ok : bool }
   | R_probe of { stale : int list; init : int list }
+  | R_delta_probe of delta_probe
+  | R_delta of { entries : delta_entry list; to_epoch : int; complete : bool }
+  | R_delta_applied of { ok : bool; applied : int; epoch : int }
 
 (* Wire-size accounting.  tid = three 32-bit ints; modes and statuses a
    byte each; epochs 4 bytes; blocks at their actual length. *)
@@ -83,6 +124,12 @@ let meta_bytes = Checksum.bytes_size
 let opt_bytes size = function None -> 1 | Some _ -> 1 + size
 let block_bytes b = Bytes.length b
 let list_bytes size l = 4 + (size * List.length l)
+
+let delta_entry_bytes e =
+  tid_bytes + int_bytes + int_bytes + int_bytes + block_bytes e.d_dv
+
+let delta_entries_bytes l =
+  List.fold_left (fun a e -> a + delta_entry_bytes e) 4 l
 
 let request_bytes = function
   | Read | Read_checked | Get_meta | Mark_init -> 1
@@ -100,6 +147,11 @@ let request_bytes = function
   | Finalize _ -> 1 + int_bytes
   | Gc_old tids | Gc_recent tids -> 1 + list_bytes tid_bytes tids
   | Probe _ -> 1 + int_bytes
+  | Delta_probe -> 1
+  | Get_delta _ -> 1 + int_bytes
+  | Apply_delta { entries; absorbed; _ } ->
+    1 + delta_entries_bytes entries + list_bytes tid_bytes absorbed
+    + (2 * int_bytes)
 
 let response_bytes = function
   | R_read { block; _ } -> 1 + opt_bytes 0 block
@@ -119,7 +171,7 @@ let response_bytes = function
   | R_trylock _ -> 1 + (2 * mode_bytes)
   | R_ack -> 1
   | R_state { st_recons_set; st_oldlist; st_recentlist; st_block; _ } ->
-    1 + mode_bytes
+    1 + mode_bytes + int_bytes
     + (match st_recons_set with Some s -> 1 + list_bytes int_bytes s | None -> 1)
     + list_bytes tid_bytes st_oldlist
     + list_bytes tid_bytes st_recentlist
@@ -129,6 +181,14 @@ let response_bytes = function
   | R_gc _ -> 1 + mode_bytes
   | R_probe { stale; init } ->
     1 + list_bytes int_bytes stale + list_bytes int_bytes init
+  | R_delta_probe { dp_recent; dp_old; dp_tombs; _ } ->
+    1 + mode_bytes + int_bytes + 1
+    + list_bytes tid_bytes dp_recent
+    + list_bytes tid_bytes dp_old
+    + list_bytes tid_bytes dp_tombs
+    + 1 + int_bytes + int_bytes
+  | R_delta { entries; _ } -> 1 + delta_entries_bytes entries + int_bytes + 1
+  | R_delta_applied _ -> 1 + 1 + int_bytes + int_bytes
 
 (* Human-readable forms for trace events and checker diagnostics.
    Blocks are rendered as their sizes — payload bytes are noise in a
@@ -175,6 +235,14 @@ let pp_request ppf = function
   | Gc_old tids -> Format.fprintf ppf "gc_old%a" pp_tid_list tids
   | Gc_recent tids -> Format.fprintf ppf "gc_recent%a" pp_tid_list tids
   | Probe { older_than } -> Format.fprintf ppf "probe{>%.3fs}" older_than
+  | Delta_probe -> Format.pp_print_string ppf "delta_probe"
+  | Get_delta { since_epoch } ->
+    Format.fprintf ppf "get_delta{since=%d}" since_epoch
+  | Apply_delta { entries; absorbed; from_epoch; to_epoch } ->
+    Format.fprintf ppf "apply_delta{%d entries %dB absorbed=%d e%d->e%d}"
+      (List.length entries)
+      (delta_entries_bytes entries)
+      (List.length absorbed) from_epoch to_epoch
 
 let pp_response ppf = function
   | R_read { block; lmode } ->
@@ -211,9 +279,10 @@ let pp_response ppf = function
   | R_trylock { ok; oldlmode } ->
     Format.fprintf ppf "r_trylock{%b was=%s}" ok (lmode_to_string oldlmode)
   | R_ack -> Format.pp_print_string ppf "r_ack"
-  | R_state { st_opmode; st_recons_set; st_oldlist; st_recentlist; st_block } ->
-    Format.fprintf ppf "r_state{%s%s old=%a recent=%a %s}"
+  | R_state { st_opmode; st_epoch; st_recons_set; st_oldlist; st_recentlist; st_block } ->
+    Format.fprintf ppf "r_state{%s e%d%s old=%a recent=%a %s}"
       (opmode_to_string st_opmode)
+      st_epoch
       (match st_recons_set with
       | Some s -> Printf.sprintf " cset=[%s]" (String.concat ";" (List.map string_of_int s))
       | None -> "")
@@ -225,6 +294,24 @@ let pp_response ppf = function
   | R_probe { stale; init } ->
     let ints l = String.concat ";" (List.map string_of_int l) in
     Format.fprintf ppf "r_probe{stale=[%s] init=[%s]}" (ints stale) (ints init)
+  | R_delta_probe { dp_opmode; dp_epoch; dp_valid; dp_recent; dp_old; dp_tombs;
+                    dp_tombs_overflow; dp_log_floor; dp_log_bytes } ->
+    Format.fprintf ppf
+      "r_delta_probe{%s e%d valid=%b applied=%d tombs=%d%s floor=%d log=%dB}"
+      (opmode_to_string dp_opmode)
+      dp_epoch dp_valid
+      (List.length dp_recent + List.length dp_old)
+      (List.length dp_tombs)
+      (if dp_tombs_overflow then "(ovfl)" else "")
+      dp_log_floor dp_log_bytes
+  | R_delta { entries; to_epoch; complete } ->
+    Format.fprintf ppf "r_delta{%d entries %dB to=e%d complete=%b}"
+      (List.length entries)
+      (delta_entries_bytes entries)
+      to_epoch complete
+  | R_delta_applied { ok; applied; epoch } ->
+    Format.fprintf ppf "r_delta_applied{ok=%b applied=%d epoch=%d}" ok applied
+      epoch
 
 let request_tag = function
   | Read -> "read"
@@ -244,3 +331,6 @@ let request_tag = function
   | Gc_old _ -> "gc_old"
   | Gc_recent _ -> "gc_recent"
   | Probe _ -> "probe"
+  | Delta_probe -> "delta_probe"
+  | Get_delta _ -> "get_delta"
+  | Apply_delta _ -> "apply_delta"

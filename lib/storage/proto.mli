@@ -36,6 +36,20 @@ type add_status = Add_ok | Add_order | Add_fail
 (** Outcome of [checktid] (Fig 5 lines 43-45). *)
 type check_status = Ck_init | Ck_gc | Ck_nochange
 
+(** One retained add from a storage node's per-slot delta log.  [d_dv]
+    is the payload as the node applied it; [d_alpha] is the coefficient
+    already folded in (the node's own coefficient for unicast adds, [1]
+    for broadcast deltas), so a repairer can rescale the entry for a
+    different target member.  [d_dblk] is the data block the originating
+    write targeted, [d_epoch] the slot epoch the add was applied under. *)
+type delta_entry = {
+  d_tid : tid;
+  d_dblk : int;
+  d_epoch : int;
+  d_alpha : int;
+  d_dv : bytes;
+}
+
 type request =
   | Read
   | Read_checked
@@ -66,13 +80,57 @@ type request =
   | Mark_init
       (** Quarantine a member identified as corrupt/stale: demote the
           slot to [Init] so recovery rebuilds it. *)
+  | Delta_probe
+      (** Delta-repair eligibility probe: epoch, digest self-check,
+          applied/tombstoned tids, and delta-log completeness floor,
+          without moving any block bytes. *)
+  | Get_delta of { since_epoch : int }
+      (** Ask an up-to-date member for the logged adds a member stuck at
+          [since_epoch] missed.  Served only when the node's delta log is
+          complete back to [since_epoch]. *)
+  | Apply_delta of {
+      entries : delta_entry list;
+      absorbed : tid list;
+      from_epoch : int;
+      to_epoch : int;
+    }
+      (** Catch an epoch-stale member up in place: XOR the (already
+          rescaled) payloads of [entries] it has not yet applied, drop
+          the list entries of [absorbed] writes (already applied here
+          and folded into the base by a finalize since), then advance
+          the slot from [from_epoch] to [to_epoch] and reseal its
+          integrity record.  Rejected unless the slot is exactly at
+          [from_epoch], unlocked, Norm, and digest-valid. *)
 
 type state_view = {
   st_opmode : opmode;
+  st_epoch : int;
+      (** the slot's sealed epoch; recovery and degraded reads mask a
+          [Norm] member whose epoch trails the newest polled epoch (a
+          revived node that missed a finalize) as if it were [Init] *)
   st_recons_set : int list option;
   st_oldlist : tid list;
   st_recentlist : tid list; (** newest first *)
   st_block : bytes option;  (** [None] unless opmode = Norm *)
+}
+
+(** What a [Delta_probe] reports: everything a repairer needs to decide
+    delta-repair eligibility and compute ship sets, without moving any
+    block bytes. *)
+type delta_probe = {
+  dp_opmode : opmode;
+  dp_epoch : int;
+  dp_valid : bool;  (** slot digest verifies against its own epoch *)
+  dp_recent : tid list;  (** recentlist tids: writes possibly in flight *)
+  dp_old : tid list;  (** oldlist tids: completed-everywhere writes *)
+  dp_tombs : tid list;  (** GC-dropped tids retained since last seal *)
+  dp_tombs_overflow : bool;
+      (** the tombstone cap was hit; duplicate suppression is no
+          longer sound, so the slot cannot be a delta target *)
+  dp_log_floor : int;
+      (** earliest epoch the delta log is complete back to; a member
+          stale at [e] can be served iff [dp_log_floor <= e] *)
+  dp_log_bytes : int;
 }
 
 type response =
@@ -96,9 +154,19 @@ type response =
   | R_reconstruct of { epoch : int }
   | R_gc of { ok : bool }
   | R_probe of { stale : int list; init : int list }
+  | R_delta_probe of delta_probe
+  | R_delta of { entries : delta_entry list; to_epoch : int; complete : bool }
+      (** [complete] iff the log covered everything since the requested
+          epoch; an incomplete answer forces full reconstruction. *)
+  | R_delta_applied of { ok : bool; applied : int; epoch : int }
 
 val tid_bytes : int
 (** Serialized size we charge for one tid. *)
+
+val delta_entry_bytes : delta_entry -> int
+val delta_entries_bytes : delta_entry list -> int
+(** Serialized sizes we charge for delta-log entries (payload at its
+    real length, control fields at fixed sizes). *)
 
 val request_bytes : request -> int
 val response_bytes : response -> int

@@ -30,6 +30,28 @@ type slot = {
      finalize.  Kept apart from the block so checking is cheap and an
      at-rest flip of the block cannot also "fix" its record. *)
   mutable meta : Checksum.record;
+  (* Delta-repair log: recently applied adds, newest first, each with
+     the coefficient already folded into its payload, so a repairer can
+     catch a briefly-absent peer up by shipping it only the adds it
+     missed instead of reconstructing from k blocks.  [dlog_floor] is
+     the completeness frontier: the log holds EVERY add this slot
+     applied under epochs >= dlog_floor (capping the log or skipping an
+     entry raises the floor past the affected epoch).  [dlog_reset]
+     marks that a reconstruct replaced the block bytes, so the log no
+     longer describes increments over any sealed base; the next
+     finalize re-anchors the floor at the new epoch. *)
+  mutable dlog : delta_entry list;
+  mutable dlog_bytes : int;
+  mutable dlog_floor : int;
+  mutable dlog_reset : bool;
+  (* Tombstones: tids gc_old dropped from the lists since the last seal.
+     Their effects are folded into the block but no longer visible in
+     any list, so a delta repairer needs them for duplicate suppression
+     on both sides.  Cleared at finalize (the new base absorbs them);
+     past [tombs_cap] the slot merely stops being delta-repairable
+     until the next seal. *)
+  mutable tombs : tid list;
+  mutable tombs_overflow : bool;
 }
 
 type t = {
@@ -46,10 +68,13 @@ type t = {
       (* fault-layer observer: fired whenever a self-check fails while
          serving, so detection times can be recorded at the injection
          site (the node reporting a checksum error, ZFS-style) *)
+  delta_log_cap : int; (* per-slot byte budget for the delta log; 0 disables *)
+  tombs_cap : int; (* per-slot tombstone budget *)
 }
 
 let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8)
-    ?(self_check = true) ?on_integrity_fail ~now ~block_size ~init () =
+    ?(self_check = true) ?on_integrity_fail ?(delta_log_cap = 64 * 1024)
+    ?(tombs_cap = 512) ~now ~block_size ~init () =
   {
     slots = Hashtbl.create 64;
     now;
@@ -61,6 +86,8 @@ let create ?alpha_for ?(client_failed = fun _ -> false) ?(h = 8)
     garbage_seed = 0x5eed;
     self_check;
     on_integrity_fail;
+    delta_log_cap;
+    tombs_cap;
   }
 
 (* Deterministic "random" garbage for INIT slots: the paper's remapped
@@ -90,6 +117,12 @@ let fresh_slot t =
     oldlist = [];
     recons_set = None;
     meta = Checksum.make ~epoch:0 ~writer:0L block;
+    dlog = [];
+    dlog_bytes = 0;
+    dlog_floor = 0;
+    dlog_reset = false;
+    tombs = [];
+    tombs_overflow = false;
   }
 
 let slot t id =
@@ -103,6 +136,56 @@ let slot t id =
 let tids entries = List.map (fun e -> e.e_tid) entries
 
 let mem_tid tid entries = List.exists (fun e -> tid_compare e.e_tid tid = 0) entries
+
+let mem_plain_tid tid l = List.exists (fun x -> tid_compare x tid = 0) l
+
+(* Split off the last (oldest — lists are newest-first) element. *)
+let rec split_last = function
+  | [] -> invalid_arg "Storage_node.split_last: empty"
+  | [ e ] -> ([], e)
+  | x :: rest ->
+    let l, e = split_last rest in
+    (x :: l, e)
+
+(* Record an applied add in the slot's delta log.  [d_alpha] names the
+   coefficient already folded into the logged payload: for unicast adds
+   the client pre-scaled [dv] by this node's own coefficient (recovered
+   from the placement oracle); broadcast adds are logged as the raw
+   diff, coefficient 1, before node-side scaling.  The payload is
+   copied — the client's dispatch buffers are pooled and recycled.  Any
+   add the log cannot faithfully retain (no oracle, byte budget) raises
+   the completeness floor past the current epoch instead. *)
+let log_add t ~id s ~dv ~alpha ~ntid =
+  if t.delta_log_cap <= 0 then s.dlog_floor <- max s.dlog_floor (s.epoch + 1)
+  else begin
+    let folded =
+      if alpha <> 1 then Some 1
+      else
+        match t.alpha_for with
+        | Some f -> Some (f ~slot:id ~dblk:ntid.blk)
+        | None -> None
+    in
+    match folded with
+    | None -> s.dlog_floor <- max s.dlog_floor (s.epoch + 1)
+    | Some d_alpha ->
+      let e =
+        {
+          d_tid = ntid;
+          d_dblk = ntid.blk;
+          d_epoch = s.epoch;
+          d_alpha;
+          d_dv = Bytes.copy dv;
+        }
+      in
+      s.dlog <- e :: s.dlog;
+      s.dlog_bytes <- s.dlog_bytes + delta_entry_bytes e;
+      while s.dlog_bytes > t.delta_log_cap && s.dlog <> [] do
+        let kept, oldest = split_last s.dlog in
+        s.dlog <- kept;
+        s.dlog_bytes <- s.dlog_bytes - delta_entry_bytes oldest;
+        s.dlog_floor <- max s.dlog_floor (oldest.d_epoch + 1)
+      done
+  end
 
 (* "upon failure of lid when lmode in {L0, L1} do lmode <- EXP" (Fig 6). *)
 let expire_if_holder_failed t s =
@@ -169,6 +252,12 @@ let do_mark_init s =
   s.recons_set <- None;
   s.recentlist <- [];
   s.oldlist <- [];
+  (* Quarantined state cannot vouch for anything it logged. *)
+  s.dlog <- [];
+  s.dlog_bytes <- 0;
+  s.dlog_reset <- true;
+  s.tombs <- [];
+  s.tombs_overflow <- false;
   R_ack
 
 let do_swap t s ~v ~ntid =
@@ -212,7 +301,7 @@ let do_swap t s ~v ~ntid =
    erasure-code coefficient for a broadcast add.  Scaling happens
    directly into the slot block via the fused kernel — no intermediate
    scaled buffer is ever materialized. *)
-let apply_add t s ~dv ~alpha ~ntid ~otid ~epoch =
+let apply_add t ~id s ~dv ~alpha ~ntid ~otid ~epoch =
   if s.opmode <> Norm || not (s.lmode = Unl || s.lmode = L0) || epoch < s.epoch
   then R_add { status = Add_fail; opmode = s.opmode; lmode = s.lmode }
   else if mem_tid ntid s.recentlist || mem_tid ntid s.oldlist then
@@ -232,6 +321,7 @@ let apply_add t s ~dv ~alpha ~ntid ~otid ~epoch =
       let (module K : Kernel.S) = t.kernel in
       if alpha = 1 then K.xor_into ~dst:s.block ~src:dv
       else K.scale_xor_into alpha ~dst:s.block ~src:dv;
+      log_add t ~id s ~dv ~alpha ~ntid;
       (* Checksum the post-add state: the digest covers block bytes
          only, so any order of the same adds seals the same digest. *)
       s.meta <- Checksum.make ~epoch:s.epoch ~writer:(writer_of_tid ntid) s.block;
@@ -285,6 +375,7 @@ let do_get_state t ~id s =
     R_state
       {
         st_opmode = Init;
+        st_epoch = s.epoch;
         st_recons_set = None;
         st_oldlist = [];
         st_recentlist = [];
@@ -294,6 +385,7 @@ let do_get_state t ~id s =
     R_state
       {
         st_opmode = s.opmode;
+        st_epoch = s.epoch;
         st_recons_set = s.recons_set;
         st_oldlist = tids s.oldlist;
         st_recentlist = tids s.recentlist;
@@ -308,6 +400,17 @@ let do_getrecent s ~caller lm =
 let do_reconstruct s ~cset ~blk =
   s.opmode <- Recons;
   s.recons_set <- Some cset;
+  (* Delta-log survival: recovery reconstructs EVERY member, including
+     the up-to-date ones whose re-encoded value is byte-identical to
+     what they hold.  For those the log still describes increments over
+     the (unchanged) bytes, so it survives; a member whose bytes really
+     changed can no longer vouch for its log — drop it and let the
+     coming finalize re-anchor the completeness floor. *)
+  if not (Bytes.equal s.block blk) then begin
+    s.dlog <- [];
+    s.dlog_bytes <- 0;
+    s.dlog_reset <- true
+  end;
   s.block <- Bytes.copy blk;
   s.meta <- Checksum.make ~epoch:s.epoch ~writer:0L s.block;
   R_reconstruct { epoch = s.epoch }
@@ -325,15 +428,33 @@ let do_finalize s ~epoch =
   if s.opmode = Recons then s.opmode <- Norm;
   s.lmode <- Unl;
   s.lid <- None;
+  (* The new epoch's base absorbs everything: tombstones are moot, and a
+     reconstruct-invalidated log becomes complete again FROM this epoch. *)
+  if s.dlog_reset then begin
+    s.dlog_floor <- max s.dlog_floor epoch;
+    s.dlog_reset <- false
+  end;
+  s.tombs <- [];
+  s.tombs_overflow <- false;
   R_ack
 
-let do_gc_old s tids_to_drop =
+let do_gc_old t s tids_to_drop =
   if s.opmode <> Norm || s.lmode <> Unl then R_gc { ok = false }
   else begin
-    s.oldlist <-
-      List.filter
-        (fun e -> not (List.exists (fun t -> tid_compare t e.e_tid = 0) tids_to_drop))
-        s.oldlist;
+    let dropped, kept =
+      List.partition
+        (fun e -> List.exists (fun x -> tid_compare x e.e_tid = 0) tids_to_drop)
+        s.oldlist
+    in
+    s.oldlist <- kept;
+    (* Tombstone what just left the lists: the write's effect stays in
+       the block until the next finalize, and delta repair needs the tid
+       for duplicate suppression on both sides of a catch-up. *)
+    List.iter
+      (fun e ->
+        if List.length s.tombs >= t.tombs_cap then s.tombs_overflow <- true
+        else s.tombs <- e.e_tid :: s.tombs)
+      dropped;
     R_gc { ok = true }
   end
 
@@ -349,6 +470,91 @@ let do_gc_recent s tids_to_move =
     (* The write completed everywhere: its saved pre-swap value can go. *)
     s.oldlist <- List.map (fun e -> { e with e_swap = None }) moved @ s.oldlist;
     R_gc { ok = true }
+  end
+
+(* --- Delta repair (node side) ---------------------------------------
+
+   Three procedures let a repairer catch an epoch-stale member up
+   without a k-block reconstruction: [Delta_probe] exposes the facts an
+   eligibility decision needs (epoch, digest verdict, list/tombstone
+   tids, log completeness floor); [Get_delta] hands out the logged adds
+   since a given epoch, but only when the log provably covers them all;
+   [Apply_delta] performs the catch-up on the stale member and reseals
+   its integrity record at the target epoch.  All the set reasoning
+   (which entries to ship, what the target already holds) lives in the
+   repairer — the node stays a thin state machine. *)
+
+let do_delta_probe t ~id s =
+  R_delta_probe
+    {
+      dp_opmode = s.opmode;
+      dp_epoch = s.epoch;
+      dp_valid = s.opmode <> Init && self_ok t ~id s;
+      dp_recent = tids s.recentlist;
+      dp_old = tids s.oldlist;
+      dp_tombs = s.tombs;
+      dp_tombs_overflow = s.tombs_overflow;
+      dp_log_floor = s.dlog_floor;
+      dp_log_bytes = s.dlog_bytes;
+    }
+
+let do_get_delta s ~since_epoch =
+  let complete =
+    s.opmode = Norm && (not s.dlog_reset) && s.dlog_floor <= since_epoch
+  in
+  let entries =
+    if complete then
+      List.filter (fun (e : delta_entry) -> e.d_epoch >= since_epoch) s.dlog
+    else []
+  in
+  R_delta { entries; to_epoch = s.epoch; complete }
+
+let do_apply_delta t ~id s ~entries ~absorbed ~from_epoch ~to_epoch =
+  if
+    s.opmode <> Norm || s.lmode <> Unl
+    || s.epoch <> from_epoch
+    || to_epoch <= from_epoch
+    || s.tombs_overflow
+    || not (self_ok t ~id s)
+  then R_delta_applied { ok = false; applied = 0; epoch = s.epoch }
+  else begin
+    let (module K : Kernel.S) = t.kernel in
+    let known tid =
+      mem_tid tid s.recentlist || mem_tid tid s.oldlist
+      || mem_plain_tid tid s.tombs
+    in
+    (* Re-filter by tid on this side too: the repairer computed the ship
+       set from a probe that may have raced a concurrent retry. *)
+    let applied = ref 0 in
+    List.iter
+      (fun (e : delta_entry) ->
+        if not (known e.d_tid) then begin
+          K.xor_into ~dst:s.block ~src:e.d_dv;
+          incr applied
+        end)
+      entries;
+    (* Writes this member applied before crashing that a finalize since
+       folded into the base: their effect is now base, not in-flight, so
+       their list entries go — exactly what finalize would have done. *)
+    s.recentlist <-
+      List.filter (fun e -> not (mem_plain_tid e.e_tid absorbed)) s.recentlist;
+    s.oldlist <-
+      List.filter (fun e -> not (mem_plain_tid e.e_tid absorbed)) s.oldlist;
+    s.tombs <- [];
+    s.tombs_overflow <- false;
+    s.epoch <- to_epoch;
+    (* The cross-epoch reseal: the caught-up bytes are this member's
+       value for the target epoch's base plus its leftover in-flight
+       writes, sealed fresh like any other mutation. *)
+    s.meta <- Checksum.make ~epoch:to_epoch ~writer:0L s.block;
+    (* Conservative: claim log completeness only from the NEXT epoch —
+       adds this member applied before the outage are not re-derivable
+       from the shipped entries. *)
+    s.dlog <- [];
+    s.dlog_bytes <- 0;
+    s.dlog_floor <- max s.dlog_floor (to_epoch + 1);
+    s.dlog_reset <- false;
+    R_delta_applied { ok = true; applied = !applied; epoch = to_epoch }
   end
 
 (* Monitoring probe (Sec 3.10): stale = slots with a recentlist entry
@@ -385,14 +591,15 @@ and handle_slot t ~caller ~slot:slot_id req =
   | Get_meta -> do_get_meta t ~id:slot_id s
   | Mark_init -> do_mark_init s
   | Swap { v; ntid } -> do_swap t s ~v ~ntid
-  | Add { dv; ntid; otid; epoch } -> apply_add t s ~dv ~alpha:1 ~ntid ~otid ~epoch
+  | Add { dv; ntid; otid; epoch } ->
+    apply_add t ~id:slot_id s ~dv ~alpha:1 ~ntid ~otid ~epoch
   | Add_bcast { dv; dblk; ntid; otid; epoch } ->
     let alpha =
       match t.alpha_for with
       | Some f -> f ~slot:slot_id ~dblk
       | None -> invalid_arg "Storage_node: broadcast add without alpha_for"
     in
-    apply_add t s ~dv ~alpha ~ntid ~otid ~epoch
+    apply_add t ~id:slot_id s ~dv ~alpha ~ntid ~otid ~epoch
   | Checktid { ntid; otid } -> do_checktid s ~ntid ~otid
   | Trylock lm -> do_trylock s ~caller lm
   | Setlock lm -> do_setlock s ~caller lm
@@ -400,11 +607,37 @@ and handle_slot t ~caller ~slot:slot_id req =
   | Getrecent lm -> do_getrecent s ~caller lm
   | Reconstruct { cset; blk } -> do_reconstruct s ~cset ~blk
   | Finalize { epoch } -> do_finalize s ~epoch
-  | Gc_old l -> do_gc_old s l
+  | Gc_old l -> do_gc_old t s l
   | Gc_recent l -> do_gc_recent s l
+  | Delta_probe -> do_delta_probe t ~id:slot_id s
+  | Get_delta { since_epoch } -> do_get_delta s ~since_epoch
+  | Apply_delta { entries; absorbed; from_epoch; to_epoch } ->
+    do_apply_delta t ~id:slot_id s ~entries ~absorbed ~from_epoch ~to_epoch
   | Probe _ -> assert false (* dispatched in [handle] *)
 
 let slot_count t = Hashtbl.length t.slots
+
+(* Crash-recovery rejoin (delta-repair's state-preserving restart): a
+   node that comes back with its disk intact can vouch for every slot
+   whose state machine was between operations — including slots with
+   in-flight recentlist entries.  If no recovery ran while the node was
+   away, those writes are still in flight globally and simply resume;
+   if one did run, it finalized a higher epoch at the survivors, so the
+   returning member is epoch-stale and masked everywhere until repair —
+   and the delta path's orphan check refuses catch-up (forcing a full
+   rebuild) for any held write the source cannot account for, which is
+   exactly the rolled-back case.  The one thing the node cannot vouch
+   for is a reconstruction that was interrupted mid-flight: those
+   slots' bytes are a torn mix, so they quarantine to INIT and rebuild. *)
+let quarantine_inflight t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if s.opmode = Recons then begin
+        ignore (do_mark_init s);
+        acc + 1
+      end
+      else acc)
+    t.slots 0
 
 (* Sec 6.5 accounting: opmode and lmode packed in 1 byte, lid 2, epoch 4,
    list lengths 2 bytes each, plus 12 bytes per retained tid and 4 for
@@ -428,7 +661,8 @@ let overhead_bytes t =
       let recons =
         match s.recons_set with None -> 0 | Some l -> 4 * List.length l
       in
-      acc + 1 + 2 + 4 + 2 + 2 + lists + recons + Checksum.bytes_size)
+      let repair = s.dlog_bytes + (tid_bytes * List.length s.tombs) in
+      acc + 1 + 2 + 4 + 2 + 2 + lists + recons + repair + Checksum.bytes_size)
     t.slots 0
 
 let overhead_bytes_per_slot t =
@@ -494,6 +728,10 @@ let peek_lmode t ~slot:id = (slot t id).lmode
 let peek_epoch t ~slot:id = (slot t id).epoch
 let peek_recentlist t ~slot:id = tids (slot t id).recentlist
 let peek_oldlist t ~slot:id = tids (slot t id).oldlist
+let peek_dlog t ~slot:id = List.map (fun e -> e.d_tid) (slot t id).dlog
+let peek_dlog_bytes t ~slot:id = (slot t id).dlog_bytes
+let peek_dlog_floor t ~slot:id = (slot t id).dlog_floor
+let peek_tombs t ~slot:id = (slot t id).tombs
 
 let oldest_recent_age t ~now =
   Hashtbl.fold

@@ -32,13 +32,17 @@ val create :
   ?h:int ->
   ?self_check:bool ->
   ?on_integrity_fail:(slot:int -> Checksum.status -> unit) ->
+  ?delta_log_cap:int ->
+  ?tombs_cap:int ->
   now:(unit -> float) ->
   block_size:int ->
   init:[ `Zeroed | `Garbage ] ->
   unit ->
   t
 (** [alpha_for] gives this node's erasure-code coefficient for data block
-    [dblk] of stripe [slot]; it is required only to serve broadcast adds.
+    [dblk] of stripe [slot]; it is required to serve broadcast adds and
+    to tag delta-log entries with their folded coefficient (without it
+    the node still works, but never qualifies as a delta-repair source).
     [client_failed] is the failure detector (defaults to "nobody ever
     fails").  [h] selects the GF(2^h) bulk kernel used to apply adds
     (default 8; must match the client's code).  [now] supplies the
@@ -46,6 +50,10 @@ val create :
     [on_integrity_fail] is the fault layer's observer: invoked each time
     a self-check fails while serving ([Read], [Get_state], [Get_meta]),
     so injected-fault detection times can be recorded node-side.
+    [delta_log_cap] bounds the per-slot delta-repair log in bytes
+    (default 64 KiB; 0 disables logging entirely) and [tombs_cap] the
+    per-slot tombstone count (default 512); exceeding either only
+    narrows delta-repair eligibility, never correctness.
 
     {b Buffer ownership.}  The node applies adds in place and avoids
     block copies on read and swap: a [Read]/[Swap] response may alias
@@ -61,6 +69,16 @@ val handle : t -> caller:int -> slot:int -> Proto.request -> Proto.response
 
 val slot_count : t -> int
 (** Number of slots this node has materialized. *)
+
+val quarantine_inflight : t -> int
+(** Crash-recovery rejoin hygiene: demote to [Init] every slot caught
+    mid-reconstruction ([Recons]) — its bytes are a torn mix only a
+    rebuild can fix.  Slots with in-flight recentlist entries keep
+    their state: if the write was rolled back while the node was away,
+    the rollback's recovery left this member epoch-stale (masked from
+    reads and polls), and the delta path's orphan check forces a full
+    rebuild for any held write its source cannot account for.  Returns
+    the number of slots quarantined. *)
 
 val overhead_bytes : t -> int
 (** Protocol metadata bytes currently held beyond block contents —
@@ -109,6 +127,19 @@ val peek_lmode : t -> slot:int -> Proto.lmode
 val peek_epoch : t -> slot:int -> int
 val peek_recentlist : t -> slot:int -> Proto.tid list
 val peek_oldlist : t -> slot:int -> Proto.tid list
+
+val peek_dlog : t -> slot:int -> Proto.tid list
+(** Tids currently retained in the slot's delta-repair log, newest
+    first. *)
+
+val peek_dlog_bytes : t -> slot:int -> int
+val peek_dlog_floor : t -> slot:int -> int
+(** Byte footprint and completeness floor of the slot's delta log: the
+    log holds every add applied under epochs >= the floor. *)
+
+val peek_tombs : t -> slot:int -> Proto.tid list
+(** GC-dropped tids retained for delta-repair duplicate suppression
+    since the slot's last seal. *)
 
 val oldest_recent_age : t -> now:float -> float option
 (** Age of the oldest recentlist entry across all slots — what the

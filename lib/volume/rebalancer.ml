@@ -83,7 +83,10 @@ let apply t (mv : Placement.move) =
           (fun slot ->
             Budget.take t.budget slot_cost;
             try
-              Client.recover_slot client ~slot;
+              (* The move's destination is a fresh INIT member: a delta
+                 probe can never succeed there, so go straight to the
+                 Fig 6 rebuild and save the probe round-trip. *)
+              Client.recover_slot client ~slot ~delta:false;
               t.blocks_moved <- t.blocks_moved + 1
             with Client.Stuck _ | Client.Data_loss _ ->
               t.errors <- t.errors + 1)

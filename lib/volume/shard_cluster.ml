@@ -60,6 +60,7 @@ type t = {
   queued_slots : (int * int, unit) Hashtbl.t; (* (group, index) queued *)
   claims : (int, unit) Hashtbl.t; (* groups under repair/rebalance *)
   ilog : integrity_log;
+  planners : (int * int, Repair_planner.t) Hashtbl.t; (* (id, group) *)
   mutable note_hooks : (float -> string -> unit) list;
   mutable pool_health_hooks :
     (now:float -> node:int -> state:Health.state -> unit) list;
@@ -125,6 +126,8 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
                 | Checksum.Stale_epoch -> "integrity.node_stale"
                 | _ -> "integrity.node_detected"))
             ~now:(fun () -> Engine.now engine)
+            ~delta_log_cap:cfg.Config.repair.Config.delta_log_cap
+            ~tombs_cap:cfg.Config.repair.Config.tombs_cap
             ~block_size:cfg.Config.block_size
             ~init:(if generation = 0 then `Zeroed else `Garbage)
             ();
@@ -152,6 +155,7 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
     queued_slots = Hashtbl.create 16;
     claims = Hashtbl.create 8;
     ilog;
+    planners = Hashtbl.create 8;
     note_hooks = [];
     pool_health_hooks = [];
   }
@@ -214,10 +218,56 @@ let restart_node t p =
       (Placement.groups_on t.placement p)
   end
 
+(* Crash-recovery rejoin with state intact: the pool node comes back
+   holding the same disks (same Storage_node stores), only its network
+   identity changed.  Each hosted member is re-bound in place
+   (generation bump, no remap), and its store is swept by
+   [quarantine_inflight]: slots caught mid-write or mid-reconstruction
+   are demoted to INIT (a recovery that ran while the node was away may
+   have rolled their in-flight write back — undetectable locally), while
+   sealed quiet slots keep their blocks and rejoin as cheap epoch-stale
+   delta-repair targets instead of full rebuilds. *)
+let revive_node t p =
+  if p < 0 || p >= pool_size t then
+    invalid_arg "Shard_cluster.revive_node: pool index out of range";
+  let pn = !(t.pool).(p) in
+  if not (Net.is_alive pn.p_net) then begin
+    pn.p_restarts <- pn.p_restarts + 1;
+    let node =
+      Net.add_node t.net ~name:(Printf.sprintf "%s.r%d" pn.p_site pn.p_restarts)
+    in
+    Net.set_site node pn.p_site;
+    pn.p_net <- node;
+    List.iter
+      (fun g ->
+        let members = Placement.group_nodes t.placement g in
+        Array.iteri
+          (fun index q ->
+            if q = p then begin
+              let entry = Directory.rebind t.groups.(g).g_dir index node in
+              let quarantined =
+                Storage_node.quarantine_inflight entry.Directory.store
+              in
+              for _ = 1 to quarantined do
+                Stats.incr t.stats "pool.slots_quarantined"
+              done
+            end)
+          members)
+      (Placement.groups_on t.placement p);
+    Stats.incr t.stats "pool.revives"
+  end
+
 let schedule_outage t ~at ~node ~down_for =
   Engine.schedule t.engine ~at (fun () -> crash_node t node);
   Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
       restart_node t node)
+
+(* A blip: the node goes away and comes back {e with its state} — the
+   transient-outage case delta repair and lazy repair floors target. *)
+let schedule_blip t ~at ~node ~down_for =
+  Engine.schedule t.engine ~at (fun () -> crash_node t node);
+  Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
+      revive_node t node)
 
 (* Supervisor-driven failover (Sec 3.5 remap, but event-driven): every
    member hosted on the dead pool node is re-homed to an alive,
@@ -230,15 +280,19 @@ let schedule_outage t ~at ~node ~down_for =
    Returns the affected groups, for targeted repair.  Members with no
    legal destination are left in place — calls to them keep reporting
    [`Node_down]. *)
-let fail_over t ~node =
+let fail_over ?only t ~node =
   if node < 0 || node >= pool_size t then
     invalid_arg "Shard_cluster.fail_over: pool index out of range";
   if node_alive t node then
     invalid_arg "Shard_cluster.fail_over: node is alive";
   let topo = topology t in
+  let eligible g =
+    match only with None -> true | Some gs -> List.mem g gs
+  in
   let moved = ref [] in
   List.iter
     (fun g ->
+      if eligible g then
       let grp = t.groups.(g) in
       let members = Placement.group_nodes t.placement g in
       let moved_any = ref false in
@@ -531,12 +585,26 @@ let on_pool_health t hook = t.pool_health_hooks <- hook :: t.pool_health_hooks
 
 let make_group_client t ~id ~group =
   let grp = t.groups.(group) in
+  (* Degraded-aware repair planner: volume-level signals (draining
+     hosts, queued migrations, the client's own failure detector) steer
+     which members serve repair reads.  One per (client, group); health
+     is late-bound below because the client is built with the planner. *)
+  let rp =
+    Repair_planner.create
+      ~pool_of:(fun ~index -> Placement.member t.placement ~group ~index)
+      ~draining:(fun p -> Topology.weight (topology t) p <= 0.)
+      ~queued:(fun ~index -> Hashtbl.mem t.queued_slots (group, index))
+      ()
+  in
+  Hashtbl.replace t.planners (id, group) rp;
   let c =
     Client.of_transport
       ~sink:(trace_sink t ~group)
       ~locate:(fun ~slot ~pos -> Layout.node_of grp.g_layout ~stripe:slot ~pos)
+      ~repair_planner:(Repair_planner.planner rp ~layout:grp.g_layout)
       t.cfg t.code (transport t ~id ~group)
   in
+  Repair_planner.set_health rp (Client.health c);
   (* Aggregate every client's per-member failure detector into
      pool-node-level health events: member index -> hosting pool node
      via the (current) placement.  Hooks must only enqueue (they fire
@@ -549,6 +617,8 @@ let make_group_client t ~id ~group =
           t.pool_health_hooks
       end);
   c
+
+let group_planner t ~id ~group = Hashtbl.find_opt t.planners (id, group)
 
 let spawn t f = Fiber.spawn t.engine f
 let run ?until t = Engine.run ?until t.engine

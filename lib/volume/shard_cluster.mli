@@ -69,10 +69,29 @@ val restart_node : t -> int -> unit
     site, and every hosted group member remapped to the next generation
     (INIT slots).  No-op if the node is alive. *)
 
+val revive_node : t -> int -> unit
+(** Bring a crashed pool node back {e with its state intact} — the
+    crash-recovery rejoin (as opposed to {!restart_node}'s
+    disk-lost replacement).  A fresh network node is installed under the
+    same site and every hosted group member is {!Directory.rebind}-ed in
+    place: same store, next generation.  Each store is swept by
+    {!Storage_node.quarantine_inflight} (slots caught mid-reconstruction
+    demote to INIT; counted in {!stats} as ["pool.slots_quarantined"]);
+    every other slot keeps its blocks and rejoins as an epoch-stale
+    delta-repair target.  No-op if alive. *)
+
 val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
 
-val fail_over : t -> node:int -> int list
-(** Re-home every group member hosted on the {e dead} pool node [node]:
+val schedule_blip : t -> at:float -> node:int -> down_for:float -> unit
+(** Like {!schedule_outage} but the node returns via {!revive_node}
+    (state kept) — the transient-outage case that delta repair and lazy
+    repair floors target. *)
+
+val fail_over : ?only:int list -> t -> node:int -> int list
+(** Re-home every group member hosted on the {e dead} pool node [node]
+    ([only] restricts to the listed groups — the supervisor's
+    partial-failover lever when some of the node's groups are parked on
+    a lazy-repair grace timer):
     each moves to an alive, least-loaded pool node not already serving
     its group ({!Placement.reassign}) and its directory entry is
     remapped to a fresh generation (INIT slots on the new host, repaired
@@ -189,6 +208,15 @@ val transport : t -> id:int -> group:int -> Transport.t
     client share a single client-side network node (one NIC). *)
 
 val make_group_client : t -> id:int -> group:int -> Client.t
+(** Client for one group, wired with the group's trace sink, the
+    layout-aware failure-detector keying, and a {!Repair_planner}
+    (draining hosts and queued migrations never serve repair reads when
+    an alternative exists; consecutive rebuilds spread across
+    sources). *)
+
+val group_planner : t -> id:int -> group:int -> Repair_planner.t option
+(** The repair planner built for client [id]'s view of [group] by
+    {!make_group_client} (test/diagnostic accessor). *)
 
 val spawn : t -> (unit -> unit) -> unit
 val run : ?until:float -> t -> unit

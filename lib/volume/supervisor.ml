@@ -21,6 +21,14 @@
    All pacing derives from the simulated clock — a seeded run detects,
    fails over and repairs at byte-identical times. *)
 
+(* A Down node whose groups all still meet the repair floor: no data
+   is at risk, so rebuilding can wait out a transient outage.  If the
+   node returns before [df_deadline] the stripes are caught up in place
+   (delta repair against the revived, epoch-stale members) under the
+   ordinary non-urgent budget; if the deadline passes with the node
+   still dead, the deferred groups take the urgent failover path. *)
+type deferral = { df_deadline : float; df_groups : int list }
+
 type t = {
   sc : Shard_cluster.t;
   volume : Volume.t;
@@ -29,11 +37,14 @@ type t = {
   until : float;
   pending : int Queue.t;
   queued : (int, unit) Hashtbl.t;
+  deferred : (int, deferral) Hashtbl.t; (* pool node -> grace timer *)
   mutable stopped : bool;
   mutable failovers : int; (* group members re-homed off dead nodes *)
   mutable repairs : int; (* stripes recovered *)
   mutable errors : int; (* Stuck / Data_loss absorbed *)
   mutable false_alarms : int; (* Down verdicts on alive (lossy) nodes *)
+  mutable deferrals : int; (* Down verdicts parked on a grace timer *)
+  mutable catchups : int; (* deferrals resolved by the node returning *)
   mutable detections : (int * float) list; (* (node, time), reversed *)
   mutable repaired : (int * float) list; (* (node, time), reversed *)
 }
@@ -42,9 +53,20 @@ let failovers t = t.failovers
 let repairs t = t.repairs
 let errors t = t.errors
 let false_alarms t = t.false_alarms
+let deferrals t = t.deferrals
+let catchups t = t.catchups
 let detections t = List.rev t.detections
 let repaired t = List.rev t.repaired
 let stop t = t.stopped <- true
+
+(* Live redundancy of a group: members whose hosting pool node answers.
+   This is ground truth (the simulator's liveness), matching the
+   node_alive double-check the Down verdict already gets. *)
+let live_members t g =
+  Array.fold_left
+    (fun acc p -> if Shard_cluster.node_alive t.sc p then acc + 1 else acc)
+    0
+    (Placement.group_nodes (Shard_cluster.placement t.sc) g)
 
 (* Wait for a group's claim.  Claims are acquired BEFORE the budget's
    urgent section opens: the rebalancer may hold a claim while parked in
@@ -56,6 +78,92 @@ let wait_claim t g =
     Fiber.sleep t.poll
   done
 
+(* Urgent path (below the repair floor, or grace expired): re-home the
+   given groups' members off the dead node and rebuild their stripes on
+   the new hosts, preempting maintenance via the budget's urgent flag. *)
+let fail_over_groups t node ~only =
+  let n = (Shard_cluster.config t.sc).Config.n in
+  let slot_cost = float_of_int (n + 1) in
+  List.iter (wait_claim t) only;
+  Fun.protect
+    ~finally:(fun () -> List.iter (Shard_cluster.release_group t.sc) only)
+    (fun () ->
+      (* The node may have restarted while we waited on claims; a
+         restart remaps its members itself, so nothing is left to
+         re-home. *)
+      if not (Shard_cluster.node_alive t.sc node) then begin
+        Budget.begin_urgent t.budget;
+        Fun.protect
+          ~finally:(fun () -> Budget.end_urgent t.budget)
+          (fun () ->
+            let groups = Shard_cluster.fail_over ~only t.sc ~node in
+            t.failovers <- t.failovers + List.length groups;
+            List.iter
+              (fun g ->
+                let client = Volume.group_client t.volume g in
+                List.iter
+                  (fun slot ->
+                    Budget.take ~urgent:true t.budget slot_cost;
+                    try
+                      (* The re-homed member starts from INIT slots, so
+                         a delta probe can never succeed — rebuild
+                         directly. *)
+                      Client.recover_slot client ~slot ~delta:false;
+                      t.repairs <- t.repairs + 1
+                    with Client.Stuck _ | Client.Data_loss _ ->
+                      t.errors <- t.errors + 1)
+                  (Shard_cluster.used_slots t.sc ~group:g);
+                (* Sweep the group once more for anything recovery
+                   could not see per-slot (stale unfinished writes
+                   flagged by probes). *)
+                Budget.take ~urgent:true t.budget slot_cost;
+                try Volume.monitor_once t.volume ~group:g
+                with Client.Stuck _ | Client.Data_loss _ ->
+                  t.errors <- t.errors + 1)
+              groups;
+            if groups <> [] then
+              t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
+      end)
+
+(* Lazy path: the deferred node came back with its state.  Catch every
+   affected stripe up in place under the ordinary (non-urgent) budget:
+   a lock-free health check first, then recovery — which resolves a
+   merely epoch-stale member by delta repair — only where needed. *)
+let catch_up t node ~groups =
+  let cfg = Shard_cluster.config t.sc in
+  let n = cfg.Config.n in
+  let slot_cost = float_of_int (n + 1) in
+  (* Let the clients' circuit breakers half-open before probing: right
+     after the revive they still fast-fail the member for up to one
+     quarantine period, which would read as "unreachable" and force
+     full rebuilds where a delta catch-up suffices. *)
+  Fiber.sleep (2. *. cfg.Config.health.Config.quarantine);
+  List.iter (wait_claim t) groups;
+  Fun.protect
+    ~finally:(fun () -> List.iter (Shard_cluster.release_group t.sc) groups)
+    (fun () ->
+      List.iter
+        (fun g ->
+          let client = Volume.group_client t.volume g in
+          List.iter
+            (fun slot ->
+              Budget.take ~urgent:false t.budget slot_cost;
+              try
+                let h = Client.verify_slot client ~slot in
+                if not h.Client.sh_healthy then begin
+                  Client.recover_slot client ~slot;
+                  t.repairs <- t.repairs + 1
+                end
+              with Client.Stuck _ | Client.Data_loss _ ->
+                t.errors <- t.errors + 1)
+            (Shard_cluster.used_slots t.sc ~group:g);
+          Budget.take ~urgent:false t.budget slot_cost;
+          try Volume.monitor_once t.volume ~group:g
+          with Client.Stuck _ | Client.Data_loss _ -> t.errors <- t.errors + 1)
+        groups;
+      if groups <> [] then
+        t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
+
 let handle t node =
   if Shard_cluster.node_alive t.sc node then
     (* Accrual false positive: the node is reachable but lossy enough to
@@ -65,51 +173,62 @@ let handle t node =
        Probation -> Down round trip re-enqueues it here. *)
     t.false_alarms <- t.false_alarms + 1
   else begin
-    let n = (Shard_cluster.config t.sc).Config.n in
-    let slot_cost = float_of_int (n + 1) in
+    let cfg = Shard_cluster.config t.sc in
+    let floor = Config.effective_floor cfg in
     let affected = Placement.groups_on (Shard_cluster.placement t.sc) node in
-    List.iter (wait_claim t) affected;
-    Fun.protect
-      ~finally:(fun () ->
-        List.iter (Shard_cluster.release_group t.sc) affected)
-      (fun () ->
-        (* The node may have restarted while we waited on claims; a
-           restart remaps its members itself, so nothing is left to
-           re-home. *)
-        if not (Shard_cluster.node_alive t.sc node) then begin
-          Budget.begin_urgent t.budget;
-          Fun.protect
-            ~finally:(fun () -> Budget.end_urgent t.budget)
-            (fun () ->
-              let groups = Shard_cluster.fail_over t.sc ~node in
-              t.failovers <- t.failovers + List.length groups;
-              List.iter
-                (fun g ->
-                  let client = Volume.group_client t.volume g in
-                  List.iter
-                    (fun slot ->
-                      Budget.take ~urgent:true t.budget slot_cost;
-                      try
-                        Client.recover_slot client ~slot;
-                        t.repairs <- t.repairs + 1
-                      with Client.Stuck _ | Client.Data_loss _ ->
-                        t.errors <- t.errors + 1)
-                    (Shard_cluster.used_slots t.sc ~group:g);
-                  (* Sweep the group once more for anything recovery
-                     could not see per-slot (stale unfinished writes
-                     flagged by probes). *)
-                  Budget.take ~urgent:true t.budget slot_cost;
-                  try Volume.monitor_once t.volume ~group:g
-                  with Client.Stuck _ | Client.Data_loss _ ->
-                    t.errors <- t.errors + 1)
-                groups;
-              if groups <> [] then
-                t.repaired <- (node, Shard_cluster.now t.sc) :: t.repaired)
-        end)
+    (* Classify by live redundancy: a group still at/above the repair
+       floor loses nothing by waiting out a transient outage, so it
+       parks on a grace timer instead of moving data.  With the default
+       floor (= n) every group with a dead member classifies urgent,
+       reproducing the eager seed behaviour exactly. *)
+    let urgent, deferrable =
+      List.partition (fun g -> live_members t g < floor) affected
+    in
+    if urgent <> [] then fail_over_groups t node ~only:urgent;
+    if deferrable <> [] && not (Hashtbl.mem t.deferred node) then begin
+      t.deferrals <- t.deferrals + 1;
+      Hashtbl.replace t.deferred node
+        {
+          df_deadline =
+            Shard_cluster.now t.sc +. cfg.Config.repair.Config.repair_grace;
+          df_groups = deferrable;
+        }
+    end
   end
+
+(* One pass over the grace timers: a node that returned resolves by
+   in-place catch-up; an expired timer falls through to the urgent
+   failover path; anything else keeps waiting.  Re-check liveness per
+   entry — both branches mutate it. *)
+let check_deferred t =
+  let due =
+    Hashtbl.fold
+      (fun node d acc ->
+        if Shard_cluster.node_alive t.sc node then `Back (node, d) :: acc
+        else if Shard_cluster.now t.sc >= d.df_deadline then
+          `Expired (node, d) :: acc
+        else acc)
+      t.deferred []
+  in
+  List.iter
+    (fun verdict ->
+      match verdict with
+      | `Back (node, d) ->
+        Hashtbl.remove t.deferred node;
+        t.catchups <- t.catchups + 1;
+        catch_up t node ~groups:d.df_groups
+      | `Expired (node, d) ->
+        Hashtbl.remove t.deferred node;
+        (* Only fail over groups that still lack the member: the node
+           may have blinked back and died again, or a rebalance may have
+           moved members meanwhile. *)
+        if not (Shard_cluster.node_alive t.sc node) then
+          fail_over_groups t node ~only:d.df_groups)
+    due
 
 let run t =
   while (not t.stopped) && Shard_cluster.now t.sc < t.until do
+    check_deferred t;
     if Queue.is_empty t.pending then Fiber.sleep t.poll
     else begin
       let node = Queue.pop t.pending in
@@ -140,11 +259,14 @@ let start sc ~id ?budget ?(poll = 0.5e-3) ~until () =
       until;
       pending = Queue.create ();
       queued = Hashtbl.create 8;
+      deferred = Hashtbl.create 4;
       stopped = false;
       failovers = 0;
       repairs = 0;
       errors = 0;
       false_alarms = 0;
+      deferrals = 0;
+      catchups = 0;
       detections = [];
       repaired = [];
     }

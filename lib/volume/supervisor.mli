@@ -11,11 +11,24 @@
     ({!Shard_cluster.fail_over}) and runs Fig 6 recovery over exactly
     the affected groups' used stripes, rebuilding each on its new host.
 
-    Repair draws from the shared background {!Budget} with the urgent
-    flag: self-healing preempts the maintenance round-robin but both
-    together stay inside the background ops rate.  Deterministic under a
-    fixed seed — detection, failover and repair land at byte-identical
-    simulated times. *)
+    {b Lazy repair floors.}  A Down node's groups are first classified
+    by live redundancy against [Config.effective_floor]: a group below
+    the floor takes the urgent failover-and-rebuild path immediately,
+    while a group still at/above it parks on a grace timer
+    ([Config.repair.repair_grace]).  If the node returns within the
+    grace — a transient outage, the common case — its stripes are
+    caught up {e in place} under the ordinary non-urgent budget, where
+    a merely epoch-stale member resolves by delta repair (shipping the
+    missed adds) instead of a k-block rebuild.  If the grace expires,
+    the deferred groups fall through to the urgent path.  The defaults
+    (floor [n], grace 0) classify every affected group urgent and
+    reproduce the eager behaviour exactly.
+
+    Urgent repair draws from the shared background {!Budget} with the
+    urgent flag: self-healing preempts the maintenance round-robin but
+    both together stay inside the background ops rate.  Deterministic
+    under a fixed seed — detection, failover and repair land at
+    byte-identical simulated times. *)
 
 type t
 
@@ -50,6 +63,15 @@ val errors : t -> int
 val false_alarms : t -> int
 (** Down verdicts whose pool node was actually alive (lossy link drove
     the accrual score over the threshold) — no failover performed. *)
+
+val deferrals : t -> int
+(** Down verdicts parked on a lazy-repair grace timer (every affected
+    group still met the repair floor). *)
+
+val catchups : t -> int
+(** Deferrals resolved by the node returning within its grace: stripes
+    caught up in place (delta repair where possible) instead of failed
+    over. *)
 
 val detections : t -> (int * float) list
 (** [(pool node, simulated time)] of each enqueued Down verdict, in

@@ -25,8 +25,14 @@ type result = {
   supervisor_failovers : int;
   supervisor_repairs : int;
   supervisor_false_alarms : int;
+  supervisor_deferrals : int; (* Down verdicts parked on a grace timer *)
+  supervisor_catchups : int; (* deferrals resolved by the node returning *)
   detections : (int * float) list; (* (pool node, time) Down verdicts *)
   repaired_at : (int * float) list; (* (pool node, time) repair done *)
+  repair_delta_hits : int; (* recoveries resolved by delta catch-up *)
+  repair_full_rebuilds : int; (* recoveries that decoded k blocks *)
+  repair_bytes_read : int; (* response bytes repair pulled from sources *)
+  repair_bytes_shipped : int; (* request bytes repair pushed to targets *)
   rebalance_moves : int; (* member migrations applied *)
   rebalance_blocks : int; (* stripe blocks rebuilt on new hosts *)
   rebalance_skipped : int; (* stale queued moves dropped *)
@@ -242,6 +248,10 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       "read.hedge_wins";
       "session.fast_fails";
       "health.to_down";
+      "repair.delta_hits";
+      "repair.full_rebuilds";
+      "repair.bytes_read";
+      "repair.bytes_shipped";
     ]
     @ phase_keys
   in
@@ -314,8 +324,16 @@ let run ?(outstanding = 8) ?(warmup = 0.05) ?(events = []) ?faults
       (match sup with Some s -> Supervisor.repairs s | None -> 0);
     supervisor_false_alarms =
       (match sup with Some s -> Supervisor.false_alarms s | None -> 0);
+    supervisor_deferrals =
+      (match sup with Some s -> Supervisor.deferrals s | None -> 0);
+    supervisor_catchups =
+      (match sup with Some s -> Supervisor.catchups s | None -> 0);
     detections = (match sup with Some s -> Supervisor.detections s | None -> []);
     repaired_at = (match sup with Some s -> Supervisor.repaired s | None -> []);
+    repair_delta_hits = delta "repair.delta_hits";
+    repair_full_rebuilds = delta "repair.full_rebuilds";
+    repair_bytes_read = delta "repair.bytes_read";
+    repair_bytes_shipped = delta "repair.bytes_shipped";
     rebalance_moves = (match reb with Some r -> Rebalancer.moves r | None -> 0);
     rebalance_blocks =
       (match reb with Some r -> Rebalancer.blocks_moved r | None -> 0);

@@ -33,12 +33,25 @@ type result = {
   supervisor_repairs : int;  (** stripes rebuilt on new hosts *)
   supervisor_false_alarms : int;
       (** Down verdicts whose node was actually alive *)
+  supervisor_deferrals : int;
+      (** Down verdicts parked on a lazy-repair grace timer (all
+          affected groups still met the repair floor) *)
+  supervisor_catchups : int;
+      (** deferrals resolved by the node returning within grace:
+          stripes caught up in place instead of failed over *)
   detections : (int * float) list;
       (** (pool node, simulated time) of each Down verdict the
           supervisor acted on, in order *)
   repaired_at : (int * float) list;
       (** (pool node, simulated time) when each failed-over node's
           groups finished targeted repair *)
+  repair_delta_hits : int;
+      (** recoveries resolved by delta catch-up (missed adds shipped) *)
+  repair_full_rebuilds : int;  (** recoveries that decoded [k] blocks *)
+  repair_bytes_read : int;
+      (** response bytes repair pulled from source members *)
+  repair_bytes_shipped : int;
+      (** request bytes repair pushed to rebuilt/caught-up members *)
   rebalance_moves : int;
       (** member migrations the {!Rebalancer} applied ([rebalance]) *)
   rebalance_blocks : int;  (** stripe blocks rebuilt on new hosts *)

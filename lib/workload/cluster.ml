@@ -40,6 +40,21 @@ let serve_cost cfg (req : Proto.request) =
        *. float_of_int (Bytes.length dv))
   | Proto.Reconstruct { blk; _ } ->
     control +. (per_byte *. float_of_int (Bytes.length blk))
+  | Proto.Delta_probe ->
+    (* Self-check verdict requires re-digesting the whole block, like
+       get_meta. *)
+    control +. (per_byte *. float_of_int cfg.Config.block_size)
+  | Proto.Get_delta _ ->
+    (* Serving retained payloads off the log: charge one block's worth
+       of streaming — the log is byte-capped near that order. *)
+    control +. (per_byte *. float_of_int cfg.Config.block_size)
+  | Proto.Apply_delta { entries; _ } ->
+    control
+    +. per_byte
+       *. float_of_int
+            (List.fold_left
+               (fun a (e : Proto.delta_entry) -> a + Bytes.length e.Proto.d_dv)
+               0 entries)
   | Proto.Checktid _ | Proto.Trylock _ | Proto.Setlock _ | Proto.Get_state
   | Proto.Getrecent _ | Proto.Finalize _ | Proto.Gc_old _ | Proto.Gc_recent _
   | Proto.Probe _ | Proto.Mark_init ->
@@ -73,6 +88,8 @@ let create ?(net_config = Net.default_config) ?(rotate = true) ?(seed = 0xEC5)
         Storage_node.create
           ~alpha_for:(Layout.alpha_oracle layout code ~node:index)
           ~client_failed ~h:(Config.h cfg)
+          ~delta_log_cap:cfg.Config.repair.Config.delta_log_cap
+          ~tombs_cap:cfg.Config.repair.Config.tombs_cap
           ~on_integrity_fail:(fun ~slot:_ status ->
             (* Fault-layer observer: count node-side detections of
                injected at-rest faults, split by what the self-check
@@ -151,6 +168,27 @@ let schedule_outage t ~at ~node ~down_for =
       let entry = Directory.lookup t.dir node in
       if not (Net.is_alive entry.Directory.net_node) then
         ignore (Directory.remap t.dir node))
+
+(* Like [schedule_outage], but the node comes back with its state
+   intact (crash-recovery rejoin): a fresh network endpoint under the
+   same site is rebound over the existing store, which rejoins as an
+   epoch-stale delta-repair target after the quarantine sweep. *)
+let schedule_blip t ~at ~node ~down_for =
+  Engine.schedule t.engine ~at (fun () -> Directory.crash t.dir node);
+  Engine.schedule t.engine ~at:(at +. down_for) (fun () ->
+      let entry = Directory.lookup t.dir node in
+      if not (Net.is_alive entry.Directory.net_node) then begin
+        let name =
+          Printf.sprintf "s%d.b%d" node (Directory.generation t.dir node + 1)
+        in
+        let net_node = Net.add_node t.net ~name in
+        Net.set_site net_node (storage_site node);
+        let entry = Directory.rebind t.dir node net_node in
+        let q = Storage_node.quarantine_inflight entry.Directory.store in
+        for _ = 1 to q do
+          Stats.incr t.stats "faults.slots_quarantined"
+        done
+      end)
 
 let storage_entry t i = Directory.lookup t.dir i
 

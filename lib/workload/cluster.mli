@@ -122,6 +122,13 @@ val schedule_outage : t -> at:float -> node:int -> down_for:float -> unit
     client already remapped the corpse in the meantime, the restart is a
     no-op. *)
 
+val schedule_blip : t -> at:float -> node:int -> down_for:float -> unit
+(** Like {!schedule_outage} but the node returns {e with its state
+    intact} (crash-recovery rejoin): the existing store is rebound to a
+    fresh endpoint, swept by {!Storage_node.quarantine_inflight}, and
+    rejoins as an epoch-stale delta-repair target.  No-op if a client
+    already remapped the corpse. *)
+
 val storage_entry : t -> int -> Directory.entry
 (** Current physical node behind logical index [i] (tests/inspection). *)
 

@@ -142,9 +142,64 @@ let integrity_rows doc =
   @ [ ("integrity/read/overhead_pct", Lower_better, pct, pct) ]
   @ tiers
 
+(* Flatten a bench repair summary: byte ceilings from the catch-up
+   delta/full pair (plus the headline ratio), and per-(floor, outage)
+   bandwidth/MTTR ceilings from the lazy-repair frontier.  MTTR rides
+   in the p99 column so the table shows the bandwidth/MTTR trade-off
+   on one row. *)
+let repair_rows doc =
+  let field what obj k =
+    as_float (what ^ "." ^ k) (get obj k (what ^ "." ^ k))
+  in
+  let catchup = get doc "catchup" "catchup" in
+  let leg name =
+    let obj = get catchup name ("catchup." ^ name) in
+    let f = field ("catchup." ^ name) obj in
+    ( "repair/catchup/" ^ name ^ "_bytes",
+      Lower_better,
+      f "bytes_total",
+      f "bytes_shipped" )
+  in
+  let ratio =
+    as_float "catchup.byte_ratio"
+      (get catchup "byte_ratio" "catchup.byte_ratio")
+  in
+  let frontier =
+    List.concat_map
+      (fun entry ->
+        let f = field "frontier[]" entry in
+        let label =
+          match Report.member "floor" entry with
+          | Some (Report.J_str s) -> s
+          | _ -> shape_error "frontier[].floor"
+        in
+        let outage = int_of_float (f "outage_ms") in
+        let mttr =
+          match Report.to_float_opt (Report.member "mttr_ms" entry) with
+          | Some m -> m
+          | None -> 0.
+        in
+        let bytes = f "bytes_read" +. f "bytes_shipped" in
+        [
+          ( Printf.sprintf "repair/%s/%dms/bytes" label outage,
+            Lower_better,
+            bytes,
+            mttr );
+          ( Printf.sprintf "repair/%s/%dms/mttr_ms" label outage,
+            Lower_better,
+            mttr,
+            f "p99_write_ms" );
+        ])
+      (items (get doc "frontier" "frontier"))
+  in
+  [ leg "delta"; leg "full" ]
+  @ [ ("repair/catchup/byte_ratio", Lower_better, ratio, ratio) ]
+  @ frontier
+
 let rows_of doc =
   if Report.member "scaling" doc <> None then topology_rows doc
   else if Report.member "scrub_lag" doc <> None then integrity_rows doc
+  else if Report.member "frontier" doc <> None then repair_rows doc
   else profile_rows doc
 
 let classify ~tolerance ~old_doc ~new_doc =

@@ -11,10 +11,12 @@ end)
 
 let tid ?(client = 1) ~seq ~blk () = { Proto.seq; blk; client }
 
-let view ?(opmode = Proto.Norm) ?recons ?(old = []) ?(recent = []) ?block () =
+let view ?(opmode = Proto.Norm) ?(epoch = 0) ?recons ?(old = []) ?(recent = [])
+    ?block () =
   Some
     {
       Proto.st_opmode = opmode;
+      st_epoch = epoch;
       st_recons_set = recons;
       st_oldlist = old;
       st_recentlist = recent;

@@ -28,4 +28,5 @@ let () =
       Test_find_consistent.suite;
       Test_trace.suite;
       Test_health.suite;
+      Test_repair.suite;
     ]

@@ -88,6 +88,7 @@ let test_state_view_size () =
     R_state
       {
         st_opmode = Norm;
+        st_epoch = 0;
         st_recons_set = None;
         st_oldlist = [];
         st_recentlist = List.init tids (fun i -> tid i 0 1);

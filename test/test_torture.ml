@@ -37,16 +37,20 @@ let stripe_consistent cluster ~slot =
 (* [faults] installs a default link policy for the whole run.
    [partitions] are (at, src_site, dst_site, heal_after) one-way cuts.
    [outages] are (at, node, down_for) crash/restart schedules.
+   [blips] are (at, node, down_for) crash/revive schedules — the node
+   returns with its state intact and must catch up (delta repair when
+   eligible) instead of being rebuilt from scratch.
    [min_ops] lowers the progress bar for runs where timeouts legitimately
    eat throughput. *)
-let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~field
-    ~seed ~strategy ~k ~n ~t_p ~storage_crashes ~client_crashes () =
+let torture ?faults ?remap_policy ?(partitions = []) ?(outages = [])
+    ?(blips = []) ?(min_ops = 50) ~field ~seed ~strategy ~k ~n ~t_p
+    ~storage_crashes ~client_crashes () =
   let seed = seed + seed_offset in
   let cfg =
     Config.make ~field ~strategy ~t_p ~block_size:64 ~k ~n ~stale_write_age:0.01
       ()
   in
-  let cluster = Cluster.create ~seed ?faults cfg in
+  let cluster = Cluster.create ~seed ?remap_policy ?faults cfg in
   let ck = Checker.create () in
   let rng = Random.State.make [| seed |] in
   let clients = 3 in
@@ -77,6 +81,10 @@ let torture ?faults ?(partitions = []) ?(outages = []) ?(min_ops = 50) ~field
     (fun (at, node, down_for) ->
       Cluster.schedule_outage cluster ~at ~node ~down_for)
     outages;
+  List.iter
+    (fun (at, node, down_for) ->
+      Cluster.schedule_blip cluster ~at ~node ~down_for)
+    blips;
   let result =
     Runner.run ~outstanding:2 ~warmup:0.0 ~events:!events ~check:ck ~cluster
       ~clients ~duration:0.15
@@ -219,6 +227,26 @@ let test_outage_restart ~field () =
     ~outages:[ (0.03, 2, 0.03) ]
     ()
 
+let test_flapping_node ~field () =
+  (* Crash/revive flapping: nodes blink out and return with their state
+     intact (Cluster.schedule_blip), repeatedly.  `Manual remap keeps
+     the corpse in the directory across each blip — under `Auto the
+     first contact would replace it with a fresh INIT node and there
+     would be nothing to catch up.  The returning member is epoch-stale
+     whenever recovery folded writes forward while it was away; the
+     catch-up (delta repair when eligible, full rebuild otherwise) must
+     leave every stripe code-consistent and the history regular.  Low
+     progress bar: writes against a blinked-out redundant member
+     legitimately stall until it returns. *)
+  List.iter
+    (fun seed ->
+      torture ~field ~remap_policy:`Manual ~min_ops:15 ~seed
+        ~strategy:Config.Parallel ~k:3 ~n:5 ~t_p:1 ~storage_crashes:0
+        ~client_crashes:0
+        ~blips:[ (0.03, 2, 0.015); (0.06, 2, 0.02); (0.05, 4, 0.025) ]
+        ())
+    [ 851; 852; 853 ]
+
 (* The whole matrix runs once per field: the protocol layer is
    field-oblivious, so the same crash/fault schedules must produce the
    same guarantees over GF(2^8) and GF(2^16). *)
@@ -238,6 +266,8 @@ let suite =
       t (tag ^ "faults combined with crashes x2 seeds") (test_faults_with_crashes ~field);
       t (tag ^ "one-way partitions with heal x2 seeds") (test_partition_heal ~field);
       t (tag ^ "crash/restart outage under loss") (test_outage_restart ~field);
+      t (tag ^ "flapping node, state-kept revives x3 seeds")
+        (test_flapping_node ~field);
     ]
   in
   ("torture", cases `Gf8 "gf8: " @ cases `Gf16 "gf16: ")

@@ -34,15 +34,22 @@ let test_recovery_phase_sequence () =
         | Trace.Op_begin -> "begin"
         | Trace.Op_end { ok; _ } -> if ok then "end" else "end-fail"
         | Trace.Recovery_phase p -> Trace.recovery_phase_to_string p
+        | Trace.Repair_result { delta; _ } ->
+          if delta then "repair-delta" else "repair-full"
         | e -> Trace.event_to_string e)
       recovery_events
   in
-  (* One INIT replacement, everything else healthy: lock sweep, state
-     collection, straight to decode — no backoff, adoption or lock
-     weakening on this path. *)
+  (* One INIT replacement, everything else healthy: the delta probe
+     bails (an INIT member can never be patched forward), then the
+     Fig 6 path: lock sweep, state collection, straight to decode — no
+     backoff, adoption or lock weakening — and the repair outcome is
+     reported as a full rebuild. *)
   Alcotest.(check (list string))
     "phase sequence"
-    [ "begin"; "lock"; "collect"; "decode"; "finalize"; "done"; "end" ]
+    [
+      "begin"; "delta"; "lock"; "collect"; "decode"; "finalize";
+      "repair-full"; "done"; "end";
+    ]
     shape
 
 let test_recovery_parented_to_read () =

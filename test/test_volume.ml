@@ -620,6 +620,128 @@ let test_scrubber_detects_at_rest_faults () =
         (lag > 0. && lag < 0.3))
     r.Vrunner.detection_lag
 
+(* ------------------------------------------------------------------ *)
+(* Lazy repair floors: a transient blip against a group still at the
+   repair floor must be parked on the grace timer and caught up in
+   place when the node returns — no failover, no re-homing — while the
+   default (eager) config fails over immediately.  Same seed, same
+   blip, only the repair policy differs. *)
+
+let lazy_floor_run ~repair =
+  let cfg =
+    Config.make ~t_p:1 ~block_size:512 ~k:3 ~n:5 ~stale_write_age:0.1 ~repair ()
+  in
+  let placement = placement ~groups:2 ~pool:8 in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement cfg in
+  let victim = (Placement.group_nodes placement 0).(0) in
+  Shard_cluster.schedule_blip sc ~at:0.08 ~node:victim ~down_for:0.06;
+  let ck = Checker.create () in
+  let r =
+    Vrunner.run ~outstanding:4 ~events:[] ~maintenance:4000. ~supervise:true
+      ~check:ck ~sc ~clients:4 ~duration:0.3
+      ~workload:(Generator.Random_mix { blocks = 64; write_frac = 0.5 })
+      ()
+  in
+  let consistent =
+    match Checker.check ck with Ok _ -> true | Error _ -> false
+  in
+  (r, consistent)
+
+let test_lazy_floor_defers_transient_blip () =
+  (* Default policy: floor n, grace 0 — every affected group is urgent
+     and the blip costs a failover (eager baseline of the PR's repair
+     frontier). *)
+  let eager, ok = lazy_floor_run ~repair:Config.default_repair in
+  Alcotest.(check bool) "eager: history consistent" true ok;
+  Alcotest.(check bool) "eager: failed over" true
+    (eager.Vrunner.supervisor_failovers >= 1);
+  Alcotest.(check int) "eager: nothing deferred" 0
+    eager.Vrunner.supervisor_deferrals;
+  (* Floor n-1 with a grace longer than the outage: one member down
+     leaves every group at the floor, so the supervisor parks the node
+     on the grace timer and catches its stripes up in place. *)
+  let lazy_, ok =
+    lazy_floor_run
+      ~repair:
+        {
+          Config.default_repair with
+          Config.repair_floor = Some 4;
+          repair_grace = 0.2;
+        }
+  in
+  Alcotest.(check bool) "lazy: history consistent" true ok;
+  Alcotest.(check int) "lazy: no failover" 0
+    lazy_.Vrunner.supervisor_failovers;
+  Alcotest.(check bool) "lazy: blip deferred" true
+    (lazy_.Vrunner.supervisor_deferrals >= 1);
+  Alcotest.(check bool) "lazy: caught up within grace" true
+    (lazy_.Vrunner.supervisor_catchups >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-aware repair-source planning: draining and mid-migration
+   members must rank behind healthy ones for rebuild reads and delta
+   pulls, and the draining penalty must dominate the spread feedback —
+   a group mid-migration is never delta-repaired against its draining
+   source while an alternative exists (regression for the planner's
+   penalty ordering). *)
+
+let test_repair_planner_avoids_draining_sources () =
+  let pl =
+    Repair_planner.create
+      ~pool_of:(fun ~index -> index)
+      ~draining:(fun node -> node = 3)
+      ~queued:(fun ~index -> index = 4)
+      ()
+  in
+  let layout = Layout.create ~rotate:false ~k:3 ~n:5 () in
+  let p = Repair_planner.planner pl ~layout in
+  let healthy = p.Recovery.rank ~slot:0 ~pos:2 in
+  let queued = p.Recovery.rank ~slot:0 ~pos:4 in
+  let draining = p.Recovery.rank ~slot:0 ~pos:3 in
+  Alcotest.(check bool) "mid-migration ranks behind healthy" true
+    (queued > healthy);
+  Alcotest.(check bool) "draining ranks behind mid-migration" true
+    (draining > queued);
+  (* Spread feedback: serving repairs raises a member's rank, but never
+     above a draining source. *)
+  for _ = 1 to 5 do
+    p.Recovery.note ~slot:0 ~pos:4
+  done;
+  Alcotest.(check int) "note feedback recorded" 5
+    (Repair_planner.source_reads pl ~index:4);
+  Alcotest.(check bool) "spread penalty applied" true
+    (p.Recovery.rank ~slot:0 ~pos:4 > queued);
+  Alcotest.(check bool) "draining penalty still dominates" true
+    (p.Recovery.rank ~slot:0 ~pos:3 > p.Recovery.rank ~slot:0 ~pos:4)
+
+let test_drained_node_avoided_by_group_planner () =
+  (* Integration: drain the pool node hosting a group member; the
+     planner wired into that group's clients must immediately rank the
+     member last (live placement consultation, no rebuild needed). *)
+  let placement = placement ~groups:1 ~pool:8 in
+  let sc = Shard_cluster.create ~seed:0x0c ~placement (cfg ()) in
+  let _client = Shard_cluster.make_group_client sc ~id:0 ~group:0 in
+  let pl =
+    match Shard_cluster.group_planner sc ~id:0 ~group:0 with
+    | Some pl -> pl
+    | None -> Alcotest.fail "group client has no planner"
+  in
+  let layout = Shard_cluster.group_layout sc 0 in
+  let p = Repair_planner.planner pl ~layout in
+  let victim_index = 2 in
+  let victim = (Placement.group_nodes placement 0).(victim_index) in
+  (* rotate-true layouts permute members per stripe; map member index to
+     slot 0's stripe position. *)
+  let victim_pos = Layout.pos_of layout ~stripe:0 ~node:victim_index in
+  let other_pos = Layout.pos_of layout ~stripe:0 ~node:((victim_index + 1) mod 5) in
+  let before = p.Recovery.rank ~slot:0 ~pos:victim_pos in
+  ignore (Shard_cluster.drain_node sc victim);
+  Alcotest.(check bool) "draining raised the member's rank" true
+    (p.Recovery.rank ~slot:0 ~pos:victim_pos > before);
+  Alcotest.(check bool) "drained member ranks behind healthy peers" true
+    (p.Recovery.rank ~slot:0 ~pos:victim_pos
+    > p.Recovery.rank ~slot:0 ~pos:other_pos)
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   (* Everything that exercises the coding path runs at both fields; the
@@ -652,6 +774,11 @@ let suite =
       t "profile run deterministic" test_profile_run_deterministic;
       t "tenant qos isolation" test_tenant_qos_isolation;
       t "scrubber detects at-rest faults" test_scrubber_detects_at_rest_faults;
+      t "lazy floor defers a transient blip" test_lazy_floor_defers_transient_blip;
+      t "repair planner avoids draining sources"
+        test_repair_planner_avoids_draining_sources;
+      t "drained node avoided by group planner"
+        test_drained_node_avoided_by_group_planner;
     ]
     @ coding `Gf8 "gf8: "
     @ coding `Gf16 "gf16: " )
