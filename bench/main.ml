@@ -11,7 +11,8 @@
      dune exec bench/main.exe -- kernel --json out.json  # coding-kernel microbench
      dune exec bench/main.exe -- profiles --json out.json # workload-profile matrix
      dune exec bench/main.exe -- integrity --json out.json # verified reads + scrub lag
-     dune exec bench/main.exe -- repair --json out.json  # delta catch-up + repair floors *)
+     dune exec bench/main.exe -- repair --json out.json  # delta catch-up + repair floors
+     dune exec bench/main.exe -- parallel --json out.json # real multicore backend (wall clock) *)
 
 let experiments =
   [
@@ -108,6 +109,16 @@ let () =
         exit 1
     in
     Repair_bench.run ?json ()
+  | "parallel" :: rest ->
+    let json =
+      match rest with
+      | [ "--json"; path ] -> Some path
+      | [] -> None
+      | _ ->
+        Printf.eprintf "usage: parallel [--json FILE]\n";
+        exit 1
+    in
+    Parallel_bench.run ?json ()
   | [ "--list" ] ->
     List.iter
       (fun (name, descr, _) -> Printf.printf "%-18s %s\n" name descr)

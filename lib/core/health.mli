@@ -28,7 +28,16 @@
     and call outcomes, so a seeded run replays identical health
     histories.  Transition {!hook}s fire synchronously inside the
     observation call; they must not call back into the protocol stack
-    (enqueue and return — see {!Supervisor}). *)
+    (enqueue and return — see {!Supervisor}).
+
+    {b Domain safety.}  Every observation and query is serialized by an
+    internal per-detector mutex: the detector is owned by one client,
+    but that client's [pfor] runs session calls — each an observation —
+    concurrently on a domain pool under the parallel transport.  The
+    lock is uncontended outside those fan-outs; single-domain behaviour
+    is unchanged.  Hooks fire while the lock is held, which is
+    compatible with (and enforced by) the enqueue-and-return rule
+    above — a hook must not call back into this module. *)
 
 type state = Healthy | Suspect | Down | Probation
 

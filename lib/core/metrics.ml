@@ -1,8 +1,16 @@
 type latency = { l_count : int; l_total : float; l_max : float }
 
+(* Counters are Atomic.t ints and latency aggregates are CAS-updated
+   immutable records, so one registry can be fed concurrently from many
+   domains (parallel clients sharing a sink, or one client whose pfor
+   fans session calls across a domain pool) without losing updates.
+   The key SETS themselves are fixed at [create] — including the
+   "unknown" sentinel — so no code path ever mutates the hashtables
+   after construction, which is what makes the lock-free reads sound.
+   Single-domain behaviour (and rendered JSON) is unchanged. *)
 type t = {
-  counters : (string, int ref) Hashtbl.t;
-  latencies : (string, latency ref) Hashtbl.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  latencies : (string, latency Atomic.t) Hashtbl.t;
 }
 
 let counter_keys =
@@ -40,43 +48,51 @@ let counter_keys =
       "repair.full_rebuilds";
     ]
 
+let zero_latency = { l_count = 0; l_total = 0.; l_max = 0. }
+
 let create () =
   let t = { counters = Hashtbl.create 32; latencies = Hashtbl.create 8 } in
-  List.iter (fun key -> Hashtbl.replace t.counters key (ref 0)) counter_keys;
+  List.iter (fun key -> Hashtbl.replace t.counters key (Atomic.make 0)) counter_keys;
+  (* Pre-register the sentinel so [bump] on an unexpected key never has
+     to mutate the table (which would race concurrent readers). *)
+  Hashtbl.replace t.counters "unknown" (Atomic.make 0);
   List.iter
     (fun k ->
       Hashtbl.replace t.latencies (Trace.op_kind_to_string k)
-        (ref { l_count = 0; l_total = 0.; l_max = 0. }))
+        (Atomic.make zero_latency))
     Trace.all_op_kinds;
   t
 
+let rec atomic_add r n =
+  let v = Atomic.get r in
+  if not (Atomic.compare_and_set r v (v + n)) then atomic_add r n
+
 (* The schema is fixed at [create]; an unknown key is a programming
-   error upstream, counted under a sentinel rather than crashing the
-   protocol from inside a sink. *)
+   error upstream, counted under the pre-registered sentinel rather
+   than crashing the protocol from inside a sink. *)
 let bump t key n =
   match Hashtbl.find_opt t.counters key with
-  | Some r -> r := !r + n
-  | None ->
-    let r = match Hashtbl.find_opt t.counters "unknown" with
-      | Some r -> r
-      | None ->
-        let r = ref 0 in
-        Hashtbl.replace t.counters "unknown" r;
-        r
-    in
-    r := !r + n
+  | Some r -> atomic_add r n
+  | None -> (
+    match Hashtbl.find_opt t.counters "unknown" with
+    | Some r -> atomic_add r n
+    | None -> ())
+
+let rec merge_latency r (l : latency) =
+  let d = Atomic.get r in
+  let merged =
+    {
+      l_count = d.l_count + l.l_count;
+      l_total = d.l_total +. l.l_total;
+      l_max = Float.max d.l_max l.l_max;
+    }
+  in
+  if not (Atomic.compare_and_set r d merged) then merge_latency r l
 
 let observe_latency t kind elapsed =
   match Hashtbl.find_opt t.latencies (Trace.op_kind_to_string kind) with
   | None -> ()
-  | Some r ->
-    let l = !r in
-    r :=
-      {
-        l_count = l.l_count + 1;
-        l_total = l.l_total +. elapsed;
-        l_max = Float.max l.l_max elapsed;
-      }
+  | Some r -> merge_latency r { l_count = 1; l_total = elapsed; l_max = elapsed }
 
 let sink t (ctx : Trace.ctx) (event : Trace.event) =
   let op = Trace.op_kind_to_string ctx.kind in
@@ -117,19 +133,28 @@ let sink t (ctx : Trace.ctx) (event : Trace.event) =
   | Trace.Probe_result _ | Trace.Custom _ -> ()
 
 let counter t key =
-  match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> Atomic.get r
+  | None -> 0
 
+(* The sentinel is part of the table (so [bump] never mutates it) but
+   not part of the schema: keep it out of listings until something
+   actually lands there, exactly as before it was pre-registered. *)
 let counters t =
-  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.counters []
+  Hashtbl.fold
+    (fun key r acc ->
+      let v = Atomic.get r in
+      if key = "unknown" && v = 0 then acc else (key, v) :: acc)
+    t.counters []
   |> List.sort compare
 
 let latency t kind =
   match Hashtbl.find_opt t.latencies (Trace.op_kind_to_string kind) with
-  | Some r -> !r
-  | None -> { l_count = 0; l_total = 0.; l_max = 0. }
+  | Some r -> Atomic.get r
+  | None -> zero_latency
 
 let latencies t =
-  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.latencies []
+  Hashtbl.fold (fun key r acc -> (key, Atomic.get r) :: acc) t.latencies []
   |> List.sort compare
 
 let merge_into ~dst t =
@@ -137,15 +162,8 @@ let merge_into ~dst t =
   List.iter
     (fun (key, l) ->
       match Hashtbl.find_opt dst.latencies key with
-      | Some r ->
-        let d = !r in
-        r :=
-          {
-            l_count = d.l_count + l.l_count;
-            l_total = d.l_total +. l.l_total;
-            l_max = Float.max d.l_max l.l_max;
-          }
-      | None -> Hashtbl.replace dst.latencies key (ref l))
+      | Some r -> merge_latency r l
+      | None -> Hashtbl.replace dst.latencies key (Atomic.make l))
     (latencies t)
 
 let to_json ?(indent = "") t =

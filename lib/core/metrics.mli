@@ -10,6 +10,13 @@
     byte-deterministic under a fixed simulation seed), and CI can assert
     on field presence even for quiet runs.
 
+    {b Domain safety.}  Counters are atomics and latency aggregates are
+    CAS-updated, and no event ever mutates the key tables after
+    {!create}: one registry may be fed concurrently from many domains
+    (the parallel transport's clients, or a single client whose [pfor]
+    fans session calls across a domain pool) without losing updates or
+    taking a lock.
+
     Counter keys:
     - [op.<kind>.count] / [op.<kind>.failed] — completed / aborted
       top-level operations per {!Trace.op_kind};

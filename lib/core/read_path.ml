@@ -152,27 +152,34 @@ let degraded_with_ctx t ctx ~slot ~i =
    held back until we know the hedge did not produce a value. *)
 let read_hedged t ctx ~slot ~i ~node =
   let s = t.session in
-  let winner = ref None in
+  (* Both thunks race on [winner] when pfor runs them on different
+     domains, so the cell is claimed with a CAS — exactly one value
+     wins, and Hedge_won is emitted only by the claiming hedge.
+     [stuck] is written by the primary thunk alone and read after the
+     pfor barrier. *)
+  let winner = Atomic.make None in
   let stuck = ref None in
   Session.emit s ctx (Trace.Hedge_launched { node });
   let delay = Health.hedge_delay (Session.health s) ~node in
   Session.pfor s
     [
       (fun () ->
-        match read_primary t ctx ~slot ~i ~stop:(fun () -> !winner <> None) with
-        | Some v -> if !winner = None then winner := Some v
+        match
+          read_primary t ctx ~slot ~i
+            ~stop:(fun () -> Atomic.get winner <> None)
+        with
+        | Some v -> ignore (Atomic.compare_and_set winner None (Some v))
         | None -> ()
         | exception Session.Stuck m -> stuck := Some m);
       (fun () ->
         Session.sleep s delay;
-        if !winner = None then
+        if Atomic.get winner = None then
           match degraded_with_ctx t ctx ~slot ~i with
-          | Some v when !winner = None ->
-            winner := Some v;
+          | Some v when Atomic.compare_and_set winner None (Some v) ->
             Session.emit s ctx (Trace.Hedge_won { node })
           | _ -> ());
     ];
-  match (!winner, !stuck) with
+  match (Atomic.get winner, !stuck) with
   | Some v, _ -> v
   | None, Some m -> raise (Session.Stuck m)
   | None, None -> (

@@ -176,13 +176,17 @@ let try_delta t ctx ~slot =
   let bytes_read = ref 0 in
   let bytes_shipped = ref 0 in
   let probes = Array.make n None in
+  (* Probe thunks may run on different domains: each writes only its own
+     array slots; the shared counter is summed after the barrier. *)
+  let probe_bytes = Array.make n 0 in
   Session.pfor s
     (List.init n (fun pos () ->
          match Session.call s ctx ~slot ~pos Proto.Delta_probe with
          | Ok (Proto.R_delta_probe p as r) ->
-           bytes_read := !bytes_read + Proto.response_bytes r;
+           probe_bytes.(pos) <- Proto.response_bytes r;
            probes.(pos) <- Some p
          | Ok _ | Error _ -> ()));
+  bytes_read := Array.fold_left ( + ) !bytes_read probe_bytes;
   let all_norm_valid =
     Array.for_all
       (function
@@ -567,16 +571,20 @@ let recover_full t ctx ~slot =
     let stripe = Rs_code.reconstruct_stripe t.code avail in
     let all_positions = List.init n Fun.id in
     let epochs = Array.make n 0 in
+    (* Rewrite thunks may run on different domains: per-position array
+       slots only; the shared counter is summed after the barrier. *)
+    let ship_bytes = Array.make n 0 in
     Session.pfor s
       (List.map
          (fun pos () ->
            let req = Proto.Reconstruct { cset; blk = stripe.(pos) } in
            match Session.call s ctx ~slot ~pos req with
            | Ok (Proto.R_reconstruct { epoch }) ->
-             bytes_shipped := !bytes_shipped + Proto.request_bytes req;
+             ship_bytes.(pos) <- Proto.request_bytes req;
              epochs.(pos) <- epoch
            | Ok _ | Error _ -> ())
          all_positions);
+    bytes_shipped := Array.fold_left ( + ) !bytes_shipped ship_bytes;
     phase Trace.Ph_finalize;
     let new_epoch = Array.fold_left max 0 epochs + 1 in
     Session.pfor s

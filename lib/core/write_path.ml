@@ -46,15 +46,28 @@ let add_result_of_call = function
    unicast scales it by the target's coefficient into a second pooled
    buffer (Rs_code.update_delta_into), so the steady-state fan-out
    allocates no block-sized memory at all.  Recycling after
-   Session.call returns is safe: the simulated network serves every
-   delivery (including duplicates) synchronously within the call, so no
-   reference to the payload survives it. *)
+   Session.call returns is safe: every transport's [call] is blocking —
+   the simulated network serves deliveries (including duplicates)
+   synchronously within it, and the parallel transport copies payloads
+   at the actor boundary — so no reference to the payload survives the
+   call.
+
+   Parallelism discipline: [pfor] may run the unicast thunks on
+   different domains, so a shared cons-list accumulator would race.
+   Instead each thunk claims a completion rank from an atomic counter
+   and writes its own slot of a pre-sized array; the returned list
+   (reversed completion order) is byte-identical to the historical
+   cons-per-record list on every transport, including the simulator's
+   interleaved fibers. *)
 let dispatch_adds t ctx ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
   let s = t.session in
   let cfg = Session.cfg s in
   let costs = cfg.Config.costs in
-  let results = ref [] in
-  let record pos r = results := (pos, r) :: !results in
+  let results = Array.make (List.length targets) None in
+  let seq = Atomic.make 0 in
+  (* Only the broadcast arm touches this, and it is one-send/
+     many-receive served synchronously on the calling domain. *)
+  let bcast_acc = ref [] in
   let len = Bytes.length v in
   (* diff = v - w = v XOR w, identical bits in any GF(2^h). *)
   let diff = Buf_pool.get len in
@@ -67,13 +80,16 @@ let dispatch_adds t ctx ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
     let req = Proto.Add { dv; ntid; otid; epoch } in
     let r = Session.call s ctx ~slot ~pos req in
     Buf_pool.put dv;
-    record pos (add_result_of_call r)
+    let rank = Atomic.fetch_and_add seq 1 in
+    results.(rank) <- Some (pos, add_result_of_call r)
   in
   (match cfg.Config.strategy with
   | Config.Serial -> List.iter unicast targets
   | Config.Parallel ->
     Session.pfor s (List.map (fun pos () -> unicast pos) targets)
   | Config.Hybrid g ->
+    (* Walk the positions in groups of [g]: each group fans out in
+       parallel, groups run in series. *)
     let rec groups = function
       | [] -> []
       | l ->
@@ -100,10 +116,13 @@ let dispatch_adds t ctx ~slot ~i ~ntid ~v ~blk ~otid ~epoch ~targets =
       Session.compute s (Session.block_cost s costs.Config.delta_per_byte);
       let req = Proto.Add_bcast { dv = diff; dblk = i; ntid; otid; epoch } in
       List.iter
-        (fun (pos, r) -> record pos (add_result_of_call r))
+        (fun (pos, r) -> bcast_acc := (pos, add_result_of_call r) :: !bcast_acc)
         (bcast ~slot ~poss:targets req)));
   Buf_pool.put diff;
-  !results
+  !bcast_acc
+  @ Array.fold_left
+      (fun acc r -> match r with Some pr -> pr :: acc | None -> acc)
+      [] results
 
 (* WRITE (Fig 5). *)
 let write t ~slot ~i v =
@@ -223,22 +242,31 @@ let write t ~slot ~i v =
         match !otid with
         | None -> ()
         | Some o ->
-          let drop = ref [] in
+          (* The check thunks may run on different domains: each writes
+             only its own [drop] slot; the predecessor-collected verdict
+             is an idempotent flag, published through an atomic. *)
+          let da = Array.of_list !d in
+          let drop = Array.make (Array.length da) false in
+          let gc_seen = Atomic.make false in
           let checks =
-            List.map
-              (fun pos () ->
-                match
-                  Session.call s ctx ~slot ~pos (Proto.Checktid { ntid; otid = o })
-                with
-                | Ok (Proto.R_check Proto.Ck_gc) -> otid := None
-                | Ok (Proto.R_check Proto.Ck_init) -> drop := pos :: !drop
-                | Ok (Proto.R_check Proto.Ck_nochange) -> ()
-                | Ok _ -> ()
-                | Error _ -> drop := pos :: !drop)
-              !d
+            Array.to_list
+              (Array.mapi
+                 (fun idx pos () ->
+                   match
+                     Session.call s ctx ~slot ~pos
+                       (Proto.Checktid { ntid; otid = o })
+                   with
+                   | Ok (Proto.R_check Proto.Ck_gc) -> Atomic.set gc_seen true
+                   | Ok (Proto.R_check Proto.Ck_init) -> drop.(idx) <- true
+                   | Ok (Proto.R_check Proto.Ck_nochange) -> ()
+                   | Ok _ -> ()
+                   | Error _ -> drop.(idx) <- true)
+                 da)
           in
           Session.pfor s checks;
-          d := List.filter (fun pos -> not (List.mem pos !drop)) !d
+          if Atomic.get gc_seen then otid := None;
+          d :=
+            List.filteri (fun idx _ -> not drop.(idx)) (Array.to_list da)
       end;
       if retry <> [] then Session.sleep s cfg.Config.retry_delay;
       targets := retry

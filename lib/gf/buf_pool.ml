@@ -12,16 +12,30 @@
    between get and put) is safe: the pool is only a cache, the GC
    reclaims strays, and the stats just show an extra miss later.
 
-   The pool is global, single-domain (like the discrete-event simulator
-   it serves) and deterministic: free lists are LIFO, so a replayed run
-   recycles the same buffers in the same order. *)
+   Domain-locality: there is one independent pool (free lists + stats)
+   PER DOMAIN, held in domain-local storage.  A buffer freed on domain
+   D parks in D's pool regardless of where it was allocated, so no
+   free-list operation ever races another domain — the zero-allocation
+   write path survives real parallelism without a single lock, at the
+   cost of buffers not migrating between domains (each steady-state
+   writer warms its own pool).  On a single domain the behaviour is
+   byte-identical to the old global pool: free lists are LIFO, so a
+   replayed run recycles the same buffers in the same order.
+
+   Double-put guard: [put] drops a buffer physically identical to one
+   already pooled in its class (counted under [drops]).  A double put
+   would otherwise hand the same buffer to two getters — the
+   reuse-after-release corruption mode — and the scan is bounded by
+   [max_per_class], trivial next to the block-sized blit every caller
+   performs anyway. *)
 
 type stats = {
   gets : int;  (* total get calls *)
   hits : int;  (* gets served from a free list *)
   misses : int;  (* gets that had to allocate *)
   puts : int;  (* total put calls *)
-  drops : int;  (* puts discarded because the class was full *)
+  drops : int;  (* puts discarded because the class was full (or the
+                   buffer was already pooled — a caught double put) *)
 }
 
 let zero_stats = { gets = 0; hits = 0; misses = 0; puts = 0; drops = 0 }
@@ -30,54 +44,65 @@ let zero_stats = { gets = 0; hits = 0; misses = 0; puts = 0; drops = 0 }
    park at most [max_per_class] blocks of each size here. *)
 let max_per_class = 128
 
-let classes : (int, bytes list ref) Hashtbl.t = Hashtbl.create 8
-let counts : (int, int ref) Hashtbl.t = Hashtbl.create 8
-let st = ref zero_stats
+type pool = {
+  classes : (int, bytes list ref) Hashtbl.t;
+  counts : (int, int ref) Hashtbl.t;
+  mutable st : stats;
+}
 
-let free_list len =
-  match Hashtbl.find_opt classes len with
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { classes = Hashtbl.create 8; counts = Hashtbl.create 8; st = zero_stats })
+
+let pool () = Domain.DLS.get pool_key
+
+let free_list p len =
+  match Hashtbl.find_opt p.classes len with
   | Some l -> l
   | None ->
     let l = ref [] in
-    Hashtbl.add classes len l;
-    Hashtbl.add counts len (ref 0);
+    Hashtbl.add p.classes len l;
+    Hashtbl.add p.counts len (ref 0);
     l
 
-let count len =
-  match Hashtbl.find_opt counts len with
+let count p len =
+  match Hashtbl.find_opt p.counts len with
   | Some c -> c
   | None ->
-    ignore (free_list len);
-    Hashtbl.find counts len
+    ignore (free_list p len);
+    Hashtbl.find p.counts len
 
 let get len =
   if len < 0 then invalid_arg "Buf_pool.get: negative length";
-  let fl = free_list len in
+  let p = pool () in
+  let fl = free_list p len in
   match !fl with
   | b :: rest ->
     fl := rest;
-    decr (count len);
-    st := { !st with gets = !st.gets + 1; hits = !st.hits + 1 };
+    decr (count p len);
+    p.st <- { p.st with gets = p.st.gets + 1; hits = p.st.hits + 1 };
     b
   | [] ->
-    st := { !st with gets = !st.gets + 1; misses = !st.misses + 1 };
+    p.st <- { p.st with gets = p.st.gets + 1; misses = p.st.misses + 1 };
     Bytes.create len
 
 let put b =
+  let p = pool () in
   let len = Bytes.length b in
-  let c = count len in
-  if !c >= max_per_class then
-    st := { !st with puts = !st.puts + 1; drops = !st.drops + 1 }
+  let c = count p len in
+  let fl = free_list p len in
+  if !c >= max_per_class || List.memq b !fl then
+    p.st <- { p.st with puts = p.st.puts + 1; drops = p.st.drops + 1 }
   else begin
-    let fl = free_list len in
     fl := b :: !fl;
     incr c;
-    st := { !st with puts = !st.puts + 1 }
+    p.st <- { p.st with puts = p.st.puts + 1 }
   end
 
-let stats () = !st
+let stats () = (pool ()).st
 
 let reset () =
-  Hashtbl.reset classes;
-  Hashtbl.reset counts;
-  st := zero_stats
+  let p = pool () in
+  Hashtbl.reset p.classes;
+  Hashtbl.reset p.counts;
+  p.st <- zero_stats

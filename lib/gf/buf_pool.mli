@@ -11,16 +11,25 @@
     Dropping a buffer without [put] (exception between get and put) is
     safe — the pool is only a cache and the GC reclaims strays.
 
-    Global and single-domain, like the discrete-event simulator it
-    serves; free lists are LIFO so replayed runs recycle buffers in the
-    same order (determinism). *)
+    {e Domain-local}: each domain owns an independent pool (free lists
+    and stats), so the lock-free zero-allocation write path survives
+    real parallelism — a [put] parks the buffer in the {e calling}
+    domain's pool and never races another domain.  {!stats} and
+    {!reset} likewise act on the calling domain's pool only.  On a
+    single domain the behaviour is identical to the historical global
+    pool: free lists are LIFO so replayed runs recycle buffers in the
+    same order (determinism).  A double [put] of the same buffer is
+    detected and dropped (counted under [drops]) instead of handing one
+    buffer to two future getters. *)
 
 type stats = {
   gets : int;  (** total {!get} calls *)
   hits : int;  (** gets served from a free list *)
   misses : int;  (** gets that had to allocate *)
   puts : int;  (** total {!put} calls *)
-  drops : int;  (** puts discarded because the size class was full *)
+  drops : int;
+      (** puts discarded because the size class was full or the buffer
+          was already pooled (a caught double put) *)
 }
 
 val get : int -> bytes

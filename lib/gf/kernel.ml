@@ -171,20 +171,23 @@ module Table8 : S = struct
   let h = 8
   let name = "table8"
 
-  (* Cache of per-alpha multiplication tables; 256 possible alphas,
-     built lazily.  Each table maps a byte to alpha * byte. *)
-  let mul_tables : bytes option array = Array.make 256 None
+  (* Per-alpha multiplication tables; 256 possible alphas, built
+     eagerly at module init (64 KB total).  Each table maps a byte to
+     alpha * byte.  Eager construction keeps the hot path branch-free
+     AND domain-safe: the array is immutable by the time any domain can
+     read it, so there is no racy lazy-publication of half-filled
+     tables (the pre-multicore version memoized on first use, which
+     under parallel writers could expose a table before its fill
+     completed). *)
+  let mul_tables : bytes array =
+    Array.init 256 (fun alpha ->
+        let t = Bytes.create 256 in
+        for x = 0 to 255 do
+          Bytes.unsafe_set t x (Char.unsafe_chr (Gf256.mul alpha x))
+        done;
+        t)
 
-  let mul_table alpha =
-    match mul_tables.(alpha) with
-    | Some t -> t
-    | None ->
-      let t = Bytes.create 256 in
-      for x = 0 to 255 do
-        Bytes.unsafe_set t x (Char.unsafe_chr (Gf256.mul alpha x))
-      done;
-      mul_tables.(alpha) <- Some t;
-      t
+  let mul_table alpha = Array.unsafe_get mul_tables (alpha land 0xff)
 
   let xor_into = word_xor_into
 
@@ -229,12 +232,19 @@ module Split16 : S = struct
   let name = "split16"
 
   (* Per-alpha (lo, hi) tables: lo.(b) = alpha * b,
-     hi.(b) = alpha * (b << 8); 512 ints per alpha. *)
-  let tables : (int, int array * int array) Hashtbl.t = Hashtbl.create 16
+     hi.(b) = alpha * (b << 8); 512 ints per alpha.  The memo table is
+     {e domain-local}: each domain lazily builds its own copy of the
+     handful of coefficient columns its codes use, so the hot path
+     never takes a lock and the table can never be structurally
+     corrupted by concurrent insertion (a shared Hashtbl.add from two
+     domains is undefined behaviour). *)
+  let tables_key : (int, int array * int array) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
   (* [Hashtbl.find], not [find_opt]: the hit path must not box an
      option — the kernels promise zero steady-state allocation. *)
   let split_tables alpha =
+    let tables = Domain.DLS.get tables_key in
     match Hashtbl.find tables alpha with
     | t -> t
     | exception Not_found ->

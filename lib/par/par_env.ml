@@ -1,0 +1,276 @@
+(* Actor-per-node parallel environment.  See the mli for the model; the
+   short version: node state is confined to its owning worker domain,
+   everything that crosses a domain boundary goes through a mailbox or
+   an atomic, and block payloads are deep-copied at the boundary. *)
+
+type reply = {
+  rm : Mutex.t;
+  rc : Condition.t;
+  mutable rv : Transport.call_result option;
+}
+
+type payload =
+  | Rpc of Proto.request
+  | Ctl of (unit -> unit)
+      (* control action (remap/revive) executed by the owner domain,
+         serialized with the node's request stream *)
+
+type msg = { node : int; slot : int; caller : int; payload : payload; reply : reply }
+
+type node_slot = {
+  mutable store : Storage_node.t;  (* owner-domain confined *)
+  alive : bool Atomic.t;
+}
+
+type worker = {
+  mb : msg Par_mailbox.t;
+  mutable dom : unit Domain.t option;  (* set once right after create *)
+  dead : bool Atomic.t;  (* killed: serve [`Node_down] forever *)
+}
+
+type t = {
+  cfg : Config.t;
+  code : Rs_code.t;
+  layout : Layout.t;
+  nodes : node_slot array;
+  wrk : worker array;
+  pool : Par_pool.t;
+  fm : Mutex.t;
+  failed_clients : (int, unit) Hashtbl.t;  (* under [fm] *)
+  t0 : float;
+  service_time : float;
+  shut : bool Atomic.t;
+}
+
+let owner t node = node mod Array.length t.wrk
+let workers t = Array.length t.wrk
+let now t = Unix.gettimeofday () -. t.t0
+
+(* ------------------------------------------------------------------ *)
+(* Boundary deep copies: wire semantics for every block payload.  The
+   caller may recycle its buffers the moment [call] returns, and the
+   node may alias its own state in responses; neither can then race the
+   other domain. *)
+
+let copy_entry (e : Proto.delta_entry) =
+  { e with Proto.d_dv = Bytes.copy e.Proto.d_dv }
+
+let copy_request = function
+  | Proto.Swap { v; ntid } -> Proto.Swap { v = Bytes.copy v; ntid }
+  | Proto.Add { dv; ntid; otid; epoch } ->
+    Proto.Add { dv = Bytes.copy dv; ntid; otid; epoch }
+  | Proto.Add_bcast { dv; dblk; ntid; otid; epoch } ->
+    Proto.Add_bcast { dv = Bytes.copy dv; dblk; ntid; otid; epoch }
+  | Proto.Reconstruct { cset; blk } ->
+    Proto.Reconstruct { cset; blk = Bytes.copy blk }
+  | Proto.Apply_delta { entries; absorbed; from_epoch; to_epoch } ->
+    Proto.Apply_delta
+      { entries = List.map copy_entry entries; absorbed; from_epoch; to_epoch }
+  | req -> req
+
+let copy_response = function
+  | Proto.R_read { block; lmode } ->
+    Proto.R_read { block = Option.map Bytes.copy block; lmode }
+  | Proto.R_read_checked { block; meta; epoch; lmode } ->
+    Proto.R_read_checked
+      { block = Option.map Bytes.copy block; meta; epoch; lmode }
+  | Proto.R_swap { block; epoch; otid; lmode } ->
+    Proto.R_swap { block = Option.map Bytes.copy block; epoch; otid; lmode }
+  | Proto.R_state sv ->
+    Proto.R_state
+      { sv with Proto.st_block = Option.map Bytes.copy sv.Proto.st_block }
+  | Proto.R_delta { entries; to_epoch; complete } ->
+    Proto.R_delta { entries = List.map copy_entry entries; to_epoch; complete }
+  | r -> r
+
+(* ------------------------------------------------------------------ *)
+
+let answer reply r =
+  Mutex.protect reply.rm (fun () ->
+      reply.rv <- Some r;
+      Condition.signal reply.rc)
+
+(* Owner-domain service loop: pops until the mailbox is closed AND
+   drained, so a blocked caller always gets an answer — even from a
+   killed worker (it answers [`Node_down]) or during shutdown. *)
+let worker_loop t w () =
+  let me = t.wrk.(w) in
+  let rec loop () =
+    match Par_mailbox.pop me.mb with
+    | None -> ()
+    | Some m ->
+      let r =
+        if Atomic.get me.dead then Error `Node_down
+        else
+          match m.payload with
+          | Ctl f ->
+            f ();
+            Ok Proto.R_ack
+          | Rpc req ->
+            let ns = t.nodes.(m.node) in
+            if not (Atomic.get ns.alive) then Error `Node_down
+            else begin
+              if t.service_time > 0. then Unix.sleepf t.service_time;
+              Ok
+                (copy_response
+                   (Storage_node.handle ns.store ~caller:m.caller ~slot:m.slot
+                      req))
+            end
+      in
+      answer m.reply r;
+      loop ()
+  in
+  loop ()
+
+let make_store t ~index ~init =
+  Storage_node.create
+    ~alpha_for:(Layout.alpha_oracle t.layout t.code ~node:index)
+    ~client_failed:(fun id ->
+      Mutex.protect t.fm (fun () -> Hashtbl.mem t.failed_clients id))
+    ~h:(Config.h t.cfg)
+    ~delta_log_cap:t.cfg.Config.repair.Config.delta_log_cap
+    ~tombs_cap:t.cfg.Config.repair.Config.tombs_cap
+    ~now:(fun () -> now t)
+    ~block_size:t.cfg.Config.block_size ~init ()
+
+let create ?(rotate = true) ?workers:(nw = -1) ?(pfor_workers = 0)
+    ?(service_time = 0.) cfg =
+  let n = cfg.Config.n in
+  let nw =
+    if nw >= 1 then nw
+    else max 1 (min n (Domain.recommended_domain_count () - 1))
+  in
+  let nw = min nw n in
+  let code =
+    Rs_code.create ~field:cfg.Config.field ~k:cfg.Config.k ~n:cfg.Config.n ()
+  in
+  let layout = Layout.create ~rotate ~k:cfg.Config.k ~n:cfg.Config.n () in
+  let t =
+    {
+      cfg;
+      code;
+      layout;
+      nodes = [||];
+      wrk =
+        Array.init nw (fun _ ->
+            {
+              mb = Par_mailbox.create ~capacity:64;
+              dom = None;
+              dead = Atomic.make false;
+            });
+      pool = Par_pool.create ~workers:pfor_workers;
+      fm = Mutex.create ();
+      failed_clients = Hashtbl.create 4;
+      t0 = Unix.gettimeofday ();
+      service_time = Float.max 0. service_time;
+      shut = Atomic.make false;
+    }
+  in
+  let t =
+    {
+      t with
+      nodes =
+        Array.init n (fun index ->
+            {
+              store = make_store t ~index ~init:`Zeroed;
+              alive = Atomic.make true;
+            });
+    }
+  in
+  (* Stores exist before any worker runs, so confinement starts clean. *)
+  Array.iteri
+    (fun w wr -> wr.dom <- Some (Domain.spawn (worker_loop t w)))
+    t.wrk;
+  t
+
+(* ------------------------------------------------------------------ *)
+
+(* One blocking exchange with [node]'s owner.  [`Node_down] without
+   enqueueing when the target is known dead — the same fast-fail shape
+   the breaker expects from a fail-stop transport. *)
+let exchange t ~node ~slot ~caller payload =
+  let w = t.wrk.(owner t node) in
+  let reply = { rm = Mutex.create (); rc = Condition.create (); rv = None } in
+  if not (Par_mailbox.push w.mb { node; slot; caller; payload; reply }) then
+    Error `Node_down
+  else
+    Mutex.protect reply.rm (fun () ->
+        while reply.rv = None do
+          Condition.wait reply.rc reply.rm
+        done;
+        Option.get reply.rv)
+
+let call_logical t ~id ~node ~slot req =
+  let ns = t.nodes.(node) in
+  if
+    Atomic.get t.shut
+    || (not (Atomic.get ns.alive))
+    || Atomic.get t.wrk.(owner t node).dead
+  then Error `Node_down
+  else exchange t ~node ~slot ~caller:id (Rpc (copy_request req))
+
+let transport t ~id : Transport.t =
+  (module struct
+    let client_id = id
+
+    let call ?deadline:_ ~slot ~pos req =
+      let node = Layout.node_of t.layout ~stripe:slot ~pos in
+      call_logical t ~id ~node ~slot req
+
+    let call_node ?deadline:_ ~node req = call_logical t ~id ~node ~slot:0 req
+    let broadcast = None
+    let pfor thunks = Par_pool.run t.pool thunks
+    let sleep d = if d > 0. then Unix.sleepf d
+    let now () = now t
+
+    (* Real arithmetic already costs real time; charging a modeled
+       cost on top would double-count. *)
+    let compute _ = ()
+  end : Transport.S)
+
+let make_client ?sink t ~id =
+  Client.of_transport ?sink
+    ~locate:(fun ~slot ~pos -> Layout.node_of t.layout ~stripe:slot ~pos)
+    t.cfg t.code (transport t ~id)
+
+(* ------------------------------------------------------------------ *)
+
+let crash_node t i = Atomic.set t.nodes.(i).alive false
+
+(* Control actions run on the owner so [store] stays domain-confined;
+   caller -1 never collides with a client id. *)
+let ctl t ~node f = ignore (exchange t ~node ~slot:0 ~caller:(-1) (Ctl f))
+
+let remap_node t i =
+  let ns = t.nodes.(i) in
+  ctl t ~node:i (fun () ->
+      ns.store <- make_store t ~index:i ~init:`Garbage;
+      Atomic.set ns.alive true)
+
+let revive_node t i =
+  let ns = t.nodes.(i) in
+  ctl t ~node:i (fun () ->
+      if not (Atomic.get ns.alive) then begin
+        ignore (Storage_node.quarantine_inflight ns.store);
+        Atomic.set ns.alive true
+      end)
+
+let kill_worker t w =
+  Atomic.set t.wrk.(w).dead true;
+  Array.iteri
+    (fun i ns -> if owner t i = w then Atomic.set ns.alive false)
+    t.nodes
+
+let node_store t i = t.nodes.(i).store
+
+let mark_client_failed t id =
+  Mutex.protect t.fm (fun () -> Hashtbl.replace t.failed_clients id ())
+
+let shutdown t =
+  if not (Atomic.exchange t.shut true) then begin
+    Array.iter (fun w -> Par_mailbox.close w.mb) t.wrk;
+    Array.iter
+      (fun w -> match w.dom with Some d -> Domain.join d | None -> ())
+      t.wrk;
+    Par_pool.shutdown t.pool
+  end

@@ -1,0 +1,63 @@
+type 'a t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Par_mailbox.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let push t x =
+  Mutex.protect t.m @@ fun () ->
+  let rec wait () =
+    if t.closed then false
+    else if Queue.length t.q >= t.capacity then begin
+      Condition.wait t.not_full t.m;
+      wait ()
+    end
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.not_empty;
+      true
+    end
+  in
+  wait ()
+
+let pop t =
+  Mutex.protect t.m @@ fun () ->
+  let rec wait () =
+    match Queue.take_opt t.q with
+    | Some x ->
+      Condition.signal t.not_full;
+      Some x
+    | None ->
+      if t.closed then None
+      else begin
+        Condition.wait t.not_empty t.m;
+        wait ()
+      end
+  in
+  wait ()
+
+let close t =
+  Mutex.protect t.m @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    (* Wake every waiter: blocked pushers must fail, blocked poppers
+       must drain-and-exit. *)
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+  end
+
+let length t = Mutex.protect t.m @@ fun () -> Queue.length t.q

@@ -1,0 +1,30 @@
+(** Bounded blocking FIFO queue between domains (mutex + condvars).
+
+    The parallel environment's actor mailboxes: senders [push] from any
+    domain and block while the queue is at capacity; the owning worker
+    [pop]s and blocks while it is empty.  FIFO order is global over the
+    queue, so messages from one sender are delivered in the order it
+    pushed them (per-sender FIFO — the property the protocol's resend
+    logic relies on).
+
+    [close] wakes everyone: pending and future [push]es return [false]
+    (the message was not enqueued) and [pop] drains what remains, then
+    returns [None] forever.  All operations are safe from any domain. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue, blocking while full.  [false] iff the queue was (or became,
+    while waiting) closed — the element was not enqueued. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while empty.  [None] iff the queue is closed and
+    fully drained. *)
+
+val close : 'a t -> unit
+(** Idempotent. *)
+
+val length : 'a t -> int

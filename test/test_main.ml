@@ -29,4 +29,5 @@ let () =
       Test_trace.suite;
       Test_health.suite;
       Test_repair.suite;
+      Test_par.suite;
     ]
